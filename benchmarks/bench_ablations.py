@@ -1,0 +1,84 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not paper figures — these price the design space around GLocks:
+critical-section-length crossover, G-line latency / tree depth scaling,
+arbitration fairness, and hardware-GLock provisioning.
+"""
+
+from repro.experiments import (
+    ablate_arbitration,
+    ablate_coherence,
+    ablate_cs_length,
+    ablate_gline,
+    ablate_sharing,
+)
+
+
+def test_ablate_cs_length(benchmark):
+    results = benchmark.pedantic(
+        lambda: ablate_cs_length.run(n_cores=16), rounds=1, iterations=1)
+    print()
+    print(ablate_cs_length.render(results))
+    ratios = [results[cs]["gl_over_mcs"] for cs in sorted(results)]
+    # GL advantage is largest for empty CSs and monotonically fades
+    assert ratios[0] < 0.6
+    assert all(a <= b + 0.02 for a, b in zip(ratios, ratios[1:]))
+    assert ratios[-1] > 0.9
+    benchmark.extra_info["gl_over_mcs"] = dict(zip(sorted(results), ratios))
+
+
+def test_ablate_gline_latency_and_depth(benchmark):
+    results = benchmark.pedantic(
+        lambda: ablate_gline.run(n_cores=16), rounds=1, iterations=1)
+    print()
+    print(ablate_gline.render(results))
+    # longer G-lines degrade gracefully (well under proportional slowdown)
+    assert results[(1, 2)] < results[(2, 2)] < results[(4, 2)]
+    assert results[(4, 2)] < 2 * results[(1, 2)]
+    # a 3-level tree costs little once the CS dominates
+    assert results[(1, 3)] < 1.25 * results[(1, 2)]
+    benchmark.extra_info["cycles_per_cs"] = {
+        f"lat{lat}_lvl{lvl}": v for (lat, lvl), v in results.items()
+    }
+
+
+def test_ablate_arbitration_fairness(benchmark):
+    results = benchmark.pedantic(
+        lambda: ablate_arbitration.run(n_cores=16), rounds=1, iterations=1)
+    print()
+    print(ablate_arbitration.render(results))
+    # the paper's round-robin is near-perfectly fair; the alternatives starve
+    assert results["round_robin"]["unfairness"] < 1.2
+    assert results["static"]["unfairness"] > 5
+    assert results["fifo"]["unfairness"] > 1.5
+    benchmark.extra_info["unfairness"] = {
+        p: r["unfairness"] for p, r in results.items()
+    }
+
+
+def test_ablate_glock_provisioning(benchmark):
+    results = benchmark.pedantic(
+        lambda: ablate_sharing.run(n_cores=16), rounds=1, iterations=1)
+    print()
+    print(ablate_sharing.render(results))
+    # more physical GLocks help independent hot locks; even one shared
+    # network should not lose to MCS on this workload
+    assert results["glock_x4"] < results["glock_x2"] < results["glock_x1"]
+    assert results["glock_x1"] <= results["mcs"] * 1.1
+    benchmark.extra_info["makespans"] = results
+
+
+def test_ablate_coherence_protocol(benchmark):
+    results = benchmark.pedantic(
+        lambda: ablate_coherence.run(n_cores=16, scale=0.25),
+        rounds=1, iterations=1)
+    print()
+    print(ablate_coherence.render(results))
+    # MSI hurts the private-data-heavy app, not the shared-counter micro...
+    assert results["ocean"]["msi_traffic_overhead"] > 1.05
+    assert abs(results["sctr"]["msi_traffic_overhead"] - 1.0) < 0.05
+    # ...and the GLocks advantage survives the protocol swap
+    for name in ("ocean", "sctr"):
+        assert abs(results[name]["gl_ratio_mesi"]
+                   - results[name]["gl_ratio_msi"]) < 0.1
+    benchmark.extra_info["results"] = results

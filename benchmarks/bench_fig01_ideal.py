@@ -1,0 +1,24 @@
+"""Figure 1 bench: Raytrace under TATAS / TATAS-1 / TATAS-2 / IDEAL.
+
+Regenerates the motivation figure: idealizing just the two highly-contended
+locks recovers essentially all of the fully-ideal configuration's benefit.
+"""
+
+from repro.experiments import common, fig01_ideal
+
+
+def test_fig01_ideal_locks(benchmark, repro_scale, repro_cores):
+    common.clear_cache()
+
+    def go():
+        return fig01_ideal.run(scale=repro_scale, n_cores=repro_cores)
+
+    results = benchmark.pedantic(go, rounds=1, iterations=1)
+    print()
+    print(fig01_ideal.render(results))
+    t = {cfg: results[cfg]["normalized_time"] for cfg in fig01_ideal.CONFIGS}
+    benchmark.extra_info["normalized_time"] = t
+    # paper shape: IDEAL << TATAS and TATAS-2 ~ IDEAL
+    assert t["IDEAL"] < t["TATAS"]
+    assert t["TATAS-2"] <= t["TATAS-1"] * 1.05 + 1e-9
+    assert abs(t["TATAS-2"] - t["IDEAL"]) < 0.15

@@ -1,0 +1,57 @@
+"""Figure 7 bench: locks' contention rate for all eight benchmarks.
+
+Regenerates the grAC/LCR analysis (and the measured columns of Table III:
+lock counts and which locks are highly contended).
+"""
+
+from repro.experiments import common, fig07_contention
+from repro.workloads.registry import WORKLOADS
+
+# Table III: expected (locks, highly-contended locks)
+TABLE_III = {
+    "sctr": (1, 1), "mctr": (1, 1), "dbll": (1, 1), "prco": (1, 1),
+    "actr": (2, 2), "raytr": (34, 2), "ocean": (3, 1), "qsort": (1, 1),
+}
+
+
+def test_fig07_contention(benchmark, repro_scale, repro_cores):
+    common.clear_cache()
+
+    def go():
+        return fig07_contention.run(scale=repro_scale, n_cores=repro_cores)
+
+    results = benchmark.pedantic(go, rounds=1, iterations=1)
+    print()
+    print(fig07_contention.render(results, high_grac=max(repro_cores // 2, 2)))
+    # micros (except ACTR) concentrate contention mass at high grAC; the
+    # barrier-spread ACTR and the coarse-grained apps sit lower
+    half = max(repro_cores // 2, 2)
+    sctr = results["sctr"]["SCTR-L1"].aggregate_rate(half)
+    actr = results["actr"]["ACTR-L1"].aggregate_rate(half)
+    raytr_quiet = results["raytr"]["RAYTR-LR"].aggregate_rate(half)
+    ocean_quiet = results["ocean"]["OCEAN-LR"].aggregate_rate(half)
+    assert sctr > 0.5
+    assert actr < sctr          # the barrier spreads ACTR's first lock
+    assert raytr_quiet < 0.1    # Raytrace's other 32 locks are quiet
+    assert ocean_quiet < 0.1    # Ocean's bookkeeping locks are quiet
+    benchmark.extra_info["high_grac_rates"] = {
+        "sctr": sctr, "actr": actr, "raytr_quiet": raytr_quiet,
+    }
+
+
+def test_table3_lock_inventory(benchmark):
+    """Table III's lock counts, from the workload definitions themselves."""
+    from repro import CMPConfig, Machine
+    from repro.workloads import make_workload
+
+    def go():
+        out = {}
+        for name in WORKLOADS:
+            machine = Machine(CMPConfig.baseline(4))
+            inst = make_workload(name, scale=0.02).instantiate(
+                machine, hc_kind="tatas")
+            out[name] = (inst.n_locks, inst.n_hc_locks)
+        return out
+
+    counts = benchmark.pedantic(go, rounds=1, iterations=1)
+    assert counts == TABLE_III

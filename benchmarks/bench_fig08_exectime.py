@@ -1,0 +1,30 @@
+"""Figure 8 bench: normalized execution time, GLocks vs MCS.
+
+Regenerates the headline result: GLocks beat MCS on every benchmark, with
+a much larger average reduction for the microbenchmarks (paper: −42%) than
+for the applications (paper: −14%).
+"""
+
+from repro.experiments import common, fig08_exectime
+
+
+def test_fig08_execution_time(benchmark, repro_scale, repro_cores):
+    common.clear_cache()
+
+    def go():
+        return fig08_exectime.run(scale=repro_scale, n_cores=repro_cores)
+
+    results = benchmark.pedantic(go, rounds=1, iterations=1)
+    print()
+    print(fig08_exectime.render(results))
+    ratios = results["ratios"]
+    avg = results["averages"]
+    benchmark.extra_info["ratios"] = ratios
+    benchmark.extra_info["averages"] = avg
+    # GLocks win everywhere
+    for name, ratio in ratios.items():
+        assert ratio < 1.0, f"{name}: GL {ratio:.2f} not faster than MCS"
+    # micros benefit much more than apps, and ACTR is the biggest micro win
+    assert avg["AvgM"] < avg["AvgA"]
+    micros = {n: ratios[n] for n in ("sctr", "mctr", "dbll", "prco", "actr")}
+    assert min(micros, key=micros.get) in ("actr", "mctr")

@@ -1,0 +1,34 @@
+"""Figure 9 bench: normalized network traffic, GLocks vs MCS.
+
+Regenerates the traffic result: GLocks remove all lock traffic from the
+main data network — near-total reduction for MCTR (paper: −99%), large for
+the other micros (paper average: −76%), small for Ocean (paper: −1%).
+"""
+
+from repro.experiments import common, fig09_traffic
+
+
+def test_fig09_network_traffic(benchmark, repro_scale, repro_cores):
+    common.clear_cache()
+
+    def go():
+        return fig09_traffic.run(scale=repro_scale, n_cores=repro_cores)
+
+    results = benchmark.pedantic(go, rounds=1, iterations=1)
+    print()
+    print(fig09_traffic.render(results))
+    ratios = results["ratios"]
+    avg = results["averages"]
+    benchmark.extra_info["ratios"] = ratios
+    benchmark.extra_info["averages"] = avg
+    # GLocks never increase traffic; MCTR reduction is near-total
+    for name, ratio in ratios.items():
+        assert ratio <= 1.0 + 1e-9, f"{name}: GL traffic higher than MCS"
+    assert ratios["mctr"] < 0.05
+    # micros lose far more traffic than apps, and the apps keep substantial
+    # residual (non-lock) traffic.  (Paper: Ocean keeps the most, 0.99; our
+    # Ocean proxy moves less non-lock data so its ratio sits with the other
+    # apps -- documented deviation #3 in EXPERIMENTS.md.)
+    assert avg["AvgM"] < avg["AvgA"]
+    for app in ("raytr", "ocean", "qsort"):
+        assert ratios[app] > 0.4

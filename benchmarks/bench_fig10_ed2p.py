@@ -1,0 +1,28 @@
+"""Figure 10 bench: normalized full-CMP ED²P, GLocks vs MCS.
+
+Regenerates the energy-efficiency result: big ED²P wins on the
+microbenchmarks (paper average: −78%), moderate on the applications
+(paper: −28%), with Ocean the smallest of the applications.
+"""
+
+from repro.experiments import common, fig10_ed2p
+
+
+def test_fig10_ed2p(benchmark, repro_scale, repro_cores):
+    common.clear_cache()
+
+    def go():
+        return fig10_ed2p.run(scale=repro_scale, n_cores=repro_cores)
+
+    results = benchmark.pedantic(go, rounds=1, iterations=1)
+    print()
+    print(fig10_ed2p.render(results))
+    bars = {name: kinds["GL"] for name, kinds in results["bars"].items()}
+    avg = results["averages"]
+    benchmark.extra_info["ed2p"] = bars
+    benchmark.extra_info["averages"] = avg
+    for name, value in bars.items():
+        assert value < 1.0, f"{name}: GL ED2P not better than MCS"
+    assert avg["AvgM"] < avg["AvgA"]
+    apps = {n: bars[n] for n in ("raytr", "ocean", "qsort")}
+    assert max(apps, key=apps.get) == "ocean"

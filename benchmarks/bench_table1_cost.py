@@ -1,0 +1,35 @@
+"""Table I bench: GLocks hardware cost and measured protocol latencies.
+
+Checks the closed forms against the constructed network and the 4/2/1-cycle
+acquire/release latencies against the simulated FSMs, for every CMP size
+the paper's mechanism supports at 2 levels.
+"""
+
+from repro.core import GLineNetwork, cost_model
+from repro.experiments import table1_cost
+from repro.sim.config import CMPConfig
+from repro.sim.kernel import Simulator
+from repro.sim.stats import CounterSet
+
+
+def test_table1_cost(benchmark):
+    def go():
+        out = {}
+        for n in (4, 9, 16, 25, 32, 36, 49):
+            cfg = CMPConfig.baseline(n)
+            cost = cost_model(cfg)
+            net = GLineNetwork(Simulator(), cfg, CounterSet())
+            assert net.n_glines == cost.g_lines == n - 1
+            out[n] = cost
+        out["measured"] = table1_cost.measure_latencies(49)
+        return out
+
+    results = benchmark.pedantic(go, rounds=1, iterations=1)
+    print()
+    print(table1_cost.render({"cost": results[49],
+                              "measured": results["measured"]}))
+    measured = results["measured"]
+    assert measured["acquire_worst"] == 4
+    assert measured["acquire_best"] == 2
+    assert measured["release"] == 1
+    benchmark.extra_info["measured_latencies"] = measured

@@ -1,0 +1,26 @@
+"""Shared configuration for the paper-reproduction benchmark suite.
+
+Each bench regenerates one table or figure.  ``--repro-scale`` (default 1.0 —
+the Table III inputs; the whole suite finishes in a couple of minutes)
+matches the full paper-scale runs recorded in EXPERIMENTS.md; pass a
+smaller value for quick smoke runs.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption("--repro-scale", type=float, default=1.0,
+                     help="input-size scale factor (1.0 = Table III)")
+    parser.addoption("--repro-cores", type=int, default=32,
+                     help="simulated core count (paper: 32)")
+
+
+@pytest.fixture(scope="session")
+def repro_scale(request):
+    return request.config.getoption("--repro-scale")
+
+
+@pytest.fixture(scope="session")
+def repro_cores(request):
+    return request.config.getoption("--repro-cores")

@@ -1,0 +1,65 @@
+"""Locking-granularity study: does GLocks change how you should lock?
+
+A bank of 16 counters is protected by 1, 4 or 16 locks (coarse -> fine).
+With software locks, finer granularity is the classic fix for contention —
+you pay more lock instances to get parallelism.  With GLocks the *single*
+coarse lock is already nearly free per handoff, but it still serializes the
+critical sections; meanwhile the chip only has a couple of G-line networks,
+so fine granularity must fall back to software locks for most banks.
+
+The study prints makespans for each (granularity, lock kind) pair,
+illustrating the design question the paper's provisioning decision raises.
+
+Run: ``python examples/granularity_study.py``
+"""
+
+from repro import CMPConfig, Machine
+from repro.analysis.report import format_table
+
+N_CORES = 16
+N_BANKS = 16
+ITERS = 30
+
+
+def run_config(n_locks: int, kind: str):
+    machine = Machine(CMPConfig.baseline(N_CORES), allow_glock_sharing=True)
+    locks = [machine.make_lock(kind, name=f"bank{i}") for i in range(n_locks)]
+    banks = machine.mem.address_space.alloc_words_padded(N_BANKS)
+
+    def make_program(core):
+        def program(ctx):
+            for i in range(ITERS):
+                bank = (core * 7 + i * 3) % N_BANKS  # scattered bank access
+                lock = locks[bank % n_locks]
+                yield from ctx.acquire(lock)
+                yield from ctx.rmw(banks[bank], lambda v: v + 1)
+                yield from ctx.release(lock)
+                yield from ctx.compute(25)
+        return program
+
+    result = machine.run([make_program(c) for c in range(N_CORES)])
+    total = sum(machine.mem.backing.read(b) for b in banks)
+    assert total == N_CORES * ITERS
+    return result.makespan
+
+
+def main():
+    rows = []
+    for n_locks in (1, 4, 16):
+        row = [f"{n_locks} lock(s)"]
+        for kind in ("mcs", "glock"):
+            row.append(run_config(n_locks, kind))
+        rows.append(row)
+    print(format_table(
+        ["granularity", "MCS makespan", "GLocks makespan"], rows,
+        title=f"Locking granularity: {N_BANKS} counter banks, "
+              f"{N_CORES} cores (GLocks share 2 physical networks)"))
+    print("\nMCS needs fine granularity to scale; a single GLock already "
+          "closes most of the\ngap, and with 16 program locks multiplexed "
+          "onto 2 G-line networks the hardware\nbudget, not the algorithm, "
+          "becomes the limit — the provisioning question the\npaper's "
+          "future work raises.")
+
+
+if __name__ == "__main__":
+    main()

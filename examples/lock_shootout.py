@@ -1,0 +1,57 @@
+"""Lock shootout: every lock algorithm under rising contention.
+
+Runs the single-counter workload with each lock kind at 2, 8 and 32 cores
+and prints cycles-per-critical-section and total NoC traffic — the Section
+II story in one table: simple algorithms degrade with contention, queue
+locks stay flat but pay a constant overhead, GLocks stay flat *and* cheap.
+
+Run: ``python examples/lock_shootout.py``
+"""
+
+from repro import CMPConfig, Machine
+from repro.analysis.report import format_table
+from repro.locks import LOCK_KINDS
+
+CORE_COUNTS = (2, 8, 32)
+ITERS_TOTAL = 320
+
+
+def measure(kind: str, n_cores: int):
+    machine = Machine(CMPConfig.baseline(n_cores))
+    lock = machine.make_lock(kind)
+    counter = machine.mem.address_space.alloc_line()
+    per_thread = ITERS_TOTAL // n_cores
+
+    def program(ctx):
+        for _ in range(per_thread):
+            yield from ctx.acquire(lock)
+            value = yield from ctx.load(counter)
+            yield from ctx.store(counter, value + 1)
+            yield from ctx.release(lock)
+
+    result = machine.run([program] * n_cores)
+    assert machine.mem.backing.read(counter) == per_thread * n_cores
+    n_cs = per_thread * n_cores
+    return result.makespan / n_cs, result.total_traffic / n_cs
+
+
+def main():
+    rows = []
+    for kind in LOCK_KINDS:
+        cells = [kind]
+        for n in CORE_COUNTS:
+            cyc, traffic = measure(kind, n)
+            cells.append(f"{cyc:7.1f} / {traffic:6.0f}")
+        rows.append(cells)
+    headers = ["lock"] + [f"{n} cores (cyc/CS / B/CS)" for n in CORE_COUNTS]
+    print(format_table(headers, rows,
+                       title="Lock shootout: cycles and switch-bytes per "
+                             "critical section"))
+    print("\nReading guide: spin locks explode with cores; queue locks stay "
+          "flatter but pay a\nconstant handoff; GLocks track the "
+          "physically-impossible ideal lock almost\nexactly — the bytes left "
+          "on their row are the shared counter itself, not the lock.")
+
+
+if __name__ == "__main__":
+    main()

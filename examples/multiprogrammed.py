@@ -1,0 +1,61 @@
+"""Multiprogrammed GLock sharing — the paper's second future-work item.
+
+Two independent "applications" time-share one chip: app A (cores 0-7) runs
+an SCTR-style hot loop in two phases with different locks, app B (cores
+8-15) runs a producer/consumer pair.  Four program-level locks compete for
+the chip's two physical GLock networks through the dynamic virtualization
+manager: locks bind on first use, idle networks are stolen when an app
+changes phase, and when everything is hot the loser degrades to its TATAS
+fallback instead of blocking.
+
+Run: ``python examples/multiprogrammed.py``
+"""
+
+from repro import CMPConfig, Machine
+from repro.core import DynamicGLockManager
+
+
+def main():
+    machine = Machine(CMPConfig.baseline(16))  # 2 physical GLocks
+    manager = DynamicGLockManager(machine.glocks, machine.mem)
+    mem = machine.mem
+
+    lock_a1 = manager.make_lock("appA-phase1")
+    lock_a2 = manager.make_lock("appA-phase2")
+    lock_b = manager.make_lock("appB-queue")
+    counters = {lk.name: mem.address_space.alloc_line()
+                for lk in (lock_a1, lock_a2, lock_b)}
+
+    def app_a(ctx):
+        # phase 1: hammer lock_a1; phase 2: switch to lock_a2 (lock_a1 goes
+        # quiet and its network becomes stealable)
+        for lock in (lock_a1, lock_a2):
+            for _ in range(20):
+                yield from ctx.acquire(lock)
+                yield from ctx.rmw(counters[lock.name], lambda v: v + 1)
+                yield from ctx.release(lock)
+                yield from ctx.compute(40)
+
+    def app_b(ctx):
+        for _ in range(40):
+            yield from ctx.acquire(lock_b)
+            yield from ctx.rmw(counters[lock_b.name], lambda v: v + 1)
+            yield from ctx.release(lock_b)
+            yield from ctx.compute(40)
+
+    programs = [app_a] * 8 + [app_b] * 8
+    result = machine.run(programs)
+
+    for name, addr in counters.items():
+        print(f"{name:13} critical sections: {mem.backing.read(addr)}")
+    print(f"\nmakespan: {result.makespan} cycles")
+    print(f"binding events: {manager.binds} binds, {manager.steals} steals, "
+          f"{manager.fallbacks} fallback acquisitions")
+    print("\nthe phase change let appA's second lock steal the network its "
+          "first lock\nwent quiet on — no reprovisioning, no correctness "
+          "risk, graceful fallback\nwhen demand exceeds the two physical "
+          "networks.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Power over time: watch a lock storm on the power rail.
+
+Runs the ACTR pattern (lock phase / barrier / lock phase) under MCS and
+under GLocks with a power sampler attached, then prints an ASCII power
+timeline.  Under MCS every lock phase lights up the NoC and the L1s
+(invalidation storms + queue spinning); under GLocks the same phases sip
+sub-picojoule G-line signals.
+
+Run: ``python examples/power_phases.py``
+"""
+
+from repro import CMPConfig, Machine
+from repro.energy import PowerSampler
+from repro.workloads import make_workload
+
+N_CORES = 16
+WINDOW = 3000
+BAR = " .:-=+*#%@"
+
+
+def run_sampled(kind):
+    machine = Machine(CMPConfig.baseline(N_CORES))
+    inst = make_workload("actr", scale=0.25).instantiate(machine, hc_kind=kind)
+    sampler = PowerSampler(machine, window=WINDOW)
+    sampler.attach()
+    result = machine.run(inst.programs)
+    inst.validate(machine)
+    return sampler.power_series(), result
+
+
+def render(series, peak):
+    cells = []
+    for sample in series:
+        level = min(int(9 * sample.watts / peak), 9)
+        cells.append(BAR[level])
+    return "".join(cells)
+
+
+def main():
+    series = {}
+    for kind in ("mcs", "glock"):
+        series[kind], result = run_sampled(kind)
+        avg = sum(s.watts for s in series[kind]) / len(series[kind])
+        print(f"[{kind:5}] {len(series[kind])} windows of {WINDOW} cycles, "
+              f"avg power {avg:.3f} W, makespan {result.makespan}")
+    peak = max(s.watts for ser in series.values() for s in ser)
+    print(f"\npower timeline ({WINDOW}-cycle windows, peak = {peak:.3f} W):")
+    for kind in ("mcs", "glock"):
+        print(f"  {kind:5} |{render(series[kind], peak)}|")
+    print("\nsame program, same phases — the MCS bar runs hotter and longer "
+          "because every\nlock phase is a coherence storm; the GLocks run "
+          "ends sooner at lower draw.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Protocol trace: watch the paper's Figure 4 choreography, live.
+
+Attaches a tracer to a 9-core CMP (the paper's running example) and makes
+all nine cores request one GLock in the same cycle, then prints every
+G-line signal and lock event — REQ waves at cycle 1/2, the first TOKEN at
+cycle 4, 2-cycle intra-row handoffs, and the REL/TOKEN hops through the
+primary between rows.  For contrast, the same scenario under MCS prints
+the coherence-message storm the GLock network replaces.
+
+Run: ``python examples/protocol_trace.py``
+"""
+
+from repro import CMPConfig, Machine
+from repro.sim import Tracer
+
+
+def run_traced(lock_kind: str, categories):
+    machine = Machine(CMPConfig.baseline(9))
+    tracer = Tracer(categories=categories)
+    machine.sim.tracer = tracer
+    lock = machine.make_lock(lock_kind)
+
+    def program(ctx):
+        yield from ctx.acquire(lock)
+        yield from ctx.compute(10)  # a short critical section
+        yield from ctx.release(lock)
+
+    machine.run([program] * 9)
+    return tracer
+
+
+def main():
+    print("=== GLocks: all 9 cores request at cycle 0 (paper Figure 4) ===")
+    tracer = run_traced("glock", categories=("gline", "lock"))
+    print(tracer.render(limit=60))
+    grants = [e for e in tracer.events("lock") if "granted" in e.description]
+    releases = [e for e in tracer.events("lock") if "release" in e.description]
+    handoff = grants[1].time - releases[0].time
+    print(f"\n{len(grants)} grants; first at cycle {grants[0].time} "
+          f"(paper Fig. 4: cycle 4); intra-row handoff = {handoff} cycles "
+          "from release to next grant (paper: REL + TOKEN, 2 cycles)\n")
+
+    print("=== same scenario under MCS: the coherence storm ===")
+    tracer = run_traced("mcs", categories=("noc",))
+    msgs = tracer.events("noc")
+    print(f"{len(msgs)} protocol messages on the main data network "
+          "(GLocks sent zero). First 15:")
+    print(tracer.render(limit=15))
+
+
+if __name__ == "__main__":
+    main()

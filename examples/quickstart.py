@@ -1,0 +1,61 @@
+"""Quickstart: simulate a 16-core CMP where all cores hammer one counter.
+
+Builds the machine, creates one hardware GLock and one MCS lock, runs the
+same program under both, and prints execution time, traffic and energy —
+a two-minute tour of the library's public API.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro import CMPConfig, Machine
+from repro.energy import account_run, ed2p
+
+
+def make_program(lock, counter, iterations):
+    def program(ctx):
+        for _ in range(iterations):
+            yield from ctx.acquire(lock)
+            value = yield from ctx.load(counter)
+            yield from ctx.store(counter, value + 1)
+            yield from ctx.release(lock)
+            yield from ctx.compute(50)  # non-critical work
+
+    return program
+
+
+def run_once(lock_kind: str, n_cores: int = 16, iterations: int = 40):
+    machine = Machine(CMPConfig.baseline(n_cores))
+    lock = machine.make_lock(lock_kind, name=f"{lock_kind}-demo")
+    counter = machine.mem.address_space.alloc_line()
+    program = make_program(lock, counter, iterations)
+    result = machine.run([program] * n_cores)
+    expected = n_cores * iterations
+    got = machine.mem.backing.read(counter)
+    assert got == expected, f"lost updates: {got} != {expected}"
+    energy = account_run(result)
+    return result, energy
+
+
+def main():
+    print("GLocks quickstart: 16 cores incrementing one shared counter\n")
+    baseline = None
+    for kind in ("mcs", "glock"):
+        result, energy = run_once(kind)
+        metric = ed2p(energy, result.makespan)
+        if baseline is None:
+            baseline = (result, metric)
+        norm_t = result.makespan / baseline[0].makespan
+        norm_e = metric / baseline[1]
+        print(f"[{kind:5}] makespan = {result.makespan:8d} cycles "
+              f"(x{norm_t:.2f} vs MCS)")
+        print(f"        lock time   = {result.category_fractions()['lock']:.0%}")
+        print(f"        NoC traffic = {result.total_traffic:8d} switch-bytes")
+        print(f"        full-chip ED2P = {metric:.3e} pJ*cyc^2 "
+              f"(x{norm_e:.2f} vs MCS)")
+        print()
+    print("GLocks: same program, same data — the lock just stopped costing "
+          "coherence traffic.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Thin setup.py shim.
+
+All metadata lives in pyproject.toml; this file exists so that
+``pip install -e . --no-use-pep517`` works in offline environments that lack
+the ``wheel`` package (PEP 660 editable installs need it).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,44 @@
+"""repro — reproduction of *GLocks: Efficient Support for Highly-Contended
+Locks in Many-Core CMPs* (Abellán, Fernández, Acacio; IPDPS 2011).
+
+A cycle-level many-core CMP simulator in pure Python: MESI directory
+coherence over a 2D-mesh NoC, in-order cores driving generator-based thread
+programs, a complete software lock library (test&set, TATAS, back-off,
+ticket, Anderson, MCS, ideal) — and the paper's contribution, GLocks: a
+dedicated G-line token network providing 2-4-cycle, traffic-free,
+round-robin-fair locks.
+
+Quick start::
+
+    from repro import Machine, CMPConfig
+
+    m = Machine(CMPConfig.baseline(32))
+    lock = m.make_lock("glock")
+    counter = m.mem.address_space.alloc_line()
+
+    def program(ctx):
+        for _ in range(100):
+            yield from ctx.acquire(lock)
+            yield from ctx.rmw(counter, lambda v: v + 1)
+            yield from ctx.release(lock)
+
+    result = m.run([program] * 32)
+
+See ``examples/`` for full scenarios and ``benchmarks/`` for the harnesses
+that regenerate every table and figure of the paper.
+"""
+
+from repro.machine import Machine, RunResult
+from repro.sim.config import CacheConfig, CMPConfig, GLineConfig, NoCConfig
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Machine",
+    "RunResult",
+    "CMPConfig",
+    "CacheConfig",
+    "GLineConfig",
+    "NoCConfig",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""Post-mortem analysis: lock contention rates, time breakdowns, reports.
+
+Implements the paper's measurement methodology — the grAC/LCR contention
+analysis of Section IV-B (Equations 1-3, Figure 7), the Figure 8 category
+breakdown, and plain-text table/series rendering used by the experiment
+harnesses.
+"""
+
+from repro.analysis.contention import LockContention, analyze_contention, benchmark_licr
+from repro.analysis.breakdown import normalized_breakdown
+from repro.analysis.report import format_series, format_table
+
+__all__ = [
+    "LockContention",
+    "analyze_contention",
+    "benchmark_licr",
+    "normalized_breakdown",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,36 @@
+"""Execution-time breakdowns for the Figure 8 stacked bars.
+
+The paper plots, per benchmark and lock implementation, execution time
+normalized to the MCS configuration, split into Busy / Memory / Lock /
+Barrier.  :func:`normalized_breakdown` converts two runs into exactly those
+stacked-bar heights.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.cpu.core import CATEGORIES
+from repro.machine import RunResult
+
+__all__ = ["normalized_breakdown"]
+
+
+def normalized_breakdown(run: RunResult, baseline: RunResult) -> Dict[str, float]:
+    """Category heights of ``run``'s bar, normalized to ``baseline``'s total.
+
+    The baseline's own bar (``normalized_breakdown(b, b)``) sums to 1; a
+    faster run sums to its execution-time ratio.  Category shares within a
+    bar follow the per-core cycle accounts (averaged across cores), scaled
+    to the run's makespan.
+    """
+    if baseline.makespan <= 0:
+        raise ValueError("baseline makespan must be positive")
+    own_total = sum(run.cycles_by_category.values())
+    ratio = run.makespan / baseline.makespan
+    if own_total == 0:
+        return {c: 0.0 for c in CATEGORIES}
+    return {
+        c: ratio * run.cycles_by_category[c] / own_total
+        for c in CATEGORIES
+    }

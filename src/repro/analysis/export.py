@@ -1,0 +1,53 @@
+"""CSV export of experiment results.
+
+Every figure harness returns plain dicts; these helpers flatten them into
+CSV files so downstream plotting (matplotlib, gnuplot, spreadsheets) can
+regenerate the paper's figures without re-running simulations.
+``scripts/record_experiments.py --csv-dir out/`` writes one file per
+figure/table.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = ["write_csv", "export_bars", "export_series"]
+
+
+def write_csv(path: str, headers: Sequence[str],
+              rows: Iterable[Sequence[object]]) -> int:
+    """Write rows to ``path``; returns the number of data rows written."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    count = 0
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow(row)
+            count += 1
+    return count
+
+
+def export_bars(path: str, bars: Dict[str, Dict[str, Dict[str, float]]]) -> int:
+    """Flatten Figure 8/9-style nested bars: benchmark x variant x segment."""
+    segments: List[str] = []
+    for by_variant in bars.values():
+        for seg_map in by_variant.values():
+            for seg in seg_map:
+                if seg not in segments:
+                    segments.append(seg)
+    rows = []
+    for benchmark, by_variant in bars.items():
+        for variant, seg_map in by_variant.items():
+            rows.append([benchmark, variant]
+                        + [seg_map.get(seg, 0.0) for seg in segments])
+    return write_csv(path, ["benchmark", "variant"] + segments, rows)
+
+
+def export_series(path: str, series: Dict[object, float],
+                  key_name: str = "key", value_name: str = "value") -> int:
+    """Export a flat {key: value} mapping."""
+    rows = [[k, v] for k, v in series.items()]
+    return write_csv(path, [key_name, value_name], rows)

@@ -1,0 +1,96 @@
+"""The paper's published numbers, as data.
+
+Every quantitative claim the evaluation section makes, transcribed for
+programmatic comparison: `compare_to_paper` lines a measured digest up
+against these references and reports per-entry deviations, which is how
+EXPERIMENTS.md's tables are kept honest.
+
+Figure-derived values (Figures 8-10 bar heights) are read off the paper's
+text where quoted exactly ("reductions of 33%, 39%, 34%, 25%..."), so they
+are ratios vs the MCS baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+__all__ = [
+    "PAPER_FIG8_TIME_RATIO", "PAPER_FIG9_TRAFFIC_RATIO",
+    "PAPER_FIG10_ED2P_RATIO", "PAPER_TABLE4_SPEEDUPS",
+    "PAPER_TABLE1_LATENCIES", "PAPER_AVERAGES",
+    "Deviation", "compare_to_paper",
+]
+
+#: Figure 8 — GL execution time normalized to MCS (1 - quoted reduction)
+PAPER_FIG8_TIME_RATIO: Dict[str, float] = {
+    "sctr": 0.67, "mctr": 0.61, "dbll": 0.66, "prco": 0.75, "actr": 0.19,
+}
+
+#: Figure 9 — GL network traffic normalized to MCS
+PAPER_FIG9_TRAFFIC_RATIO: Dict[str, float] = {
+    "sctr": 0.19, "mctr": 0.01, "dbll": 0.28, "prco": 0.54, "actr": 0.20,
+    "raytr": 0.77, "ocean": 0.99, "qsort": 0.55,
+}
+
+#: Figure 10 — GL full-CMP ED2P normalized to MCS
+PAPER_FIG10_ED2P_RATIO: Dict[str, float] = {
+    "sctr": 0.28, "mctr": 0.17, "dbll": 0.25, "prco": 0.35, "actr": 0.04,
+    "raytr": 0.50, "ocean": 0.90, "qsort": 0.75,
+}
+
+#: Table IV — application speedups; (app, version) -> {cores: speedup}
+PAPER_TABLE4_SPEEDUPS: Dict[tuple, Dict[int, float]] = {
+    ("raytr", "MCS"): {4: 3.91, 8: 7.53, 16: 13.61, 32: 20.69},
+    ("raytr", "GL"): {4: 3.93, 8: 7.97, 16: 15.67, 32: 28.78},
+    ("ocean", "MCS"): {4: 3.70, 8: 7.12, 16: 13.48, 32: 23.62},
+    ("ocean", "GL"): {4: 3.80, 8: 7.32, 16: 13.93, 32: 25.66},
+    ("qsort", "MCS"): {4: 3.67, 8: 6.49, 16: 9.68, 32: 11.38},
+    ("qsort", "GL"): {4: 3.69, 8: 6.55, 16: 9.92, 32: 12.40},
+}
+
+#: Table I — protocol latencies in cycles
+PAPER_TABLE1_LATENCIES: Dict[str, int] = {
+    "acquire_worst": 4, "acquire_best": 2, "release": 1,
+}
+
+#: headline averages (reductions -> GL/MCS ratios)
+PAPER_AVERAGES: Dict[str, float] = {
+    "fig8_avgm": 0.58, "fig8_avga": 0.86,
+    "fig9_avgm": 0.24, "fig9_avga": 0.77,
+    "fig10_avgm": 0.22, "fig10_avga": 0.72,
+}
+
+
+@dataclass(frozen=True)
+class Deviation:
+    """One paper-vs-measured comparison row."""
+
+    key: str
+    paper: float
+    measured: float
+
+    @property
+    def absolute(self) -> float:
+        return self.measured - self.paper
+
+    @property
+    def relative(self) -> Optional[float]:
+        return self.absolute / self.paper if self.paper else None
+
+    @property
+    def same_direction(self) -> bool:
+        """True when both sides agree GLocks win (ratio < 1) or not."""
+        return (self.paper < 1.0) == (self.measured < 1.0)
+
+
+def compare_to_paper(measured: Mapping[str, float],
+                     reference: Mapping[str, float],
+                     prefix: str = "") -> List[Deviation]:
+    """Pair measured values with paper references (shared keys only)."""
+    rows = []
+    for key, paper_value in reference.items():
+        if key in measured:
+            rows.append(Deviation(f"{prefix}{key}", float(paper_value),
+                                  float(measured[key])))
+    return rows

@@ -1,0 +1,173 @@
+"""Command-line interface.
+
+::
+
+    repro-sim config [--cores N]             # print the Table II chip
+    repro-sim cost [--cores N] [--levels L]  # Table I for that chip
+    repro-sim run --workload sctr --lock glock [--cores N] [--scale S]
+    repro-sim experiment fig08 [--scale S] [--cores N]
+    repro-sim shootout [--cores N] [--iters I]
+
+(also runnable as ``python -m repro.cli ...``)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import format_table
+from repro.energy import account_run, ed2p
+from repro.machine import Machine
+from repro.sim.config import CMPConfig
+from repro.workloads import WORKLOADS, make_workload
+
+__all__ = ["main", "build_parser"]
+
+EXPERIMENTS = {
+    "fig01": "repro.experiments.fig01_ideal",
+    "fig07": "repro.experiments.fig07_contention",
+    "fig08": "repro.experiments.fig08_exectime",
+    "fig09": "repro.experiments.fig09_traffic",
+    "fig10": "repro.experiments.fig10_ed2p",
+    "table1": "repro.experiments.table1_cost",
+    "table4": "repro.experiments.table4_speedup",
+    "ablate-cs": "repro.experiments.ablate_cs_length",
+    "ablate-gline": "repro.experiments.ablate_gline",
+    "ablate-arbitration": "repro.experiments.ablate_arbitration",
+    "ablate-sharing": "repro.experiments.ablate_sharing",
+    "ablate-coherence": "repro.experiments.ablate_coherence",
+    "validate": "repro.experiments.validate",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="GLocks reproduction: cycle-level many-core CMP simulator",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("config", help="print the chip configuration")
+    p.add_argument("--cores", type=int, default=32)
+
+    p = sub.add_parser("cost", help="Table I GLocks cost model")
+    p.add_argument("--cores", type=int, default=49)
+    p.add_argument("--levels", type=int, default=2, choices=(2, 3))
+
+    p = sub.add_parser("run", help="run one benchmark once")
+    p.add_argument("--workload", required=True, choices=WORKLOADS)
+    p.add_argument("--lock", default="mcs",
+                   help="lock kind for the highly-contended locks")
+    p.add_argument("--other-lock", default="tatas")
+    p.add_argument("--cores", type=int, default=32)
+    p.add_argument("--scale", type=float, default=1.0)
+
+    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p.add_argument("name", choices=sorted(EXPERIMENTS))
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--cores", type=int, default=32)
+
+    p = sub.add_parser("shootout", help="compare all lock kinds quickly")
+    p.add_argument("--cores", type=int, default=8)
+    p.add_argument("--iters", type=int, default=160)
+
+    return parser
+
+
+def _cmd_config(args) -> int:
+    print(CMPConfig.baseline(args.cores).describe())
+    return 0
+
+
+def _cmd_cost(args) -> int:
+    from repro.experiments import table1_cost
+    from repro.core import cost_model
+
+    cost = cost_model(CMPConfig.baseline(args.cores), levels=args.levels)
+    rows = [[label, value] for label, value in cost.rows()]
+    print(format_table(["resource / latency", "value"], rows,
+                       title=f"Table I ({args.cores} cores, "
+                             f"{args.levels}-level network)"))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    machine = Machine(CMPConfig.baseline(args.cores))
+    workload = make_workload(args.workload, scale=args.scale)
+    instance = workload.instantiate(machine, hc_kind=args.lock,
+                                    other_kind=args.other_lock)
+    result = machine.run(instance.programs)
+    instance.validate(machine)
+    energy = account_run(result)
+    fractions = result.category_fractions()
+    print(f"workload   : {args.workload} (scale {args.scale}) on "
+          f"{args.cores} cores, HC locks = {args.lock}")
+    print(f"makespan   : {result.makespan} cycles")
+    print("breakdown  : " + "  ".join(
+        f"{cat}={fractions[cat]:.1%}" for cat in fractions))
+    print(f"NoC traffic: {result.total_traffic} switch-bytes "
+          f"({result.traffic})")
+    print(f"energy     : {energy.total_pj / 1e6:.2f} uJ; "
+          f"ED2P = {ed2p(energy, result.makespan):.3e} pJ*cyc^2")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    import importlib
+
+    module = importlib.import_module(EXPERIMENTS[args.name])
+    kwargs = {}
+    import inspect
+
+    signature = inspect.signature(module.run)
+    if "scale" in signature.parameters:
+        kwargs["scale"] = args.scale
+    if "n_cores" in signature.parameters:
+        kwargs["n_cores"] = args.cores
+    print(module.render(module.run(**kwargs)))
+    return 0
+
+
+def _cmd_shootout(args) -> int:
+    from repro.locks import LOCK_KINDS
+
+    rows = []
+    for kind in LOCK_KINDS:
+        machine = Machine(CMPConfig.baseline(args.cores))
+        lock = machine.make_lock(kind)
+        counter = machine.mem.address_space.alloc_line()
+        per_thread = args.iters // args.cores
+
+        def prog(ctx, lock=lock, counter=counter, per_thread=per_thread):
+            for _ in range(per_thread):
+                yield from ctx.acquire(lock)
+                value = yield from ctx.load(counter)
+                yield from ctx.store(counter, value + 1)
+                yield from ctx.release(lock)
+
+        result = machine.run([prog] * args.cores)
+        n_cs = per_thread * args.cores
+        rows.append([kind, result.makespan / n_cs,
+                     result.total_traffic / n_cs])
+    print(format_table(
+        ["lock", "cycles/CS", "switch-bytes/CS"], rows,
+        title=f"Lock shootout ({args.cores} cores)"))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "config": _cmd_config,
+        "cost": _cmd_cost,
+        "run": _cmd_run,
+        "experiment": _cmd_experiment,
+        "shootout": _cmd_shootout,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""GLocks: the paper's hardware token-lock mechanism (Section III).
+
+A dedicated network of G-lines (single-cycle 1-bit broadcast wires) carries
+``REQ`` / ``REL`` / ``TOKEN`` signals between per-core local controllers,
+per-row secondary lock managers and one primary lock manager.  Round-robin
+arbitration at both levels yields a completely fair lock with a 2-4 cycle
+acquire and 1-cycle release, entirely decoupled from the memory hierarchy.
+
+Modules:
+
+- :mod:`repro.core.gline` — the 1-bit single-cycle wire model;
+- :mod:`repro.core.controllers` — the token-manager FSM (one class covers
+  both primary and secondary managers, per Figure 6);
+- :mod:`repro.core.network` — builds the manager tree for a mesh (2-level
+  for <=49 cores; deeper trees implement the paper's future-work
+  hierarchical extension);
+- :mod:`repro.core.glock` — the per-lock device with the ``lock_req`` /
+  ``lock_rel`` register interface of Figure 5;
+- :mod:`repro.core.cost` — the analytical Table I cost model;
+- :mod:`repro.core.virtual` — dynamic lock-to-network virtualization (the
+  conclusions' future-work item for multiprogrammed workloads).
+"""
+
+from repro.core.cost import GLockCost, cost_model
+from repro.core.gline import GLine
+from repro.core.glock import GLockDevice, GLockPool
+from repro.core.network import GLineNetwork
+from repro.core.virtual import DynamicGLockManager, VirtualGLock
+
+__all__ = ["GLine", "GLineNetwork", "GLockDevice", "GLockPool", "GLockCost",
+           "cost_model", "DynamicGLockManager", "VirtualGLock"]

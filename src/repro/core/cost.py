@@ -1,0 +1,99 @@
+"""Analytical cost model — the paper's Table I.
+
+For a 2D-mesh CMP with ``C`` cores (square mesh of side ``sqrt(C)``), per
+supported lock:
+
+==========================  =============
+G-lines                     ``C - 1``
+Primary lock managers       1
+Secondary lock managers     ``sqrt(C)`` (one per row)
+Local controllers           ``C - 1``
+fSx flags                   ``sqrt(C)``
+fx flags                    ``C``
+Lock acquire (worst case)   4 cycles
+Lock acquire (best case)    2 cycles
+Lock release                1 cycle
+==========================  =============
+
+For non-square meshes the row structure generalizes: ``rows`` secondaries,
+``rows * (cols-1) + rows - 1 = C - 1`` G-lines (every tile populated).  The
+simulated network's resource counts are asserted against this model in the
+test suite, and the acquire/release latencies are *measured* from the
+simulated FSMs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.config import CMPConfig
+
+__all__ = ["GLockCost", "cost_model"]
+
+
+@dataclass(frozen=True)
+class GLockCost:
+    """Per-lock hardware/latency budget of the GLocks mechanism."""
+
+    n_cores: int
+    g_lines: int
+    primary_managers: int
+    secondary_managers: int
+    local_controllers: int
+    fsx_flags: int
+    fx_flags: int
+    acquire_worst_cycles: int
+    acquire_best_cycles: int
+    release_cycles: int
+
+    def rows(self) -> list:
+        """Table I rows as (label, value) pairs."""
+        return [
+            ("G-lines", self.g_lines),
+            ("Primary Lock Managers", self.primary_managers),
+            ("Secondary Lock Managers", self.secondary_managers),
+            ("Local controllers", self.local_controllers),
+            ("fSx Flags", self.fsx_flags),
+            ("fx Flags", self.fx_flags),
+            ("Lock Acquire (worst case)", f"{self.acquire_worst_cycles} cycles"),
+            ("Lock Acquire (best case)", f"{self.acquire_best_cycles} cycles"),
+            ("Lock Release", f"{self.release_cycles} cycles"),
+        ]
+
+
+def cost_model(config: CMPConfig, levels: int = 2) -> GLockCost:
+    """Table I costs for one GLock on ``config``'s mesh.
+
+    ``levels=3`` prices the hierarchical future-work variant: one extra
+    manager layer, two extra worst-case acquire cycles.
+    """
+    c = config.n_cores
+    rows = config.mesh_height if c > config.mesh_width else 1
+    # count populated rows (the last row may be partial)
+    populated_rows = -(-c // config.mesh_width)
+    secondaries = populated_rows
+    g_lines = c - 1
+    intermediates = 0
+    if levels == 3:
+        intermediates = -(-populated_rows // (config.gline.max_drops - 1))
+        # grouping rows adds one line per non-colocated secondary and
+        # intermediate, and removes nothing: still a tree of C-1+extra edges
+        g_lines = (c - populated_rows) + (populated_rows - intermediates) + (
+            intermediates - 1
+        )
+    latency = config.gline.gline_latency
+    worst = 2 * levels * latency
+    best = 2 * latency
+    del rows  # geometry note: only populated rows matter
+    return GLockCost(
+        n_cores=c,
+        g_lines=g_lines,
+        primary_managers=1,
+        secondary_managers=secondaries + intermediates,
+        local_controllers=c - 1,
+        fsx_flags=secondaries + intermediates,
+        fx_flags=c,
+        acquire_worst_cycles=worst,
+        acquire_best_cycles=best,
+        release_cycles=latency,
+    )

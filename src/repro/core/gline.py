@@ -1,0 +1,46 @@
+"""G-line wire model.
+
+A G-line transmits one bit across one dimension of the chip in a single
+clock cycle (Section II, citing capacitive feed-forward transmission-line
+work).  Here a :class:`GLine` connects one transmitter to one receiver
+callback; transmission costs ``latency`` cycles (1 by default — the paper's
+"longer latency G-lines" scalability path is modelled by raising it) and
+every signal is counted for the energy model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.sim.kernel import Simulator
+from repro.sim.stats import CounterSet
+
+__all__ = ["GLine"]
+
+
+class GLine:
+    """A dedicated 1-bit wire from one controller to another."""
+
+    __slots__ = ("sim", "latency", "counters", "name", "signals_sent")
+
+    def __init__(self, sim: Simulator, counters: CounterSet,
+                 latency: int = 1, name: str = "") -> None:
+        if latency < 1:
+            raise ValueError("G-line latency is at least one cycle")
+        self.sim = sim
+        self.latency = latency
+        self.counters = counters
+        self.name = name
+        self.signals_sent = 0
+
+    def transmit(self, receiver: Callable[..., None], *args: Any) -> None:
+        """Send a 1-bit signal: ``receiver(*args)`` runs ``latency`` cycles on."""
+        self.signals_sent += 1
+        self.counters.add("gline.signals")
+        if self.sim.tracer is not None:
+            self.sim.tracer.record(self.sim.now, "gline", self.name,
+                                   f"signal (arrives cycle {self.sim.now + self.latency})")
+        self.sim.schedule(self.latency, receiver, *args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"GLine({self.name!r}, latency={self.latency})"

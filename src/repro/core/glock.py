@@ -1,0 +1,115 @@
+"""The GLock device: lock_req / lock_rel register interface (Figure 5).
+
+``GL_Lock`` is two instructions: a 1-cycle store to the per-core
+``lock_req`` register followed by a local busy-wait on that register (no L1
+accesses, no network traffic); the local controller raises ``REQ`` on its
+G-line and resets ``lock_req`` when ``TOKEN`` arrives.  ``GL_Unlock`` is a
+single 1-cycle store to ``lock_rel``.
+
+:class:`GLockPool` models the chip's fixed hardware budget (two GLocks in
+the paper's evaluation) and the future-work *virtualization* mode in which
+more program locks than physical networks are statically multiplexed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.network import GLineNetwork
+from repro.sim.config import CMPConfig
+from repro.sim.kernel import Simulator
+from repro.sim.stats import CounterSet
+
+__all__ = ["GLockDevice", "GLockPool"]
+
+
+class GLockDevice:
+    """One hardware GLock (one dedicated G-line network)."""
+
+    def __init__(self, sim: Simulator, config: CMPConfig, counters: CounterSet,
+                 lock_id: int = 0, levels: int = 2,
+                 arbitration: str = "round_robin") -> None:
+        self.sim = sim
+        self.counters = counters
+        self.lock_id = lock_id
+        self.network = GLineNetwork(sim, config, counters, lock_id, levels,
+                                    arbitration)
+        self._holder: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # the GL_Lock / GL_Unlock primitives
+    # ------------------------------------------------------------------ #
+    def acquire(self, core_id: int):
+        """Coroutine: ``GL_Lock`` — returns once TOKEN is granted."""
+        token = self.sim.signal(f"glock{self.lock_id}-token-{core_id}")
+        # "mov 1, lock_req": the store and the REQ signal overlap in the
+        # same cycle (Figure 4 labels REQ as cycle 1 after a cycle-0 try)
+        self.network.request(core_id, token.fire)
+        self.counters.add("glock.acquires")
+        yield token  # the bnz spin on lock_req, locally in the core
+        if self._holder is not None:
+            raise RuntimeError(
+                f"GLock {self.lock_id}: token granted to {core_id} while "
+                f"held by {self._holder}"
+            )
+        self._holder = core_id
+
+    def release(self, core_id: int):
+        """Coroutine: ``GL_Unlock`` — a single 1-cycle register store."""
+        if self._holder != core_id:
+            raise RuntimeError(
+                f"GLock {self.lock_id}: core {core_id} released a lock held "
+                f"by {self._holder}"
+            )
+        self._holder = None
+        self.network.release(core_id)
+        self.counters.add("glock.releases")
+        yield 1  # "mov 1, lock_rel"
+
+    @property
+    def holder(self) -> Optional[int]:
+        """Core currently holding this GLock (None if free)."""
+        return self._holder
+
+
+class GLockPool:
+    """The chip's fixed set of hardware GLocks.
+
+    ``assign`` hands out physical devices to program-level locks.  With
+    ``allow_sharing=False`` (the paper's static provisioning) exhausting the
+    pool is an error; with ``allow_sharing=True`` further locks are
+    multiplexed round-robin onto existing devices — the future-work mode for
+    multiprogrammed workloads.  Sharing is safe (one token per network) but
+    serializes the sharers' critical sections.
+    """
+
+    def __init__(self, sim: Simulator, config: CMPConfig, counters: CounterSet,
+                 levels: int = 2, allow_sharing: bool = False,
+                 arbitration: str = "round_robin") -> None:
+        self.devices = [
+            GLockDevice(sim, config, counters, lock_id=i, levels=levels,
+                        arbitration=arbitration)
+            for i in range(config.gline.n_glocks)
+        ]
+        self.allow_sharing = allow_sharing
+        self._assigned = 0
+        self._shared_devices: Dict[int, int] = {}
+
+    def assign(self) -> GLockDevice:
+        """Reserve a device for one program-level lock."""
+        if self._assigned < len(self.devices):
+            device = self.devices[self._assigned]
+        elif self.allow_sharing:
+            device = self.devices[self._assigned % len(self.devices)]
+        else:
+            raise RuntimeError(
+                f"all {len(self.devices)} hardware GLocks are assigned; "
+                "enable sharing or provision more in GLineConfig.n_glocks"
+            )
+        self._assigned += 1
+        return device
+
+    @property
+    def n_assigned(self) -> int:
+        """Program-level locks assigned so far."""
+        return self._assigned

@@ -1,0 +1,12 @@
+"""In-order core model and the thread-program execution context.
+
+Thread programs are Python generators that drive a :class:`ThreadContext`
+with ``yield from`` — computing, touching memory through the core's L1, and
+synchronizing through lock/barrier objects.  The context attributes every
+elapsed cycle to one of the paper's four execution-time categories
+(Busy / Memory / Lock / Barrier, Figure 8).
+"""
+
+from repro.cpu.core import Core, ThreadContext, CATEGORIES, BUSY, MEMORY, LOCK, BARRIER
+
+__all__ = ["Core", "ThreadContext", "CATEGORIES", "BUSY", "MEMORY", "LOCK", "BARRIER"]

@@ -1,0 +1,199 @@
+"""Core model and thread-program context.
+
+A :class:`Core` is one in-order processor: it owns a private L1, an
+instruction counter (input to the energy model) and a per-category cycle
+account.  A :class:`ThreadContext` is the API a workload's thread program
+sees; it wraps every operation with time-category attribution:
+
+- ``compute(n)``        -> Busy
+- ``load/store/rmw``    -> Memory (or the enclosing sync category)
+- ``acquire/release``   -> Lock (including all memory traffic they cause)
+- ``barrier_wait``      -> Barrier
+
+matching the paper's Figure 8 breakdown, where lock time covers the whole
+acquire/release operations and critical-section bodies remain Busy/Memory.
+
+Lock-acquire wait intervals are recorded into the machine-wide
+:class:`~repro.sim.stats.IntervalRecorder` — the raw material of the
+grAC/LCR contention analysis (Figure 7).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.mem.l1 import L1Cache
+from repro.sim.kernel import Simulator
+from repro.sim.stats import CounterSet, IntervalRecorder
+
+__all__ = ["Core", "ThreadContext", "CATEGORIES", "BUSY", "MEMORY", "LOCK", "BARRIER"]
+
+BUSY = "busy"
+MEMORY = "memory"
+LOCK = "lock"
+BARRIER = "barrier"
+CATEGORIES = (BUSY, MEMORY, LOCK, BARRIER)
+
+
+class Core:
+    """One in-order processor core."""
+
+    def __init__(self, sim: Simulator, core_id: int, l1: L1Cache,
+                 counters: CounterSet) -> None:
+        self.sim = sim
+        self.core_id = core_id
+        self.l1 = l1
+        self.counters = counters  # machine-global counter set
+        self.instructions = 0
+        self.cycles: Dict[str, int] = {c: 0 for c in CATEGORIES}
+        self.finish_time: Optional[int] = None
+
+    def category_fractions(self) -> Dict[str, float]:
+        """Per-category share of this core's accounted cycles."""
+        total = sum(self.cycles.values())
+        if total == 0:
+            return {c: 0.0 for c in CATEGORIES}
+        return {c: v / total for c, v in self.cycles.items()}
+
+
+class ThreadContext:
+    """Execution context handed to a thread program generator."""
+
+    def __init__(self, core: Core,
+                 lock_intervals: Optional[IntervalRecorder] = None) -> None:
+        self.core = core
+        self.sim = core.sim
+        self.lock_intervals = lock_intervals
+        self._cat_stack: List[str] = []
+
+    @property
+    def core_id(self) -> int:
+        """The id of the core this thread runs on."""
+        return self.core.core_id
+
+    # ------------------------------------------------------------------ #
+    # attribution helpers
+    # ------------------------------------------------------------------ #
+    def _attribute(self, category: str, cycles: int) -> None:
+        # inside a sync wrapper (Lock/Barrier) the wrapper accounts the whole
+        # elapsed span once -- inner ops must not double-count
+        if self._cat_stack:
+            return
+        self.core.cycles[category] += cycles
+
+    # ------------------------------------------------------------------ #
+    # computation and memory
+    # ------------------------------------------------------------------ #
+    def compute(self, cycles: int):
+        """Coroutine: execute ``cycles`` of local computation."""
+        if cycles < 0:
+            raise ValueError("negative compute time")
+        self.core.instructions += cycles
+        self._attribute(BUSY, cycles)
+        yield cycles
+
+    def idle(self, cycles: int):
+        """Coroutine: wait ``cycles`` without issuing instructions.
+
+        Models pause-loop back-off: the core stays powered (leakage accrues)
+        but executes no energy-charged instructions.  Attributed to Busy.
+        """
+        if cycles < 0:
+            raise ValueError("negative idle time")
+        self._attribute(BUSY, cycles)
+        yield cycles
+
+    def load(self, addr: int):
+        """Coroutine: read a word through the L1; returns its value."""
+        t0 = self.sim.now
+        value = yield from self.core.l1.load(addr)
+        self.core.instructions += 1
+        self._attribute(MEMORY, self.sim.now - t0)
+        return value
+
+    def store(self, addr: int, value: int):
+        """Coroutine: write a word through the L1."""
+        t0 = self.sim.now
+        yield from self.core.l1.store(addr, value)
+        self.core.instructions += 1
+        self._attribute(MEMORY, self.sim.now - t0)
+
+    def rmw(self, addr: int, fn):
+        """Coroutine: atomic read-modify-write; returns the old value."""
+        t0 = self.sim.now
+        old = yield from self.core.l1.rmw(addr, fn)
+        self.core.instructions += 1
+        self._attribute(MEMORY, self.sim.now - t0)
+        return old
+
+    def spin_until(self, addr: int, predicate):
+        """Coroutine: test-and-test&set style spin on a word."""
+        t0 = self.sim.now
+        value = yield from self.core.l1.spin_until(addr, predicate)
+        self.core.instructions += 1
+        self._attribute(MEMORY, self.sim.now - t0)
+        return value
+
+    # ------------------------------------------------------------------ #
+    # synchronization
+    # ------------------------------------------------------------------ #
+    def acquire(self, lock):
+        """Coroutine: acquire ``lock``; elapsed time -> Lock category."""
+        t0 = self.sim.now
+        if self.sim.tracer is not None:
+            self.sim.tracer.record(t0, "lock", f"core{self.core_id}",
+                                   f"acquire {lock.name} (start)")
+        if self.lock_intervals is not None:
+            self.lock_intervals.open(lock.uid, self.core_id, t0)
+        self._cat_stack.append(LOCK)
+        try:
+            yield from lock.acquire(self)
+        finally:
+            self._cat_stack.pop()
+        if self.lock_intervals is not None:
+            self.lock_intervals.close(lock.uid, self.core_id, self.sim.now)
+        if self.sim.tracer is not None:
+            self.sim.tracer.record(self.sim.now, "lock",
+                                   f"core{self.core_id}",
+                                   f"acquire {lock.name} (granted, "
+                                   f"{self.sim.now - t0} cycles)")
+        self.core.cycles[LOCK] += self.sim.now - t0
+
+    def release(self, lock):
+        """Coroutine: release ``lock``; elapsed time -> Lock category."""
+        t0 = self.sim.now
+        if self.sim.tracer is not None:
+            self.sim.tracer.record(t0, "lock", f"core{self.core_id}",
+                                   f"release {lock.name}")
+        self._cat_stack.append(LOCK)
+        try:
+            yield from lock.release(self)
+        finally:
+            self._cat_stack.pop()
+        self.core.cycles[LOCK] += self.sim.now - t0
+
+    def critical(self, lock, body):
+        """Coroutine: acquire, run ``body`` (a generator), release."""
+        yield from self.acquire(lock)
+        try:
+            yield from body
+        finally:
+            yield from self.release(lock)
+
+    def barrier_wait(self, barrier):
+        """Coroutine: wait at ``barrier``; elapsed time -> Barrier category."""
+        t0 = self.sim.now
+        if self.sim.tracer is not None:
+            self.sim.tracer.record(t0, "sync", f"core{self.core_id}",
+                                   f"barrier {barrier.name} (arrive)")
+        self._cat_stack.append(BARRIER)
+        try:
+            yield from barrier.wait(self)
+        finally:
+            self._cat_stack.pop()
+        if self.sim.tracer is not None:
+            self.sim.tracer.record(self.sim.now, "sync",
+                                   f"core{self.core_id}",
+                                   f"barrier {barrier.name} (depart, "
+                                   f"{self.sim.now - t0} cycles)")
+        self.core.cycles[BARRIER] += self.sim.now - t0

@@ -1,0 +1,18 @@
+"""Energy and power models.
+
+The paper's Sim-PowerCMP integrates Wattch/CACTI (core + caches), HotLeakage
+(static power) and Orion (NoC), plus the G-line consumption model of
+Krishna et al. for the GLocks network.  We substitute a single parameterized
+per-event energy table (:class:`~repro.energy.models.EnergyModel`) with
+32nm-class constants that preserve the *relative* magnitudes those tools
+produce — which is what the normalized ED²P comparison of Figure 10
+depends on (see DESIGN.md, substitution 4).
+"""
+
+from repro.energy.accounting import EnergyAccount, account_counts, account_run
+from repro.energy.power_trace import PowerSample, PowerSampler
+from repro.energy.metrics import ed2p, edp
+from repro.energy.models import EnergyModel
+
+__all__ = ["EnergyModel", "EnergyAccount", "account_counts", "account_run",
+           "ed2p", "edp", "PowerSample", "PowerSampler"]

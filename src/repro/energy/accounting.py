@@ -1,0 +1,100 @@
+"""Energy accounting over a finished run.
+
+Consumes a :class:`~repro.machine.RunResult`'s counters and produces a
+component-wise energy breakdown for the full CMP — cores, L1s, L2 banks +
+directory, DRAM, the main data NoC, the G-line lock network, and leakage —
+the inputs to the Figure 10 ED²P comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.energy.models import EnergyModel
+from repro.machine import RunResult
+
+__all__ = ["EnergyAccount", "account_run"]
+
+
+@dataclass(frozen=True)
+class EnergyAccount:
+    """Energy per component, in picojoules."""
+
+    core_pj: float
+    l1_pj: float
+    l2_pj: float
+    dram_pj: float
+    noc_pj: float
+    gline_pj: float
+    leakage_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        """Full-CMP energy."""
+        return (self.core_pj + self.l1_pj + self.l2_pj + self.dram_pj
+                + self.noc_pj + self.gline_pj + self.leakage_pj)
+
+    def breakdown(self) -> Dict[str, float]:
+        """Component-name -> picojoules."""
+        return {
+            "core": self.core_pj,
+            "l1": self.l1_pj,
+            "l2": self.l2_pj,
+            "dram": self.dram_pj,
+            "noc": self.noc_pj,
+            "gline": self.gline_pj,
+            "leakage": self.leakage_pj,
+        }
+
+
+def account_counts(counters: Dict[str, int], instructions: int,
+                   switch_bytes: int, byte_hops: int, elapsed_cycles: int,
+                   n_cores: int, n_glocks: int,
+                   model: EnergyModel | None = None) -> EnergyAccount:
+    """Energy account from raw counter values.
+
+    The building block shared by :func:`account_run` (whole parallel phase)
+    and :class:`~repro.energy.power_trace.PowerSampler` (windowed deltas).
+    """
+    model = model or EnergyModel()
+    model.validate()
+    c = counters
+    core_pj = instructions * model.instruction_pj
+    l1_pj = c.get("l1.accesses", 0) * model.l1_access_pj
+    l2_data = c.get("l2.data_accesses", 0)
+    l2_dir_only = c.get("l2.accesses", 0) - l2_data
+    l2_pj = (l2_data * model.l2_access_pj
+             + max(l2_dir_only, 0) * model.dir_access_pj)
+    dram_pj = (c.get("mem.reads", 0) + c.get("mem.writes", 0)) * model.dram_access_pj
+    # NoC: every byte pays one router traversal per switch and one link hop
+    noc_pj = (switch_bytes * model.router_byte_pj
+              + byte_hops * model.link_byte_pj)
+    gline_pj = c.get("gline.signals", 0) * model.gline_signal_pj
+    leakage_pj = elapsed_cycles * (
+        n_cores * model.tile_leakage_pj_per_cycle
+        + n_glocks * model.gline_leakage_pj_per_cycle
+    )
+    return EnergyAccount(
+        core_pj=core_pj,
+        l1_pj=l1_pj,
+        l2_pj=l2_pj,
+        dram_pj=dram_pj,
+        noc_pj=noc_pj,
+        gline_pj=gline_pj,
+        leakage_pj=leakage_pj,
+    )
+
+
+def account_run(result: RunResult, model: EnergyModel | None = None) -> EnergyAccount:
+    """Energy account for one parallel phase."""
+    return account_counts(
+        counters=result.counters,
+        instructions=result.instructions,
+        switch_bytes=sum(result.traffic.values()),
+        byte_hops=result.byte_hops,
+        elapsed_cycles=result.makespan,
+        n_cores=result.config.n_cores,
+        n_glocks=result.config.gline.n_glocks,
+        model=model,
+    )

@@ -1,0 +1,30 @@
+"""Energy-delay metrics.
+
+The paper reports the energy-delay² product (ED²P) for the full CMP,
+normalized to the MCS configuration — ED²P weights performance twice, so a
+mechanism that both saves energy *and* shortens execution is rewarded
+superlinearly.
+"""
+
+from __future__ import annotations
+
+from repro.energy.accounting import EnergyAccount
+
+__all__ = ["edp", "ed2p", "normalized_ratio"]
+
+
+def edp(account: EnergyAccount, makespan_cycles: int) -> float:
+    """Energy-delay product: E x T (pJ x cycles)."""
+    return account.total_pj * makespan_cycles
+
+
+def ed2p(account: EnergyAccount, makespan_cycles: int) -> float:
+    """Energy-delay² product: E x T² (pJ x cycles²) — Figure 10's metric."""
+    return account.total_pj * makespan_cycles ** 2
+
+
+def normalized_ratio(value: float, baseline: float) -> float:
+    """``value / baseline`` with a guard for degenerate baselines."""
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return value / baseline

@@ -1,0 +1,62 @@
+"""Per-event energy table.
+
+Constants are picojoules per event, drawn from the published ranges for
+32/45nm-class designs that the paper's toolchain (Wattch/CACTI/Orion and the
+G-line model of Krishna et al.) reports:
+
+- a simple in-order core burns ~10-20 pJ per instruction;
+- a 32KB L1 access is a few pJ; a 256KB L2 bank access ~3-5x that;
+- DRAM access dominates everything (~nJ scale);
+- a router traversal is ~0.5-1 pJ/byte and a 1mm link ~0.1-0.2 pJ/byte
+  (Orion 2.0 numbers);
+- a G-line broadcast is sub-pJ per signal (capacitive feed-forward wires —
+  Ho et al., Mensink et al. — are the technology's selling point);
+- leakage is charged per structure per cycle.
+
+Only the *ratios* matter for the paper's normalized ED²P results; the test
+suite pins the orderings (DRAM >> L2 > L1 > G-line, router+link per byte in
+between) so an edit that breaks the hierarchy fails loudly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["EnergyModel"]
+
+#: 3GHz clock -> cycle time in seconds (used by metrics helpers)
+CYCLE_SECONDS = 1.0 / 3.0e9
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-event dynamic energies (picojoules) and per-cycle leakage."""
+
+    # dynamic, per event
+    instruction_pj: float = 12.0     # core pipeline energy per instruction
+    l1_access_pj: float = 4.0        # 32KB 4-way read/write
+    l2_access_pj: float = 18.0       # 256KB bank access (tag+data)
+    dir_access_pj: float = 3.0       # directory-state-only operation
+    dram_access_pj: float = 2500.0   # off-chip access
+    router_byte_pj: float = 0.8      # per byte per router traversal
+    link_byte_pj: float = 0.15       # per byte per link hop
+    gline_signal_pj: float = 0.3     # one 1-bit G-line broadcast
+
+    # leakage, per core-tile per cycle (core + L1 + L2 slice + router share)
+    tile_leakage_pj_per_cycle: float = 1.6
+    # leakage of one GLock network per cycle (controllers + wires)
+    gline_leakage_pj_per_cycle: float = 0.02
+
+    def validate(self) -> None:
+        """Assert the orderings the ED²P comparison relies on."""
+        if not (self.dram_access_pj > self.l2_access_pj > self.l1_access_pj):
+            raise ValueError("memory-hierarchy energy ordering violated")
+        if not (self.gline_signal_pj < self.l1_access_pj):
+            raise ValueError("a G-line signal must be cheaper than an L1 access")
+        if min(
+            self.instruction_pj, self.l1_access_pj, self.l2_access_pj,
+            self.dir_access_pj, self.dram_access_pj, self.router_byte_pj,
+            self.link_byte_pj, self.gline_signal_pj,
+            self.tile_leakage_pj_per_cycle, self.gline_leakage_pj_per_cycle,
+        ) < 0:
+            raise ValueError("energies must be non-negative")

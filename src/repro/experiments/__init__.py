@@ -1,0 +1,22 @@
+"""Experiment harnesses — one module per table/figure of the paper.
+
+Each module exposes ``run(scale=..., n_cores=...)`` returning structured
+results plus a ``render`` helper that prints the same rows/series the paper
+reports.  The benchmark suite under ``benchmarks/`` drives these with
+pytest-benchmark; ``python -m repro.experiments.<module>`` runs one
+standalone.
+
+=====================  ==============================================
+``fig01_ideal``        Figure 1 — potential benefit of ideal locks
+``fig07_contention``   Figure 7 — locks' contention rate (grAC/LCR)
+``fig08_exectime``     Figure 8 — normalized execution time, GL vs MCS
+``fig09_traffic``      Figure 9 — normalized network traffic
+``fig10_ed2p``         Figure 10 — normalized full-CMP ED²P
+``table1_cost``        Table I — GLocks hardware/latency cost
+``table4_speedup``     Table IV — application speedups, 4..32 cores
+=====================  ==============================================
+"""
+
+from repro.experiments import common
+
+__all__ = ["common"]

@@ -1,0 +1,59 @@
+"""Ablation: critical-section length — where the GLocks advantage fades.
+
+GLocks accelerate the *handoff*; they cannot shorten the critical section
+itself.  Sweeping the CS length therefore locates the crossover where lock
+choice stops mattering: with empty critical sections GL wins by the full
+MCS-handoff factor, while for CSs much longer than a handoff the two
+converge (the reason the paper's application gains are smaller than its
+microbenchmark gains).
+
+Run standalone: ``python -m repro.experiments.ablate_cs_length``
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.analysis.report import format_table
+from repro.machine import Machine
+from repro.sim.config import CMPConfig
+from repro.workloads.synth import SyntheticLockWorkload
+
+__all__ = ["run", "render", "CS_LENGTHS"]
+
+CS_LENGTHS = (0, 50, 200, 800, 3200)
+
+
+def run(n_cores: int = 16, iterations: int = 20,
+        cs_lengths: Sequence[int] = CS_LENGTHS) -> Dict[int, Dict[str, float]]:
+    """CS length -> {lock kind: makespan} for MCS and GLocks."""
+    out: Dict[int, Dict[str, float]] = {}
+    for cs in cs_lengths:
+        row: Dict[str, float] = {}
+        for kind in ("mcs", "glock"):
+            machine = Machine(CMPConfig.baseline(n_cores))
+            wl = SyntheticLockWorkload(iterations_per_thread=iterations,
+                                       cs_compute=cs)
+            inst = wl.instantiate(machine, hc_kind=kind)
+            result = machine.run(inst.programs)
+            inst.validate(machine)
+            row[kind] = result.makespan
+        row["gl_over_mcs"] = row["glock"] / row["mcs"]
+        out[cs] = row
+    return out
+
+
+def render(results: Dict[int, Dict[str, float]]) -> str:
+    rows = [
+        [cs, int(r["mcs"]), int(r["glock"]), r["gl_over_mcs"]]
+        for cs, r in results.items()
+    ]
+    return format_table(
+        ["CS compute (cycles)", "MCS makespan", "GL makespan", "GL/MCS"],
+        rows,
+        title="Ablation: GLocks advantage vs critical-section length",
+    )
+
+
+if __name__ == "__main__":
+    print(render(run()))

@@ -1,0 +1,82 @@
+"""Ablation: how many hardware GLocks does a chip need?
+
+The paper provisions exactly two (its workloads never have more than two
+highly-contended locks) and sketches static/dynamic *sharing* for
+multiprogrammed futures.  This ablation runs a workload with four
+independent hot locks on chips provisioned with 1, 2 and 4 physical GLocks
+(sharing enabled), against an MCS baseline: sharing is always correct, but
+multiplexing independent locks onto one token network serializes their
+critical sections, so under-provisioning eats the GLocks advantage.
+
+Run standalone: ``python -m repro.experiments.ablate_sharing``
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict
+
+from repro.analysis.report import format_table
+from repro.machine import Machine
+from repro.sim.config import CMPConfig
+
+__all__ = ["run", "render", "N_LOCKS", "PROVISIONS"]
+
+N_LOCKS = 4
+PROVISIONS = (1, 2, 4)
+
+
+def _build_and_run(machine: Machine, kind: str, n_cores: int,
+                   iterations: int) -> int:
+    locks = [machine.make_lock(kind, name=f"hot{i}") for i in range(N_LOCKS)]
+    counters = machine.mem.address_space.alloc_words_padded(N_LOCKS)
+
+    def make_program(core_id):
+        # each core works on one of the four independent locks
+        lock = locks[core_id % N_LOCKS]
+        counter = counters[core_id % N_LOCKS]
+
+        def program(ctx):
+            for _ in range(iterations):
+                yield from ctx.acquire(lock)
+                yield from ctx.rmw(counter, lambda v: v + 1)
+                yield from ctx.release(lock)
+                yield from ctx.compute(30)
+
+        return program
+
+    result = machine.run([make_program(c) for c in range(n_cores)])
+    expected = sum(iterations for c in range(n_cores))
+    got = sum(machine.mem.backing.read(a) for a in counters)
+    assert got == expected, f"lost updates: {got} != {expected}"
+    return result.makespan
+
+
+def run(n_cores: int = 16, iterations: int = 25) -> Dict[str, float]:
+    """Configuration label -> makespan."""
+    out: Dict[str, float] = {}
+    base_cfg = CMPConfig.baseline(n_cores)
+    machine = Machine(base_cfg)
+    out["mcs"] = _build_and_run(machine, "mcs", n_cores, iterations)
+    for provision in PROVISIONS:
+        cfg = replace(base_cfg, gline=replace(base_cfg.gline,
+                                              n_glocks=provision))
+        machine = Machine(cfg, allow_glock_sharing=True)
+        label = f"glock_x{provision}"
+        out[label] = _build_and_run(machine, "glock", n_cores, iterations)
+    return out
+
+
+def render(results: Dict[str, float]) -> str:
+    base = results["mcs"]
+    rows = [[label, int(makespan), makespan / base]
+            for label, makespan in results.items()]
+    return format_table(
+        ["configuration", "makespan", "vs MCS"],
+        rows,
+        title=f"Ablation: {N_LOCKS} hot locks on 1/2/4 shared GLock networks",
+    )
+
+
+if __name__ == "__main__":
+    print(render(run()))

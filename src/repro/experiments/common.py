@@ -1,0 +1,100 @@
+"""Shared experiment plumbing.
+
+:func:`run_benchmark` builds a fresh machine, instantiates a workload with
+the requested lock kinds, runs the parallel phase, validates the result and
+returns everything the figures need.  Results are memoized per process so
+Figures 8, 9 and 10 (which share the same 16 runs) pay for each run once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.energy import EnergyAccount, account_run, ed2p
+from repro.machine import Machine, RunResult
+from repro.sim.config import CMPConfig
+from repro.workloads import make_workload
+from repro.workloads.registry import APPLICATIONS, MICROBENCHMARKS
+
+__all__ = [
+    "BenchmarkRun", "run_benchmark", "clear_cache",
+    "MICROBENCHMARKS", "APPLICATIONS",
+]
+
+
+@dataclass
+class BenchmarkRun:
+    """One benchmark execution and its derived metrics."""
+
+    name: str
+    hc_kinds: Tuple[str, ...]
+    n_cores: int
+    result: RunResult
+    energy: EnergyAccount
+    lock_labels: Dict[int, str]
+
+    @property
+    def makespan(self) -> int:
+        return self.result.makespan
+
+    @property
+    def total_traffic(self) -> int:
+        return self.result.total_traffic
+
+    @property
+    def ed2p(self) -> float:
+        return ed2p(self.energy, self.result.makespan)
+
+
+_cache: Dict[Tuple, BenchmarkRun] = {}
+
+
+def clear_cache() -> None:
+    """Drop memoized runs (tests use this for isolation)."""
+    _cache.clear()
+
+
+def run_benchmark(name: str, hc_kind: str = "mcs", *, n_cores: int = 32,
+                  scale: float = 1.0, other_kind: str = "tatas",
+                  hc_kinds: Optional[Sequence[str]] = None) -> BenchmarkRun:
+    """Run one benchmark once (memoized) and return its metrics.
+
+    Args:
+        name: a workload name (``sctr`` .. ``qsort``).
+        hc_kind: lock kind for every highly-contended lock.
+        n_cores: CMP size (Table II baseline otherwise).
+        scale: input-size scale factor (1.0 = the paper's Table III inputs).
+        other_kind: lock kind for non-contended locks (paper: TATAS).
+        hc_kinds: per-HC-lock kinds, overriding ``hc_kind`` (Figure 1).
+    """
+    kinds = tuple(hc_kinds) if hc_kinds is not None else None
+    key = (name, hc_kind, kinds, n_cores, scale, other_kind)
+    if key in _cache:
+        return _cache[key]
+    machine = Machine(CMPConfig.baseline(n_cores))
+    workload = make_workload(name, scale=scale)
+    instance = workload.instantiate(machine, hc_kind=hc_kind,
+                                    other_kind=other_kind, hc_kinds=kinds)
+    result = machine.run(instance.programs)
+    instance.validate(machine)
+    run = BenchmarkRun(
+        name=name,
+        hc_kinds=kinds or (hc_kind,) * workload.n_hc,
+        n_cores=n_cores,
+        result=result,
+        energy=account_run(result),
+        lock_labels=dict(instance.lock_labels),
+    )
+    _cache[key] = run
+    return run
+
+
+def geometric_means(ratios: Mapping[str, float],
+                    groups: Mapping[str, Sequence[str]]) -> Dict[str, float]:
+    """Arithmetic-mean group summaries (the paper reports plain averages)."""
+    out = {}
+    for label, names in groups.items():
+        vals = [ratios[n] for n in names if n in ratios]
+        out[label] = sum(vals) / len(vals) if vals else float("nan")
+    return out

@@ -1,0 +1,67 @@
+"""Figure 1 — potential benefits for Raytrace when using ideal locks.
+
+Four configurations of the Raytrace proxy, all normalized to TATAS:
+
+- **TATAS**   — every lock test-and-test&set (the paper's baseline bar);
+- **TATAS-1** — the most contended lock idealized, rest TATAS;
+- **TATAS-2** — both highly-contended locks idealized, rest TATAS;
+- **IDEAL**   — every lock (including the 32 quiet ones) ideal.
+
+The paper's finding: TATAS-2 recovers nearly all of IDEAL's benefit because
+only 2 of Raytrace's 34 locks are highly contended.  Each bar also reports
+the fraction of execution time spent on locks (the figure's grey segment).
+
+Run standalone: ``python -m repro.experiments.fig01_ideal``
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.report import format_table
+from repro.experiments.common import run_benchmark
+
+__all__ = ["run", "render", "CONFIGS"]
+
+CONFIGS = ("TATAS", "TATAS-1", "TATAS-2", "IDEAL")
+
+
+def run(scale: float = 1.0, n_cores: int = 32) -> Dict[str, Dict[str, float]]:
+    """Returns per-config normalized time and lock fraction."""
+    settings = {
+        "TATAS": dict(hc_kinds=["tatas", "tatas"], other_kind="tatas"),
+        "TATAS-1": dict(hc_kinds=["ideal", "tatas"], other_kind="tatas"),
+        "TATAS-2": dict(hc_kinds=["ideal", "ideal"], other_kind="tatas"),
+        "IDEAL": dict(hc_kinds=["ideal", "ideal"], other_kind="ideal"),
+    }
+    runs = {
+        cfg: run_benchmark("raytr", scale=scale, n_cores=n_cores, **kw)
+        for cfg, kw in settings.items()
+    }
+    base = runs["TATAS"].makespan
+    out: Dict[str, Dict[str, float]] = {}
+    for cfg in CONFIGS:
+        r = runs[cfg]
+        fractions = r.result.category_fractions()
+        out[cfg] = {
+            "normalized_time": r.makespan / base,
+            "lock_fraction": fractions["lock"],
+            "makespan": float(r.makespan),
+        }
+    return out
+
+
+def render(results: Dict[str, Dict[str, float]]) -> str:
+    """Figure 1 as a table."""
+    rows: List[list] = [
+        [cfg, results[cfg]["normalized_time"], results[cfg]["lock_fraction"]]
+        for cfg in CONFIGS
+    ]
+    return format_table(
+        ["config", "normalized time", "lock fraction"], rows,
+        title="Figure 1: Raytrace with ideal locks (normalized to TATAS)",
+    )
+
+
+if __name__ == "__main__":
+    print(render(run()))

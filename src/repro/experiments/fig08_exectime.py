@@ -1,0 +1,65 @@
+"""Figure 8 — normalized execution time, GLocks vs MCS.
+
+For every benchmark the highly-contended locks are implemented with MCS
+(the baseline bar, height 1.0) and with GLocks; every other lock uses
+TATAS, the paper's hybrid methodology.  Bars are split into the
+Busy / Memory / Lock / Barrier categories and averaged separately over the
+microbenchmarks (AvgM — paper: −42%) and the applications (AvgA — paper:
+−14%).
+
+Run standalone: ``python -m repro.experiments.fig08_exectime``
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.breakdown import normalized_breakdown
+from repro.analysis.report import format_table
+from repro.cpu.core import CATEGORIES
+from repro.experiments.common import (
+    APPLICATIONS, MICROBENCHMARKS, run_benchmark,
+)
+
+__all__ = ["run", "render"]
+
+BENCHES = MICROBENCHMARKS + APPLICATIONS
+
+
+def run(scale: float = 1.0, n_cores: int = 32, benchmarks=BENCHES) -> Dict:
+    """Per-benchmark normalized bars for MCS and GL, plus averages."""
+    bars: Dict[str, Dict[str, Dict[str, float]]] = {}
+    ratios: Dict[str, float] = {}
+    for name in benchmarks:
+        mcs = run_benchmark(name, "mcs", scale=scale, n_cores=n_cores)
+        gl = run_benchmark(name, "glock", scale=scale, n_cores=n_cores)
+        bars[name] = {
+            "MCS": normalized_breakdown(mcs.result, mcs.result),
+            "GL": normalized_breakdown(gl.result, mcs.result),
+        }
+        ratios[name] = gl.makespan / mcs.makespan
+    avg = {}
+    for label, group in (("AvgM", MICROBENCHMARKS), ("AvgA", APPLICATIONS)):
+        in_group = [ratios[n] for n in group if n in ratios]
+        if in_group:
+            avg[label] = sum(in_group) / len(in_group)
+    return {"bars": bars, "ratios": ratios, "averages": avg}
+
+
+def render(results: Dict) -> str:
+    """Figure 8 as a table of stacked-bar heights."""
+    rows = []
+    for name, by_kind in results["bars"].items():
+        for kind in ("MCS", "GL"):
+            b = by_kind[kind]
+            rows.append([name, kind, sum(b.values())] + [b[c] for c in CATEGORIES])
+    for label, value in results["averages"].items():
+        rows.append([label, "GL/MCS", value] + [""] * len(CATEGORIES))
+    return format_table(
+        ["benchmark", "locks", "total"] + list(CATEGORIES), rows,
+        title="Figure 8: normalized execution time (MCS = 1.0)",
+    )
+
+
+if __name__ == "__main__":
+    print(render(run()))

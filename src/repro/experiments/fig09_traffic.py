@@ -1,0 +1,66 @@
+"""Figure 9 — normalized network traffic, GLocks vs MCS.
+
+Bytes transmitted through all switches of the main data network, broken
+into Coherence / Request / Reply and normalized to the MCS configuration.
+GLocks generate *zero* main-network traffic for lock synchronization (the
+G-line fabric is separate), so the paper reports −76% for the
+microbenchmarks and −23% for the applications on average, with Ocean the
+smallest (−1%) since it spends <5% of its time on locks.
+
+Run standalone: ``python -m repro.experiments.fig09_traffic``
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.report import format_table
+from repro.experiments.common import (
+    APPLICATIONS, MICROBENCHMARKS, run_benchmark,
+)
+from repro.noc.messages import MsgCategory
+
+__all__ = ["run", "render"]
+
+BENCHES = MICROBENCHMARKS + APPLICATIONS
+CATS = [c.value for c in MsgCategory]
+
+
+def run(scale: float = 1.0, n_cores: int = 32, benchmarks=BENCHES) -> Dict:
+    """Per-benchmark normalized traffic bars for MCS and GL, plus averages."""
+    bars: Dict[str, Dict[str, Dict[str, float]]] = {}
+    ratios: Dict[str, float] = {}
+    for name in benchmarks:
+        mcs = run_benchmark(name, "mcs", scale=scale, n_cores=n_cores)
+        gl = run_benchmark(name, "glock", scale=scale, n_cores=n_cores)
+        base = max(mcs.total_traffic, 1)
+        bars[name] = {
+            "MCS": {c: mcs.result.traffic[c] / base for c in CATS},
+            "GL": {c: gl.result.traffic[c] / base for c in CATS},
+        }
+        ratios[name] = gl.total_traffic / base
+    avg = {}
+    for label, group in (("AvgM", MICROBENCHMARKS), ("AvgA", APPLICATIONS)):
+        in_group = [ratios[n] for n in group if n in ratios]
+        if in_group:
+            avg[label] = sum(in_group) / len(in_group)
+    return {"bars": bars, "ratios": ratios, "averages": avg}
+
+
+def render(results: Dict) -> str:
+    """Figure 9 as a table of stacked-bar heights."""
+    rows = []
+    for name, by_kind in results["bars"].items():
+        for kind in ("MCS", "GL"):
+            b = by_kind[kind]
+            rows.append([name, kind, sum(b.values())] + [b[c] for c in CATS])
+    for label, value in results["averages"].items():
+        rows.append([label, "GL/MCS", value] + [""] * len(CATS))
+    return format_table(
+        ["benchmark", "locks", "total"] + CATS, rows,
+        title="Figure 9: normalized network traffic (MCS = 1.0)",
+    )
+
+
+if __name__ == "__main__":
+    print(render(run()))

@@ -1,0 +1,57 @@
+"""Figure 10 — normalized full-CMP energy-delay² product, GLocks vs MCS.
+
+ED²P = total chip energy x makespan², normalized to the MCS configuration.
+Fewer instructions per acquire/release, shorter busy-waits (fewer L1
+accesses) and no lock-related coherence activity compound with the squared
+delay term: the paper reports −78% (microbenchmarks) / −28% (applications)
+on average, ACTR the extreme (−96%) and Ocean the smallest (−10%).
+
+Run standalone: ``python -m repro.experiments.fig10_ed2p``
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.report import format_table
+from repro.experiments.common import (
+    APPLICATIONS, MICROBENCHMARKS, run_benchmark,
+)
+
+__all__ = ["run", "render"]
+
+BENCHES = MICROBENCHMARKS + APPLICATIONS
+
+
+def run(scale: float = 1.0, n_cores: int = 32, benchmarks=BENCHES) -> Dict:
+    """Per-benchmark normalized ED²P plus component energies."""
+    bars: Dict[str, Dict[str, float]] = {}
+    components: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for name in benchmarks:
+        mcs = run_benchmark(name, "mcs", scale=scale, n_cores=n_cores)
+        gl = run_benchmark(name, "glock", scale=scale, n_cores=n_cores)
+        bars[name] = {"MCS": 1.0, "GL": gl.ed2p / mcs.ed2p}
+        components[name] = {
+            "MCS": mcs.energy.breakdown(),
+            "GL": gl.energy.breakdown(),
+        }
+    avg = {}
+    for label, group in (("AvgM", MICROBENCHMARKS), ("AvgA", APPLICATIONS)):
+        in_group = [bars[n]["GL"] for n in group if n in bars]
+        if in_group:
+            avg[label] = sum(in_group) / len(in_group)
+    return {"bars": bars, "components": components, "averages": avg}
+
+
+def render(results: Dict) -> str:
+    """Figure 10 as a table."""
+    rows = [[name, kinds["GL"]] for name, kinds in results["bars"].items()]
+    rows += [[label, value] for label, value in results["averages"].items()]
+    return format_table(
+        ["benchmark", "GL ED2P (MCS = 1.0)"], rows,
+        title="Figure 10: normalized full-CMP energy-delay^2 product",
+    )
+
+
+if __name__ == "__main__":
+    print(render(run()))

@@ -1,0 +1,52 @@
+"""Table IV — speedups for the real applications.
+
+Raytrace, Ocean and QSort at 4, 8, 16 and 32 cores, with the
+highly-contended locks implemented as MCS and as GLocks; speedup is
+against the same application on one core.  The paper's two observations
+to reproduce: every application keeps scaling with core count, and GLocks
+speedups dominate MCS everywhere with the gap widening at 32 cores
+(Raytrace near-ideal under GL; QSort saturating under both).
+
+Run standalone: ``python -m repro.experiments.table4_speedup``
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.analysis.report import format_table
+from repro.experiments.common import APPLICATIONS, run_benchmark
+
+__all__ = ["run", "render", "CORE_COUNTS"]
+
+CORE_COUNTS = (4, 8, 16, 32)
+
+
+def run(scale: float = 1.0, core_counts: Sequence[int] = CORE_COUNTS,
+        benchmarks=APPLICATIONS) -> Dict[Tuple[str, str], Dict[int, float]]:
+    """(app, lock-version) -> {cores: speedup}."""
+    out: Dict[Tuple[str, str], Dict[int, float]] = {}
+    for name in benchmarks:
+        base = run_benchmark(name, "mcs", n_cores=1, scale=scale).makespan
+        for kind, label in (("mcs", "MCS"), ("glock", "GL")):
+            out[(name, label)] = {
+                n: base / run_benchmark(name, kind, n_cores=n, scale=scale).makespan
+                for n in core_counts
+            }
+    return out
+
+
+def render(results: Dict[Tuple[str, str], Dict[int, float]]) -> str:
+    """Table IV layout: one row per (application, lock version)."""
+    core_counts = sorted(next(iter(results.values())).keys())
+    rows = []
+    for (name, label), speedups in results.items():
+        rows.append([name.upper(), label] + [speedups[n] for n in core_counts])
+    return format_table(
+        ["Benchmark", "Lock Version"] + [str(n) for n in core_counts], rows,
+        title="Table IV: speedups for the real applications",
+    )
+
+
+if __name__ == "__main__":
+    print(render(run()))

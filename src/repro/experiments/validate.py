@@ -1,0 +1,89 @@
+"""Paper-vs-measured validation report.
+
+Consumes a digest in the shape ``scripts/record_experiments.py`` produces
+(or generates a fresh one) and lines every measured ratio/speedup up
+against the paper's published numbers (:mod:`repro.analysis.paper`),
+flagging any entry where the two disagree about *who wins* — the
+reproduction's hard acceptance criterion.
+
+Run standalone: ``python -m repro.experiments.validate`` (full scale; use
+the recorded ``results_full.json`` when present to avoid re-simulation).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List
+
+from repro.analysis.paper import (
+    PAPER_FIG8_TIME_RATIO,
+    PAPER_FIG9_TRAFFIC_RATIO,
+    PAPER_FIG10_ED2P_RATIO,
+    PAPER_TABLE4_SPEEDUPS,
+    Deviation,
+    compare_to_paper,
+)
+from repro.analysis.report import format_table
+
+__all__ = ["run", "render", "validate_digest"]
+
+
+def validate_digest(digest: Dict) -> List[Deviation]:
+    """All paper-vs-measured pairs found in a results digest."""
+    rows: List[Deviation] = []
+    if "fig8" in digest:
+        rows += compare_to_paper(digest["fig8"]["ratios"],
+                                 PAPER_FIG8_TIME_RATIO, prefix="fig8/")
+    if "fig9" in digest:
+        rows += compare_to_paper(digest["fig9"]["ratios"],
+                                 PAPER_FIG9_TRAFFIC_RATIO, prefix="fig9/")
+    if "fig10" in digest:
+        rows += compare_to_paper(digest["fig10"]["ratios"],
+                                 PAPER_FIG10_ED2P_RATIO, prefix="fig10/")
+    if "table4" in digest:
+        for (app, version), paper_speedups in PAPER_TABLE4_SPEEDUPS.items():
+            key = f"{app}/{version}"
+            measured = digest["table4"].get(key)
+            if measured:
+                for cores, paper_value in paper_speedups.items():
+                    got = measured.get(str(cores), measured.get(cores))
+                    if got is not None:
+                        rows.append(Deviation(f"table4/{key}@{cores}",
+                                              paper_value, got))
+    return rows
+
+
+def run(digest_path: str = "results_full.json") -> Dict:
+    """Validate a recorded digest (must exist; record_experiments creates it)."""
+    if not os.path.exists(digest_path):
+        raise FileNotFoundError(
+            f"{digest_path} not found — run scripts/record_experiments.py "
+            "--json results_full.json first"
+        )
+    with open(digest_path) as fh:
+        digest = json.load(fh)
+    deviations = validate_digest(digest)
+    disagreements = [d for d in deviations
+                     if d.key.startswith("fig") and not d.same_direction]
+    return {"deviations": deviations, "disagreements": disagreements}
+
+
+def render(results: Dict) -> str:
+    rows = []
+    for d in results["deviations"]:
+        flag = "" if (not d.key.startswith("fig") or d.same_direction) else "  <-- DIRECTION MISMATCH"
+        rows.append([d.key, d.paper, d.measured,
+                     f"{d.absolute:+.3f}{flag}"])
+    table = format_table(
+        ["metric", "paper", "measured", "deviation"], rows,
+        title="Validation: paper vs measured",
+    )
+    n_bad = len(results["disagreements"])
+    verdict = ("all normalized ratios agree with the paper on who wins"
+               if n_bad == 0 else f"{n_bad} DIRECTION MISMATCHES")
+    return f"{table}\n\n=> {verdict}"
+
+
+if __name__ == "__main__":
+    print(render(run()))

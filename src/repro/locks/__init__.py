@@ -1,0 +1,41 @@
+"""Lock algorithm library.
+
+Software locks (Section II of the paper) are expressed as coroutines over
+the shared-memory substrate, so every acquire/release *actually runs
+through* the MESI protocol and the mesh — their coherence traffic is
+measured, not estimated.  The hardware-backed :class:`~repro.locks.glock_api.GLockHandle`
+and the zero-overhead :class:`~repro.locks.ideal.IdealLock` complete the set.
+
+=====================  ================================================
+``simple``             test&set spin lock
+``tatas``              test-and-test&set
+``tatas_backoff``      test-and-test&set with exponential back-off
+``ticket``             Ticket Lock (fetch&increment pair of counters)
+``ticket_prop``        Ticket Lock with proportional back-off
+``clh``                CLH list-based queue lock
+``anderson``           Array-based queue lock
+``mcs``                MCS list-based queue lock (the paper's baseline)
+``ideal``              1-cycle, traffic-free lock (Figure 1's IDEAL)
+``glock``              GLocks hardware token lock (the paper's proposal)
+=====================  ================================================
+"""
+
+from repro.locks.base import Lock
+from repro.locks.simple import SimpleLock
+from repro.locks.tatas import TatasLock
+from repro.locks.backoff import TatasBackoffLock
+from repro.locks.ticket import TicketLock
+from repro.locks.ticket_prop import TicketPropLock
+from repro.locks.clh import CLHLock
+from repro.locks.anderson import AndersonLock
+from repro.locks.mcs import MCSLock
+from repro.locks.ideal import IdealLock
+from repro.locks.glock_api import GLockHandle
+from repro.locks.registry import LOCK_KINDS, make_lock
+
+__all__ = [
+    "Lock", "SimpleLock", "TatasLock", "TatasBackoffLock", "TicketLock",
+    "TicketPropLock", "CLHLock",
+    "AndersonLock", "MCSLock", "IdealLock", "GLockHandle",
+    "LOCK_KINDS", "make_lock",
+]

@@ -1,0 +1,42 @@
+"""Array-based queue lock (Anderson).
+
+Replaces the Ticket Lock's single now-serving counter with an array of
+per-waiter slots (one cache line each), so a release invalidates only the
+*next* waiter's line — O(1) traffic per handoff.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.locks.base import Lock
+from repro.mem.hierarchy import MemorySystem
+
+__all__ = ["AndersonLock"]
+
+
+class AndersonLock(Lock):
+    """Array-based queue lock with ``n_slots`` padded slots."""
+
+    def __init__(self, mem: MemorySystem, n_slots: int, name: str = "") -> None:
+        super().__init__(name)
+        if n_slots < 1:
+            raise ValueError("need at least one slot")
+        self.n_slots = n_slots
+        self.tail_addr = mem.address_space.alloc_line()
+        self.slot_addrs = mem.address_space.alloc_words_padded(n_slots)
+        # slot 0 starts "free to enter"
+        mem.backing.write(self.slot_addrs[0], 1)
+        self._my_slot: Dict[int, int] = {}  # core_id -> slot index held
+
+    def acquire(self, ctx):
+        pos = yield from ctx.rmw(self.tail_addr, lambda v: v + 1)
+        idx = pos % self.n_slots
+        self._my_slot[ctx.core_id] = idx
+        yield from ctx.spin_until(self.slot_addrs[idx], lambda v: v == 1)
+        # reset our slot for its next reuse
+        yield from ctx.store(self.slot_addrs[idx], 0)
+
+    def release(self, ctx):
+        idx = self._my_slot.pop(ctx.core_id)
+        yield from ctx.store(self.slot_addrs[(idx + 1) % self.n_slots], 1)

@@ -1,0 +1,40 @@
+"""test-and-test&set with exponential back-off.
+
+Anderson found exponential back-off to be the most effective delay between
+acquisition attempts (paper Section II).  After every failed ``test&set``
+the thread sleeps for a bounded, exponentially growing number of cycles
+before spinning again.
+"""
+
+from __future__ import annotations
+
+from repro.locks.base import Lock
+from repro.mem.hierarchy import MemorySystem
+
+__all__ = ["TatasBackoffLock"]
+
+
+class TatasBackoffLock(Lock):
+    """test-and-test&set with capped exponential back-off."""
+
+    def __init__(self, mem: MemorySystem, name: str = "",
+                 base_delay: int = 8, max_delay: int = 1024) -> None:
+        super().__init__(name)
+        if base_delay < 1 or max_delay < base_delay:
+            raise ValueError("need 1 <= base_delay <= max_delay")
+        self.flag_addr = mem.address_space.alloc_line()
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+
+    def acquire(self, ctx):
+        delay = self.base_delay
+        while True:
+            yield from ctx.spin_until(self.flag_addr, lambda v: v == 0)
+            old = yield from ctx.rmw(self.flag_addr, lambda v: 1)
+            if old == 0:
+                return
+            yield from ctx.compute(delay)  # back-off: local, no traffic
+            delay = min(delay * 2, self.max_delay)
+
+    def release(self, ctx):
+        yield from ctx.store(self.flag_addr, 0)

@@ -1,0 +1,37 @@
+"""Common lock interface.
+
+A lock exposes two coroutines, :meth:`Lock.acquire` and :meth:`Lock.release`,
+each taking the calling thread's :class:`~repro.cpu.core.ThreadContext`.
+Thread programs never call these directly — they go through
+``ctx.acquire(lock)`` / ``ctx.release(lock)`` so elapsed time lands in the
+Lock category and acquire-wait intervals are recorded for the contention
+analysis.
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+
+__all__ = ["Lock"]
+
+_uids = itertools.count()
+
+
+class Lock(ABC):
+    """Abstract mutual-exclusion lock."""
+
+    def __init__(self, name: str = "") -> None:
+        self.uid = next(_uids)
+        self.name = name or f"lock{self.uid}"
+
+    @abstractmethod
+    def acquire(self, ctx):
+        """Coroutine: block until this thread owns the lock."""
+
+    @abstractmethod
+    def release(self, ctx):
+        """Coroutine: relinquish ownership."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}({self.name!r})"

@@ -1,0 +1,51 @@
+"""CLH list-based queue lock (Craig; Landin & Hagersten).
+
+Like MCS, contenders form an implicit queue and each spins on one flag, but
+a CLH thread spins on its *predecessor's* node rather than its own: acquire
+swaps the tail pointer to the thread's node and spins until the predecessor
+clears its ``locked`` word; release clears the thread's own node and the
+thread adopts the predecessor's node for its next acquisition (node
+recycling).  One fewer store than MCS on the handoff path, at the cost of
+spinning on a remote line.
+
+Included as a second queue-lock baseline beyond the paper's MCS: queue
+locks differ in *where* the handoff invalidation lands, which shows up in
+the per-handoff traffic numbers (see ``examples/lock_shootout.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.locks.base import Lock
+from repro.mem.hierarchy import MemorySystem
+
+__all__ = ["CLHLock"]
+
+
+class CLHLock(Lock):
+    """CLH queue lock with per-thread recycled nodes."""
+
+    def __init__(self, mem: MemorySystem, n_threads: int, name: str = "") -> None:
+        super().__init__(name)
+        self.tail_addr = mem.address_space.alloc_line()
+        # a released dummy node seeds the queue
+        dummy = mem.address_space.alloc_line()
+        mem.backing.write(dummy, 0)
+        mem.backing.write(self.tail_addr, dummy)
+        self._spare: Dict[int, int] = {
+            core: mem.address_space.alloc_line() for core in range(n_threads)
+        }
+        self._held: Dict[int, int] = {}  # core -> node it acquired with
+
+    def acquire(self, ctx):
+        node = self._spare[ctx.core_id]
+        yield from ctx.store(node, 1)                     # locked := 1
+        pred = yield from ctx.rmw(self.tail_addr, lambda v: node)
+        yield from ctx.spin_until(pred, lambda v: v == 0)
+        self._held[ctx.core_id] = node
+        self._spare[ctx.core_id] = pred                   # recycle pred's node
+
+    def release(self, ctx):
+        node = self._held.pop(ctx.core_id)
+        yield from ctx.store(node, 0)

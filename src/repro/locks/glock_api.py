@@ -1,0 +1,29 @@
+"""GL_Lock / GL_Unlock: the library-level lock API over a GLock device.
+
+This is the programmer-facing wrapper of Figure 5: it satisfies the common
+:class:`~repro.locks.base.Lock` interface so workloads can swap MCS for
+GLocks with a one-line change, exactly the paper's methodology.
+"""
+
+from __future__ import annotations
+
+from repro.core.glock import GLockDevice
+from repro.locks.base import Lock
+
+__all__ = ["GLockHandle"]
+
+
+class GLockHandle(Lock):
+    """A program-level lock backed by a hardware GLock."""
+
+    def __init__(self, device: GLockDevice, name: str = "") -> None:
+        super().__init__(name)
+        self.device = device
+
+    def acquire(self, ctx):
+        ctx.core.instructions += 1  # mov 1, lock_req
+        yield from self.device.acquire(ctx.core_id)
+
+    def release(self, ctx):
+        ctx.core.instructions += 1  # mov 1, lock_rel
+        yield from self.device.release(ctx.core_id)

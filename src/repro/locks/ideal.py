@@ -1,0 +1,56 @@
+"""Ideal lock — Figure 1's upper bound.
+
+Acquisition and release each take a single clock cycle and generate no
+memory-hierarchy or network activity whatsoever; waiting threads are queued
+FIFO and woken instantly on release.  Physically unrealizable; used to
+quantify how much execution time lock synchronization costs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.locks.base import Lock
+from repro.sim.kernel import Signal, Simulator
+
+__all__ = ["IdealLock"]
+
+
+class IdealLock(Lock):
+    """One-cycle, zero-traffic, FIFO-fair lock."""
+
+    def __init__(self, sim: Simulator, name: str = "") -> None:
+        super().__init__(name)
+        self.sim = sim
+        self._held_by: Optional[int] = None
+        self._waiters: Deque[Tuple[int, Signal]] = deque()
+
+    def acquire(self, ctx):
+        yield 1  # the single-cycle acquire operation
+        if self._held_by is None:
+            self._held_by = ctx.core_id
+            return
+        sig = self.sim.signal(f"{self.name}-wait-{ctx.core_id}")
+        self._waiters.append((ctx.core_id, sig))
+        yield sig  # ownership was transferred to us by the releaser
+
+    def release(self, ctx):
+        if self._held_by != ctx.core_id:
+            raise RuntimeError(
+                f"{self.name}: core {ctx.core_id} released a lock held by "
+                f"{self._held_by}"
+            )
+        yield 1  # the single-cycle release operation
+        if self._waiters:
+            # hand off directly so no acquirer can sneak in between
+            next_core, sig = self._waiters.popleft()
+            self._held_by = next_core
+            sig.fire()
+        else:
+            self._held_by = None
+
+    @property
+    def holder(self) -> Optional[int]:
+        """Core currently holding the lock (None if free)."""
+        return self._held_by

@@ -1,0 +1,76 @@
+"""MCS list-based queue lock — the paper's software baseline.
+
+Each thread enqueues a per-thread *qnode* (its own cache line) onto a
+distributed waiting list via an atomic ``swap`` on the tail pointer, then
+spins on a flag inside its own qnode.  A release hands the lock to the
+successor by writing that successor's flag — exactly one invalidation per
+handoff, which is why MCS is "considered the most efficient software
+algorithm for lock synchronization" (Section II).
+
+Pointers are simulated-memory addresses stored as integers; 0 is NULL.
+compare&swap is expressed through the substrate's generic atomic
+read-modify-write (see :meth:`repro.mem.l1.L1Cache.rmw`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.locks.base import Lock
+from repro.mem.address import WORD_BYTES
+from repro.mem.hierarchy import MemorySystem
+
+__all__ = ["MCSLock"]
+
+NULL = 0
+
+
+class MCSLock(Lock):
+    """Mellor-Crummey & Scott list-based queue lock.
+
+    ``n_threads`` qnodes are pre-allocated, one per potential contender
+    (indexed by core id), each in its own cache line:
+    word 0 = ``next`` pointer, word 1 = ``locked`` flag.
+    """
+
+    def __init__(self, mem: MemorySystem, n_threads: int, name: str = "") -> None:
+        super().__init__(name)
+        self.tail_addr = mem.address_space.alloc_line()
+        self._qnode: Dict[int, int] = {
+            core: mem.address_space.alloc_line() for core in range(n_threads)
+        }
+
+    @staticmethod
+    def _next_of(qnode: int) -> int:
+        return qnode
+
+    @staticmethod
+    def _locked_of(qnode: int) -> int:
+        return qnode + WORD_BYTES
+
+    def acquire(self, ctx):
+        me = self._qnode[ctx.core_id]
+        yield from ctx.store(self._next_of(me), NULL)
+        # swap: atomically set tail to our qnode, get the predecessor
+        pred = yield from ctx.rmw(self.tail_addr, lambda v: me)
+        if pred == NULL:
+            return  # lock was free
+        yield from ctx.store(self._locked_of(me), 1)
+        yield from ctx.store(self._next_of(pred), me)
+        yield from ctx.spin_until(self._locked_of(me), lambda v: v == 0)
+
+    def release(self, ctx):
+        me = self._qnode[ctx.core_id]
+        successor = yield from ctx.load(self._next_of(me))
+        if successor == NULL:
+            # try to swing the tail back to NULL (compare&swap)
+            old = yield from ctx.rmw(
+                self.tail_addr, lambda v: NULL if v == me else v
+            )
+            if old == me:
+                return  # no successor: lock is free
+            # a successor is linking itself in -- wait for the link
+            successor = yield from ctx.spin_until(
+                self._next_of(me), lambda v: v != NULL
+            )
+        yield from ctx.store(self._locked_of(successor), 0)

@@ -1,0 +1,76 @@
+"""Lock factory registry.
+
+Maps the lock-kind names used throughout the experiment harness
+(``"mcs"``, ``"glock"``, ``"tatas"``...) to constructors.  Workload
+definitions name lock kinds as strings; the machine resolves them here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.glock import GLockPool
+from repro.locks.anderson import AndersonLock
+from repro.locks.backoff import TatasBackoffLock
+from repro.locks.clh import CLHLock
+from repro.locks.base import Lock
+from repro.locks.glock_api import GLockHandle
+from repro.locks.ideal import IdealLock
+from repro.locks.mcs import MCSLock
+from repro.locks.simple import SimpleLock
+from repro.locks.tatas import TatasLock
+from repro.locks.ticket import TicketLock
+from repro.locks.ticket_prop import TicketPropLock
+from repro.mem.hierarchy import MemorySystem
+from repro.sim.kernel import Simulator
+
+__all__ = ["LOCK_KINDS", "make_lock"]
+
+LOCK_KINDS = (
+    "simple", "tatas", "tatas_backoff", "ticket", "ticket_prop", "anderson",
+    "clh", "mcs", "ideal", "glock",
+)
+
+
+def make_lock(
+    kind: str,
+    *,
+    sim: Simulator,
+    mem: MemorySystem,
+    n_threads: int,
+    glock_pool: Optional[GLockPool] = None,
+    name: str = "",
+) -> Lock:
+    """Construct a lock of ``kind``.
+
+    Args:
+        kind: one of :data:`LOCK_KINDS`.
+        sim: the simulator (ideal/glock need it).
+        mem: the memory system (software locks allocate shared state in it).
+        n_threads: maximum contenders (sizes queue-lock state).
+        glock_pool: required for ``kind="glock"``.
+        name: diagnostic label.
+    """
+    if kind == "simple":
+        return SimpleLock(mem, name)
+    if kind == "tatas":
+        return TatasLock(mem, name)
+    if kind == "tatas_backoff":
+        return TatasBackoffLock(mem, name)
+    if kind == "ticket":
+        return TicketLock(mem, name)
+    if kind == "ticket_prop":
+        return TicketPropLock(mem, name)
+    if kind == "clh":
+        return CLHLock(mem, n_threads, name)
+    if kind == "anderson":
+        return AndersonLock(mem, n_threads, name)
+    if kind == "mcs":
+        return MCSLock(mem, n_threads, name)
+    if kind == "ideal":
+        return IdealLock(sim, name)
+    if kind == "glock":
+        if glock_pool is None:
+            raise ValueError("kind='glock' needs a GLockPool")
+        return GLockHandle(glock_pool.assign(), name)
+    raise ValueError(f"unknown lock kind {kind!r}; choose from {LOCK_KINDS}")

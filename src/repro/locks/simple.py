@@ -1,0 +1,31 @@
+"""Simple Lock: raw test&set spinning.
+
+Every acquisition attempt is an atomic ``test&set`` — a full GetM
+transaction through the directory — so under contention this algorithm
+floods the network with coherence traffic, exactly the behaviour the
+paper's Section II describes as its main drawback.
+"""
+
+from __future__ import annotations
+
+from repro.locks.base import Lock
+from repro.mem.hierarchy import MemorySystem
+
+__all__ = ["SimpleLock"]
+
+
+class SimpleLock(Lock):
+    """test&set spin lock on one shared flag word."""
+
+    def __init__(self, mem: MemorySystem, name: str = "") -> None:
+        super().__init__(name)
+        self.flag_addr = mem.address_space.alloc_line()  # own line, no false sharing
+
+    def acquire(self, ctx):
+        while True:
+            old = yield from ctx.rmw(self.flag_addr, lambda v: 1)
+            if old == 0:
+                return
+
+    def release(self, ctx):
+        yield from ctx.store(self.flag_addr, 0)

@@ -1,0 +1,164 @@
+"""The assembled CMP: cores + memory hierarchy + GLock networks.
+
+:class:`Machine` is the library's main entry point::
+
+    from repro import Machine, CMPConfig
+
+    machine = Machine(CMPConfig.baseline(32))
+    lock = machine.make_lock("glock", name="counter-lock")
+    counter = machine.mem.address_space.alloc_line()
+
+    def program(ctx):
+        for _ in range(100):
+            yield from ctx.acquire(lock)
+            yield from ctx.rmw(counter, lambda v: v + 1)
+            yield from ctx.release(lock)
+
+    result = machine.run([program] * 32)
+    print(result.makespan, result.traffic)
+
+``run`` executes one thread program per core for the parallel phase and
+returns a :class:`RunResult` with everything the paper's figures need:
+makespan, per-category cycle breakdown, protocol counters, NoC traffic by
+category, and the raw lock-wait intervals for the contention analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.glock import GLockPool
+from repro.cpu.core import CATEGORIES, Core, ThreadContext
+from repro.locks.base import Lock
+from repro.locks.registry import make_lock as _make_lock
+from repro.mem.hierarchy import MemorySystem
+from repro.sim.config import CMPConfig
+from repro.sim.kernel import Simulator
+from repro.sim.stats import IntervalRecorder
+from repro.sync.barrier import TreeBarrier
+
+__all__ = ["Machine", "RunResult"]
+
+ThreadProgram = Callable[[ThreadContext], object]
+
+
+@dataclass
+class RunResult:
+    """Everything measured during one parallel phase."""
+
+    config: CMPConfig
+    makespan: int
+    cycles_by_category: Dict[str, int]
+    per_core_cycles: List[Dict[str, int]]
+    instructions: int
+    counters: Dict[str, int]
+    traffic: Dict[str, int]          # switch-bytes per Figure 9 category
+    byte_hops: int
+    lock_intervals: IntervalRecorder = field(repr=False, default=None)
+
+    @property
+    def total_traffic(self) -> int:
+        """Total switch-bytes across all categories."""
+        return sum(self.traffic.values())
+
+    def category_fractions(self) -> Dict[str, float]:
+        """Machine-wide share of each execution-time category."""
+        total = sum(self.cycles_by_category.values())
+        if total == 0:
+            return {c: 0.0 for c in CATEGORIES}
+        return {c: v / total for c, v in self.cycles_by_category.items()}
+
+
+class Machine:
+    """A simulated many-core CMP ready to run thread programs."""
+
+    def __init__(self, config: Optional[CMPConfig] = None, *,
+                 glock_levels: int = 2,
+                 allow_glock_sharing: bool = False,
+                 glock_arbitration: str = "round_robin") -> None:
+        self.config = config or CMPConfig.baseline()
+        self.sim = Simulator()
+        self.mem = MemorySystem(self.sim, self.config)
+        self.counters = self.mem.counters  # machine-global counter set
+        self.glocks = GLockPool(self.sim, self.config, self.counters,
+                                levels=glock_levels,
+                                allow_sharing=allow_glock_sharing,
+                                arbitration=glock_arbitration)
+        self.cores: List[Core] = [
+            Core(self.sim, i, self.mem.l1(i), self.counters)
+            for i in range(self.config.n_cores)
+        ]
+        self.lock_intervals = IntervalRecorder()
+        self._ran = False
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    def make_lock(self, kind: str, name: str = "") -> Lock:
+        """Create a lock of ``kind`` (see :data:`repro.locks.LOCK_KINDS`)."""
+        return _make_lock(kind, sim=self.sim, mem=self.mem,
+                          n_threads=self.config.n_cores,
+                          glock_pool=self.glocks, name=name)
+
+    def make_barrier(self, n_threads: Optional[int] = None,
+                     name: str = "barrier") -> TreeBarrier:
+        """Create a tree barrier over the first ``n_threads`` cores."""
+        if n_threads is None:
+            n_threads = self.config.n_cores
+        return TreeBarrier(self.mem, n_threads, name)
+
+    def context(self, core_id: int) -> ThreadContext:
+        """A thread-program context bound to ``core_id``."""
+        return ThreadContext(self.cores[core_id], self.lock_intervals)
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def run(self, programs: Sequence[ThreadProgram],
+            max_events: int = 200_000_000) -> RunResult:
+        """Run one program per core (parallel phase); returns measurements.
+
+        A machine runs one parallel phase; build a fresh Machine per run so
+        caches, counters and clocks start cold (the paper likewise measures
+        whole parallel phases).
+        """
+        if self._ran:
+            raise RuntimeError("a Machine runs a single parallel phase; "
+                               "create a new Machine for the next run")
+        self._ran = True
+        if len(programs) > self.config.n_cores:
+            raise ValueError(
+                f"{len(programs)} programs but only {self.config.n_cores} cores"
+            )
+        procs = []
+        for core_id, program in enumerate(programs):
+            ctx = self.context(core_id)
+            proc = self.sim.spawn(self._wrap(program, ctx), name=f"core{core_id}")
+            procs.append(proc)
+        self.sim.run_until_processes_finish(procs, max_events=max_events)
+        return self._collect(procs)
+
+    def _wrap(self, program: ThreadProgram, ctx: ThreadContext):
+        yield from program(ctx)
+        ctx.core.finish_time = self.sim.now
+
+    def _collect(self, procs) -> RunResult:
+        makespan = max(core.finish_time or 0 for core in self.cores)
+        by_cat = {c: 0 for c in CATEGORIES}
+        per_core = []
+        for core in self.cores:
+            per_core.append(dict(core.cycles))
+            for c in CATEGORIES:
+                by_cat[c] += core.cycles[c]
+        return RunResult(
+            config=self.config,
+            makespan=makespan,
+            cycles_by_category=by_cat,
+            per_core_cycles=per_core,
+            instructions=sum(core.instructions for core in self.cores),
+            counters=self.counters.as_dict(),
+            traffic=self.mem.traffic.breakdown(),
+            byte_hops=self.mem.traffic.byte_hops,
+            lock_intervals=self.lock_intervals,
+        )

@@ -1,0 +1,12 @@
+"""Memory hierarchy substrate: L1 caches, distributed shared L2 slices, a
+MESI directory protocol, and the memory controller.
+
+This is the machinery that shared-memory lock algorithms exercise and that
+GLocks bypass entirely — the central comparison of the paper.
+"""
+
+from repro.mem.address import AddressSpace, WORD_BYTES
+from repro.mem.backing import BackingStore
+from repro.mem.hierarchy import MemorySystem
+
+__all__ = ["AddressSpace", "BackingStore", "MemorySystem", "WORD_BYTES"]

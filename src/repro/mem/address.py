@@ -1,0 +1,58 @@
+"""Address arithmetic and a bump allocator for workload data layout.
+
+The simulator's address space is flat and word-grained (8-byte words).
+Workloads use :class:`AddressSpace` to lay out shared variables with explicit
+control over cache-line placement — e.g. SCTR places its counter and lock in
+distinct lines, MCTR pads its per-thread counters one per line.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["WORD_BYTES", "AddressSpace", "line_of", "home_of"]
+
+WORD_BYTES = 8
+
+
+def line_of(addr: int, line_bytes: int) -> int:
+    """Line-aligned base address containing ``addr``."""
+    return addr & ~(line_bytes - 1)
+
+
+def home_of(line_addr: int, line_bytes: int, n_tiles: int) -> int:
+    """Home L2 slice for a line: round-robin line interleaving across tiles."""
+    return (line_addr // line_bytes) % n_tiles
+
+
+class AddressSpace:
+    """Bump allocator over the simulated flat address space."""
+
+    def __init__(self, line_bytes: int = 64, base: int = 0x10000) -> None:
+        self.line_bytes = line_bytes
+        self._next = base
+
+    def alloc(self, n_bytes: int, align: int = WORD_BYTES) -> int:
+        """Allocate ``n_bytes`` aligned to ``align`` (power of two)."""
+        if align & (align - 1):
+            raise ValueError(f"alignment {align} not a power of two")
+        addr = (self._next + align - 1) & ~(align - 1)
+        self._next = addr + n_bytes
+        return addr
+
+    def alloc_word(self) -> int:
+        """Allocate one word."""
+        return self.alloc(WORD_BYTES)
+
+    def alloc_line(self) -> int:
+        """Allocate a full, line-aligned cache line; returns its base."""
+        return self.alloc(self.line_bytes, align=self.line_bytes)
+
+    def alloc_words_padded(self, count: int) -> List[int]:
+        """Allocate ``count`` words, each in its own cache line (no false
+        sharing) — the layout MCTR and MCS queue nodes use."""
+        return [self.alloc_line() for _ in range(count)]
+
+    def alloc_array(self, n_words: int) -> int:
+        """Allocate a dense array of words; returns the base address."""
+        return self.alloc(n_words * WORD_BYTES, align=self.line_bytes)

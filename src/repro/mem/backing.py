@@ -1,0 +1,45 @@
+"""Authoritative word-value store.
+
+The protocol model moves *permissions* (MESI states) around; actual word
+values live here, in one global map.  Writes are only applied by a cache
+holding the line in M state and the directory serializes M ownership per
+line, so reads/writes through this store are linearizable (see DESIGN.md,
+"Key design decisions").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.mem.address import WORD_BYTES
+
+__all__ = ["BackingStore"]
+
+
+class BackingStore:
+    """Flat word-addressable memory, default-zero."""
+
+    def __init__(self) -> None:
+        self._words: Dict[int, int] = {}
+
+    @staticmethod
+    def _check(addr: int) -> None:
+        if addr % WORD_BYTES:
+            raise ValueError(f"unaligned word address {addr:#x}")
+
+    def read(self, addr: int) -> int:
+        """Current value of the word at ``addr`` (0 if never written)."""
+        self._check(addr)
+        return self._words.get(addr, 0)
+
+    def write(self, addr: int, value: int) -> None:
+        """Set the word at ``addr``."""
+        self._check(addr)
+        self._words[addr] = value
+
+    def apply(self, addr: int, fn: Callable[[int], int]) -> int:
+        """Atomically replace ``word = fn(word)``; returns the old value."""
+        self._check(addr)
+        old = self._words.get(addr, 0)
+        self._words[addr] = fn(old)
+        return old

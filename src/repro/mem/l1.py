@@ -1,0 +1,270 @@
+"""Private L1 data-cache controller (MESI).
+
+The L1 exposes coroutine methods (``load`` / ``store`` / ``rmw`` /
+``spin_until``) that the core's thread program drives with ``yield from``,
+and a :meth:`handle` callback the mesh invokes for incoming protocol
+messages (data grants, invalidations, recalls).
+
+Linearization rule (see DESIGN.md): a memory operation's *value effect* is
+applied to the global backing store at the instant the L1 gains sufficient
+permission (hit start, or fill/grant arrival).  The residual hit latency is
+pure timing.  Because the directory serializes M ownership per line and
+invalidates all sharers before granting M, this makes the value history per
+word identical to the directory's serialization order — no values ever need
+to travel inside protocol messages.
+
+Spin-wait modelling: ``spin_until`` reads the word, and if the predicate
+fails it sleeps on a per-line *watch* signal that fires when the line is
+invalidated, recalled or evicted — the exact moments a real
+test-and-test&set spin loop could first observe a new value.  The elapsed
+spin reads are replayed into the L1 access statistics so timing, traffic
+and energy match the naive cycle-by-cycle loop (DESIGN.md substitution 3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.mem import protocol as P
+from repro.mem.address import home_of, line_of
+from repro.mem.backing import BackingStore
+from repro.mem.cache import TagArray
+from repro.noc.messages import Message
+from repro.noc.topology import Mesh
+from repro.sim.config import CMPConfig
+from repro.sim.kernel import Signal, Simulator
+from repro.sim.stats import CounterSet
+
+__all__ = ["L1Cache"]
+
+# MESI states kept in the tag array
+M, E, S = "M", "E", "S"
+
+
+class L1Cache:
+    """One core's private L1 data cache."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: CMPConfig,
+        core_id: int,
+        mesh: Mesh,
+        backing: BackingStore,
+        counters: CounterSet,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.core_id = core_id
+        self.mesh = mesh
+        self.backing = backing
+        self.counters = counters
+        self.tags = TagArray(config.l1)
+        self.hit_latency = config.l1.latency
+        # line -> signal fired when the protocol reply for an outstanding
+        # transaction arrives.  In-order cores have one op in flight.
+        self._pending: Optional[Tuple[int, Signal]] = None
+        # line -> watch signal for spin_until sleepers
+        self._watches: Dict[int, Signal] = {}
+
+    # ------------------------------------------------------------------ #
+    # public coroutine API (driven by the core with `yield from`)
+    # ------------------------------------------------------------------ #
+    def load(self, addr: int):
+        """Coroutine: read one word; returns its value."""
+        line = line_of(addr, self.config.line_bytes)
+        value = yield from self._access(line, want_m=False,
+                                        apply=lambda: self.backing.read(addr))
+        return value
+
+    def store(self, addr: int, value: int):
+        """Coroutine: write one word."""
+        line = line_of(addr, self.config.line_bytes)
+        yield from self._access(line, want_m=True,
+                                apply=lambda: self.backing.write(addr, value))
+
+    def rmw(self, addr: int, fn: Callable[[int], int]):
+        """Coroutine: atomic read-modify-write; returns the *old* value.
+
+        Implements the hardware primitives every software lock builds on:
+        ``test&set`` (``fn=lambda v: 1``), ``fetch&increment``, ``swap``
+        and — by comparing the returned old value — ``compare&swap``.
+        """
+        line = line_of(addr, self.config.line_bytes)
+        old = yield from self._access(line, want_m=True,
+                                      apply=lambda: self.backing.apply(addr, fn))
+        self.counters.add("l1.rmw")
+        return old
+
+    def spin_until(self, addr: int, predicate: Callable[[int], bool]):
+        """Coroutine: busy-wait until ``predicate(word)`` holds; returns it.
+
+        Event-driven equivalent of a test-and-test&set spin loop (see module
+        docstring).
+        """
+        while True:
+            value = yield from self.load(addr)
+            if predicate(value):
+                return value
+            line = line_of(addr, self.config.line_bytes)
+            if self.tags.lookup(line) is None:
+                # invalidated between the load and now -> re-read immediately
+                continue
+            watch = self._watches.get(line)
+            if watch is None:
+                watch = self._watches[line] = self.sim.signal(f"watch{line:#x}")
+            started = self.sim.now
+            yield watch
+            waited = self.sim.now - started
+            # replay the cache hits a real spin loop would have performed
+            self.counters.add("l1.accesses", waited // max(self.hit_latency, 1))
+            self.counters.add("l1.spin_cycles", waited)
+
+    # ------------------------------------------------------------------ #
+    # core access path
+    # ------------------------------------------------------------------ #
+    def _access(self, line: int, want_m: bool, apply: Callable[[], object]):
+        state = self.tags.lookup(line)
+        if state is not None and (not want_m or state in (M, E)):
+            if want_m and state == E:
+                self.tags.set_state(line, M)  # silent E->M upgrade
+            self.tags.touch(line)
+            result = apply()
+            self.counters.add("l1.accesses")
+            yield self.hit_latency
+            return result
+        # miss (or S->M upgrade): one transaction through the directory
+        self.counters.add("l1.misses")
+        if self._pending is not None:
+            raise RuntimeError(
+                f"L1 {self.core_id}: second outstanding miss on "
+                f"line {line:#x} (cores are in-order)"
+            )
+        reply_sig = self.sim.signal(f"l1-{self.core_id}-fill")
+        self._pending = (line, reply_sig)
+        home = home_of(line, self.config.line_bytes, self.config.n_cores)
+        if not want_m:
+            kind = P.GETS
+        elif state is not None:
+            kind = P.UPGRADE  # we still hold S; a dataless grant suffices
+        else:
+            kind = P.GETM
+        self.mesh.send(P.make_msg(self.config.noc, self.core_id, home, kind, line))
+        yield reply_sig  # fires once handle() has installed the line
+        # the line was installed synchronously in handle() at delivery time,
+        # so same-cycle recalls/invalidations observe a consistent tag state
+        result = apply()
+        self.counters.add("l1.accesses")
+        yield self.hit_latency
+        return result
+
+    def _install(self, line: int, reply_kind: str,
+                 msg: Optional[Message] = None) -> None:
+        if reply_kind == P.GRANT_M:
+            # upgrade: the line must still be resident in S
+            self.tags.set_state(line, M)
+            self.tags.touch(line)
+            return
+        if reply_kind == P.DATA_C2C:
+            new_state = M if msg.payload["extra"]["grant"] == "M" else S
+        else:
+            new_state = {P.DATA: S, P.DATA_E: E, P.DATA_M: M}[reply_kind]
+        if self.tags.lookup(line) is not None:
+            # S->M where the directory chose to send full data
+            self.tags.set_state(line, new_state)
+            self.tags.touch(line)
+            return
+        victim = self.tags.insert(line, new_state)
+        if victim is not None:
+            self._evict(*victim)
+
+    def _evict(self, line: int, state: object) -> None:
+        home = home_of(line, self.config.line_bytes, self.config.n_cores)
+        if state == M:
+            self.counters.add("l1.writebacks")
+            self.mesh.send(
+                P.make_msg(self.config.noc, self.core_id, home, P.WB_DATA, line)
+            )
+        elif state == E:
+            self.mesh.send(
+                P.make_msg(self.config.noc, self.core_id, home, P.EVICT_CLEAN, line)
+            )
+        # S evictions are silent
+        self._wake_watchers(line)
+
+    # ------------------------------------------------------------------ #
+    # incoming protocol messages (mesh callback)
+    # ------------------------------------------------------------------ #
+    def handle(self, msg: Message) -> None:
+        """Process a message routed to this L1 by the tile dispatcher."""
+        line = msg.payload["line"]
+        if msg.kind in (P.DATA, P.DATA_E, P.DATA_M, P.GRANT_M, P.DATA_C2C):
+            pending_line, sig = self._pending
+            if pending_line != line:
+                raise RuntimeError(
+                    f"L1 {self.core_id}: fill for {line:#x} but "
+                    f"pending {pending_line:#x}"
+                )
+            self._pending = None
+            self._install(line, msg.kind, msg)
+            if msg.kind == P.DATA_C2C:
+                # tell the home the transfer landed so it can unblock the line
+                home = home_of(line, self.config.line_bytes, self.config.n_cores)
+                self.mesh.send(
+                    P.make_msg(self.config.noc, self.core_id, home,
+                               P.UNBLOCK, line)
+                )
+            sig.fire(msg)
+        elif msg.kind == P.INV:
+            self.tags.invalidate(line)
+            self._wake_watchers(line)
+            home = home_of(line, self.config.line_bytes, self.config.n_cores)
+            self.mesh.send(
+                P.make_msg(self.config.noc, self.core_id, home, P.INV_ACK, line)
+            )
+        elif msg.kind in (P.FWD_GETS, P.FWD_GETM):
+            self._handle_forward(msg, line)
+        else:  # pragma: no cover - dispatcher guarantees the kind set
+            raise RuntimeError(f"L1 {self.core_id}: unexpected {msg.kind}")
+
+    def _handle_forward(self, msg: Message, line: int) -> None:
+        """Serve a forwarded request with a direct cache-to-cache transfer."""
+        requester = msg.payload["extra"]["requester"]
+        state = self.tags.lookup(line)
+        home = home_of(line, self.config.line_bytes, self.config.n_cores)
+        noc = self.config.noc
+        if state is None:
+            # already evicted; the eviction notice is ahead of this ack and
+            # the home will serve the requester from its own copy
+            self.mesh.send(P.make_msg(noc, self.core_id, home, P.RECALL_ACK,
+                                      line, {"present": False}))
+            return
+        dirty = state == M
+        if msg.kind == P.FWD_GETS:
+            self.tags.set_state(line, S)
+            grant = "S"
+        else:
+            self.tags.invalidate(line)
+            self._wake_watchers(line)
+            grant = "M"
+        self.counters.add("l1.c2c_transfers")
+        self.mesh.send(P.make_msg(noc, self.core_id, requester, P.DATA_C2C,
+                                  line, {"grant": grant}))
+        # notify the home (with data if we were dirty, so its L2 copy is
+        # marked stale/dirty for writeback accounting)
+        kind = P.RECALL_DATA if dirty and grant == "S" else P.RECALL_ACK
+        self.mesh.send(P.make_msg(noc, self.core_id, home, kind,
+                                  line, {"present": True}))
+
+    def _wake_watchers(self, line: int) -> None:
+        watch = self._watches.pop(line, None)
+        if watch is not None:
+            watch.fire()
+
+    # ------------------------------------------------------------------ #
+    # introspection (tests/diagnostics)
+    # ------------------------------------------------------------------ #
+    def state_of(self, addr: int) -> Optional[str]:
+        """MESI state of the line containing ``addr`` (None if absent)."""
+        state = self.tags.lookup(line_of(addr, self.config.line_bytes))
+        return None if state is None else str(state)

@@ -1,0 +1,15 @@
+"""2D-mesh network-on-chip model.
+
+This is the *main data network* of the paper's CMP: all coherence protocol
+messages (requests, replies, invalidations...) travel over it, and its byte
+counts are what Figure 9 reports.  The GLocks G-line network is a separate,
+dedicated fabric modelled in :mod:`repro.core`.
+"""
+
+from repro.noc.messages import Message, MsgCategory
+from repro.noc.topology import Mesh
+from repro.noc.traffic import TrafficMeter
+from repro.noc.hotspots import hotspot_report, link_loads, utilization
+
+__all__ = ["Message", "MsgCategory", "Mesh", "TrafficMeter",
+           "hotspot_report", "link_loads", "utilization"]

@@ -1,0 +1,42 @@
+"""Per-link load analysis for the main data network.
+
+Highly-contended lock lines concentrate traffic on the links around the
+lock's home tile; this module exposes that structure.  The mesh counts
+byte-traversals per directional link (always on — the mesh has at most a
+few hundred links); :func:`hotspot_report` ranks them and
+:func:`utilization` normalizes by runtime and link bandwidth, quantifying
+how a shared-memory lock turns a corner of the mesh into a hotspot that
+GLocks simply remove.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.noc.topology import Mesh
+
+__all__ = ["link_loads", "hotspot_report", "utilization"]
+
+LinkKey = Tuple[Tuple[int, int], Tuple[int, int]]
+
+
+def link_loads(mesh: Mesh) -> Dict[LinkKey, int]:
+    """Bytes carried per directional link."""
+    return dict(mesh.link_bytes)
+
+
+def hotspot_report(mesh: Mesh, top_n: int = 5) -> List[Tuple[LinkKey, int]]:
+    """The ``top_n`` busiest links as ((src_xy, dst_xy), bytes), descending."""
+    loads = sorted(mesh.link_bytes.items(), key=lambda kv: -kv[1])
+    return loads[:top_n]
+
+
+def utilization(mesh: Mesh, elapsed_cycles: int) -> Dict[LinkKey, float]:
+    """Fraction of each link's capacity used over ``elapsed_cycles``.
+
+    Capacity is ``link_width_bytes`` per cycle (Table II: 75B links).
+    """
+    if elapsed_cycles <= 0:
+        raise ValueError("elapsed cycles must be positive")
+    cap = mesh.config.noc.link_width_bytes * elapsed_cycles
+    return {key: bytes_ / cap for key, bytes_ in mesh.link_bytes.items()}

@@ -1,0 +1,56 @@
+"""Traffic accounting for the main data network.
+
+The paper measures "the total number of bytes transmitted by all the switches
+of the interconnect".  A message that crosses ``h`` links traverses ``h + 1``
+switches (the injection router plus one per hop), so we account
+``size_bytes * (hops + 1)`` into the message's category.  Byte-hops and
+flit-hops are tracked separately for the Orion-style energy model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.noc.messages import Message, MsgCategory
+from repro.sim.stats import CounterSet
+
+__all__ = ["TrafficMeter"]
+
+
+class TrafficMeter:
+    """Accumulates per-category NoC traffic statistics."""
+
+    def __init__(self) -> None:
+        self.counters = CounterSet()
+
+    def record(self, msg: Message, hops: int) -> None:
+        """Account one delivered message that crossed ``hops`` links."""
+        switches = hops + 1
+        cat = msg.category.value
+        self.counters.add(f"noc.switch_bytes.{cat}", msg.size_bytes * switches)
+        self.counters.add(f"noc.msgs.{cat}", 1)
+        self.counters.add("noc.byte_hops", msg.size_bytes * hops)
+        self.counters.add("noc.link_traversals", hops)
+
+    # ------------------------------------------------------------------ #
+    # Figure 9 views
+    # ------------------------------------------------------------------ #
+    def switch_bytes(self, category: MsgCategory | None = None) -> int:
+        """Total switch-bytes, optionally restricted to one category."""
+        if category is None:
+            return self.counters.total("noc.switch_bytes.")
+        return self.counters[f"noc.switch_bytes.{category.value}"]
+
+    def breakdown(self) -> Dict[str, int]:
+        """Switch-bytes per category (the Figure 9 stacked bar)."""
+        return {c.value: self.switch_bytes(c) for c in MsgCategory}
+
+    @property
+    def byte_hops(self) -> int:
+        """Bytes x link-hops (input to the link energy model)."""
+        return self.counters["noc.byte_hops"]
+
+    @property
+    def total_messages(self) -> int:
+        """Total delivered message count."""
+        return self.counters.total("noc.msgs.")

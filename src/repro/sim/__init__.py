@@ -1,0 +1,29 @@
+"""Discrete-event simulation kernel for the GLocks CMP simulator.
+
+This package provides the deterministic event engine every other subsystem
+is built on:
+
+- :mod:`repro.sim.kernel` — the event heap, generator-coroutine processes
+  and one-to-many :class:`~repro.sim.kernel.Signal` synchronization.
+- :mod:`repro.sim.config` — the CMP configuration dataclasses mirroring the
+  paper's Table II baseline.
+- :mod:`repro.sim.stats` — counters, histograms and interval recorders used
+  for traffic, energy and contention accounting.
+"""
+
+from repro.sim.kernel import Process, Signal, Simulator, SimulationError
+from repro.sim.trace import TraceEvent, Tracer
+from repro.sim.config import CacheConfig, CMPConfig, GLineConfig, NoCConfig
+
+__all__ = [
+    "Process",
+    "Signal",
+    "Simulator",
+    "SimulationError",
+    "CacheConfig",
+    "CMPConfig",
+    "GLineConfig",
+    "NoCConfig",
+    "TraceEvent",
+    "Tracer",
+]

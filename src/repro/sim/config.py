@@ -1,0 +1,171 @@
+"""CMP configuration dataclasses.
+
+:func:`CMPConfig.baseline` reproduces the paper's Table II:
+
+=====================  =============================
+Number of cores        32
+Core                   3GHz, in-order 2-way model
+Cache line size        64 Bytes
+L1 I/D-Cache           32KB, 4-way, 2 cycles
+L2 Cache (per core)    256KB, 4-way, 12+4 cycles
+Memory access time     400 cycles
+Network configuration  2D-mesh
+Network bandwidth      75 GB/s
+Link width             75 bytes
+=====================  =============================
+
+Tiles are laid out row-major on a near-square 2D mesh of width
+``ceil(sqrt(C))``; for the paper's 32-core chip this yields a 6x6 grid with
+32 populated tiles, which keeps every mesh dimension within the 7-drop
+G-line limit the paper assumes (Section III-F).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+__all__ = ["CacheConfig", "NoCConfig", "GLineConfig", "CMPConfig"]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and latency of one cache level."""
+
+    size_bytes: int
+    ways: int
+    line_bytes: int
+    latency: int  # cycles for a hit (tag+data)
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.ways * self.line_bytes):
+            raise ValueError(
+                f"cache size {self.size_bytes} not divisible by "
+                f"ways*line ({self.ways}*{self.line_bytes})"
+            )
+        if self.n_sets & (self.n_sets - 1):
+            raise ValueError(f"number of sets must be a power of two, got {self.n_sets}")
+
+    @property
+    def n_sets(self) -> int:
+        """Number of sets."""
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+    @property
+    def n_lines(self) -> int:
+        """Total line capacity."""
+        return self.size_bytes // self.line_bytes
+
+
+@dataclass(frozen=True)
+class NoCConfig:
+    """2D-mesh interconnect parameters.
+
+    ``router_latency`` is the per-hop pipeline delay; messages additionally
+    pay a serialization delay of ``ceil(size/link_width_bytes)`` cycles on
+    every link, and links are modelled as FIFO resources (a busy link delays
+    the next message), which captures burst contention from invalidation
+    storms without modelling wormhole flits individually.
+    """
+
+    link_width_bytes: int = 75
+    router_latency: int = 3
+    control_msg_bytes: int = 8
+    data_msg_bytes: int = 8 + 64  # header + one cache line
+
+
+@dataclass(frozen=True)
+class GLineConfig:
+    """G-line lock-network parameters (Section III)."""
+
+    n_glocks: int = 2  # hardware GLocks provided (paper Section IV-C)
+    gline_latency: int = 1  # cycles for a 1-bit signal to cross one G-line
+    max_drops: int = 7  # transmitters+receiver supported per G-line
+    hierarchical: bool = False  # enable the future-work multi-level tree
+
+
+@dataclass(frozen=True)
+class CMPConfig:
+    """Full chip configuration (Table II baseline by default)."""
+
+    n_cores: int = 32
+    clock_ghz: float = 3.0
+    line_bytes: int = 64
+    l1: CacheConfig = field(
+        default_factory=lambda: CacheConfig(32 * 1024, 4, 64, 2)
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(256 * 1024, 4, 64, 12 + 4)
+    )
+    memory_latency: int = 400
+    noc: NoCConfig = field(default_factory=NoCConfig)
+    gline: GLineConfig = field(default_factory=GLineConfig)
+    #: "mesi" (the paper's protocol) or "msi" (ablation: no exclusive-clean
+    #: state, so private read-then-write pays an Upgrade transaction)
+    coherence: str = "mesi"
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise ValueError("need at least one core")
+        if self.coherence not in ("mesi", "msi"):
+            raise ValueError(f"unknown coherence protocol {self.coherence!r}")
+        if self.l1.line_bytes != self.line_bytes or self.l2.line_bytes != self.line_bytes:
+            raise ValueError("L1/L2 line size must match chip line size")
+
+    # ------------------------------------------------------------------ #
+    # mesh geometry
+    # ------------------------------------------------------------------ #
+    @property
+    def mesh_width(self) -> int:
+        """Columns in the tile grid (near-square, row-major layout)."""
+        return math.ceil(math.sqrt(self.n_cores))
+
+    @property
+    def mesh_height(self) -> int:
+        """Rows in the tile grid."""
+        return math.ceil(self.n_cores / self.mesh_width)
+
+    def tile_coords(self, core_id: int) -> Tuple[int, int]:
+        """(x, y) mesh coordinates of ``core_id``."""
+        if not 0 <= core_id < self.n_cores:
+            raise ValueError(f"core id {core_id} out of range")
+        return core_id % self.mesh_width, core_id // self.mesh_width
+
+    def hop_distance(self, a: int, b: int) -> int:
+        """Manhattan hop count between two tiles."""
+        ax, ay = self.tile_coords(a)
+        bx, by = self.tile_coords(b)
+        return abs(ax - bx) + abs(ay - by)
+
+    def with_cores(self, n_cores: int) -> "CMPConfig":
+        """Copy of this config with a different core count (Table IV sweeps)."""
+        return replace(self, n_cores=n_cores)
+
+    @classmethod
+    def baseline(cls, n_cores: int = 32) -> "CMPConfig":
+        """The paper's Table II configuration."""
+        return cls(n_cores=n_cores)
+
+    @classmethod
+    def small(cls, n_cores: int = 4) -> "CMPConfig":
+        """A small configuration for fast unit tests (same latencies)."""
+        return cls(n_cores=n_cores)
+
+    def describe(self) -> str:
+        """Human-readable Table II style summary."""
+        rows = [
+            ("Number of cores", str(self.n_cores)),
+            ("Core", f"{self.clock_ghz}GHz, in-order model"),
+            ("Cache line size", f"{self.line_bytes} Bytes"),
+            ("L1 D-Cache", f"{self.l1.size_bytes // 1024}KB, {self.l1.ways}-way, "
+                           f"{self.l1.latency} cycles"),
+            ("L2 Cache (per core)", f"{self.l2.size_bytes // 1024}KB, {self.l2.ways}-way, "
+                                    f"{self.l2.latency} cycles"),
+            ("Memory access time", f"{self.memory_latency} cycles"),
+            ("Network configuration", f"2D-mesh {self.mesh_width}x{self.mesh_height}"),
+            ("Link width", f"{self.noc.link_width_bytes} bytes"),
+            ("Hardware GLocks", str(self.gline.n_glocks)),
+        ]
+        width = max(len(k) for k, _ in rows)
+        return "\n".join(f"{k:<{width}}  {v}" for k, v in rows)

@@ -1,0 +1,247 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel is a binary-heap event queue keyed by ``(time, sequence)`` so that
+two events scheduled for the same cycle always execute in the order they were
+scheduled, making every simulation bit-reproducible.
+
+Model components come in two flavours:
+
+* **Callback state machines** (caches, directories, routers) register plain
+  functions with :meth:`Simulator.schedule`.
+* **Processes** (cores, lock-manager drivers, workload threads) are Python
+  generators driven by :class:`Process`.  A process generator may yield:
+
+  - a non-negative ``int`` — suspend for that many cycles;
+  - a :class:`Signal` — suspend until the signal fires; the value passed to
+    :meth:`Signal.fire` becomes the value of the ``yield`` expression;
+  - another generator is composed with ``yield from`` as usual.
+
+This mirrors the structure of simulators such as SimPy but is intentionally
+minimal: the hot path is ``heapq.heappush``/``heappop`` plus a generator
+``send``, which keeps full 32-core runs of the paper's workloads in the
+seconds range (see the performance notes in ``DESIGN.md``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+__all__ = ["Simulator", "Process", "Signal", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (negative delays, running a finished sim...)."""
+
+
+class Signal:
+    """A one-to-many wake-up point.
+
+    Waiters are generator processes (via ``yield signal``) or plain callbacks
+    (via :meth:`add_callback`).  Firing wakes every *currently registered*
+    waiter; waiters registered during the fire are not woken until the next
+    fire.  Wake-ups are scheduled as zero-delay events so that a fire never
+    re-enters a waiter synchronously — this keeps event ordering deterministic
+    and stack depth bounded.
+    """
+
+    __slots__ = ("sim", "name", "_waiters", "fire_count", "last_value")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._waiters: List[Callable[[Any], None]] = []
+        #: number of times :meth:`fire` has been called (useful in tests).
+        self.fire_count = 0
+        #: value passed to the most recent :meth:`fire`.
+        self.last_value: Any = None
+
+    def add_callback(self, fn: Callable[[Any], None]) -> None:
+        """Register ``fn(value)`` to run (once) the next time the signal fires."""
+        self._waiters.append(fn)
+
+    def fire(self, value: Any = None) -> None:
+        """Wake all registered waiters with ``value`` at the current cycle."""
+        self.fire_count += 1
+        self.last_value = value
+        if not self._waiters:
+            return
+        waiters, self._waiters = self._waiters, []
+        for fn in waiters:
+            self.sim.schedule(0, fn, value)
+
+    @property
+    def n_waiters(self) -> int:
+        """Number of waiters currently registered."""
+        return len(self._waiters)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Signal({self.name!r}, waiters={len(self._waiters)})"
+
+
+class Process:
+    """Drives a generator coroutine inside a :class:`Simulator`.
+
+    Created through :meth:`Simulator.spawn`.  The generator's ``return``
+    value is stored in :attr:`result` and broadcast through :attr:`done`.
+    """
+
+    __slots__ = ("sim", "name", "_gen", "finished", "result", "done")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._gen = gen
+        self.finished = False
+        self.result: Any = None
+        #: fires (with the return value) when the generator completes.
+        self.done = Signal(sim, name=f"{name}.done")
+
+    def _step(self, value: Any = None) -> None:
+        if self.finished:
+            return
+        try:
+            item = self._gen.send(value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            self.done.fire(stop.value)
+            return
+        if type(item) is int or isinstance(item, int):
+            if item < 0:
+                raise SimulationError(
+                    f"process {self.name!r} yielded negative delay {item}"
+                )
+            self.sim.schedule(item, self._step)
+        elif isinstance(item, Signal):
+            item.add_callback(self._step)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported item {item!r}; "
+                "yield an int delay or a Signal"
+            )
+
+    def join(self) -> Generator[Signal, Any, Any]:
+        """Generator usable as ``result = yield from proc.join()``."""
+        if not self.finished:
+            yield self.done
+        return self.result
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "finished" if self.finished else "running"
+        return f"Process({self.name!r}, {state})"
+
+
+class Simulator:
+    """The event engine: a deterministic ``(time, seq)``-ordered heap."""
+
+    def __init__(self) -> None:
+        self._queue: List[Tuple[int, int, Callable, tuple]] = []
+        self._seq = 0
+        self.now = 0
+        self._events_executed = 0
+        self._processes: List[Process] = []
+        #: optional :class:`repro.sim.trace.Tracer`; instrumented components
+        #: emit events here when set (see repro.sim.trace)
+        self.tracer = None
+
+    # ------------------------------------------------------------------ #
+    # scheduling primitives
+    # ------------------------------------------------------------------ #
+    def schedule(self, delay: int, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` after ``delay`` cycles (0 = later this cycle)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, self._seq, fn, args))
+
+    def schedule_at(self, time: int, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` at absolute cycle ``time`` (>= now)."""
+        if time < self.now:
+            raise SimulationError(f"cannot schedule in the past ({time} < {self.now})")
+        self._seq += 1
+        heapq.heappush(self._queue, (time, self._seq, fn, args))
+
+    def signal(self, name: str = "") -> Signal:
+        """Create a new :class:`Signal` bound to this simulator."""
+        return Signal(self, name)
+
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        """Start a generator as a process on the next zero-delay slot."""
+        proc = Process(self, gen, name or f"proc{len(self._processes)}")
+        self._processes.append(proc)
+        self.schedule(0, proc._step)
+        return proc
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Drain the event queue.
+
+        Args:
+            until: stop once simulated time would pass this cycle.
+            max_events: safety valve against runaway simulations.
+
+        Returns:
+            The final simulated cycle.
+        """
+        queue = self._queue
+        executed = 0
+        while queue:
+            time, _seq, fn, args = queue[0]
+            if until is not None and time > until:
+                self.now = until
+                break
+            heapq.heappop(queue)
+            self.now = time
+            fn(*args)
+            executed += 1
+            if max_events is not None and executed >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events} at cycle {self.now}"
+                )
+        self._events_executed += executed
+        return self.now
+
+    def run_until_processes_finish(
+        self, procs: Iterable[Process], max_events: Optional[int] = None
+    ) -> int:
+        """Run until every process in ``procs`` has finished.
+
+        Leftover events (e.g. background pollers) are abandoned, which models
+        "the parallel phase ended"; the returned cycle is the completion time
+        of the last process.
+        """
+        procs = list(procs)
+        queue = self._queue
+        executed = 0
+        while queue and not all(p.finished for p in procs):
+            time, _seq, fn, args = heapq.heappop(queue)
+            self.now = time
+            fn(*args)
+            executed += 1
+            if max_events is not None and executed >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events} at cycle {self.now}"
+                )
+        self._events_executed += executed
+        unfinished = [p.name for p in procs if not p.finished]
+        if unfinished:
+            raise SimulationError(
+                f"event queue drained with unfinished processes: {unfinished}"
+            )
+        return self.now
+
+    @property
+    def events_executed(self) -> int:
+        """Total events executed so far (performance/diagnostic metric)."""
+        return self._events_executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events currently queued."""
+        return len(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Simulator(now={self.now}, pending={len(self._queue)})"

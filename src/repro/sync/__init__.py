@@ -1,0 +1,10 @@
+"""Barrier synchronization primitives (the simulator's application library).
+
+The paper's applications use an efficient tree barrier whose internal flags
+see at most two waiters each, so barriers are deliberately *not* accelerated
+by GLocks; we reproduce that with a shared-memory combining-tree barrier.
+"""
+
+from repro.sync.barrier import TreeBarrier
+
+__all__ = ["TreeBarrier"]

@@ -1,0 +1,63 @@
+"""Combining-tree barrier over shared memory.
+
+A static binary tree over the participating cores.  Arrival flows leaf to
+root through per-core *arrival* words; wake-up flows root to leaf through
+per-core *wakeup* words.  Every word lives in its own cache line and is
+spun on by exactly one parent (arrival) or one child (wakeup), matching the
+paper's library barrier in which every internal flag sees at most two
+threads.
+
+Reusability across episodes uses monotonically increasing epochs instead of
+sense reversal — a thread waits for ``flag >= epoch``, which is immune to
+the reset races of boolean-flag schemes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.mem.hierarchy import MemorySystem
+
+__all__ = ["TreeBarrier"]
+
+
+class TreeBarrier:
+    """Reusable tree barrier for a fixed set of ``n_threads`` cores."""
+
+    def __init__(self, mem: MemorySystem, n_threads: int, name: str = "barrier") -> None:
+        if n_threads < 1:
+            raise ValueError("need at least one participant")
+        self.name = name
+        self.n_threads = n_threads
+        self.arrival: List[int] = mem.address_space.alloc_words_padded(n_threads)
+        self.wakeup: List[int] = mem.address_space.alloc_words_padded(n_threads)
+        self._epoch: Dict[int, int] = {}
+        self.episodes = 0
+
+    def _children(self, pos: int) -> List[int]:
+        return [c for c in (2 * pos + 1, 2 * pos + 2) if c < self.n_threads]
+
+    def wait(self, ctx):
+        """Coroutine: block until all ``n_threads`` threads have arrived.
+
+        Thread position in the tree is the calling core's id; workloads must
+        run threads on cores ``0..n_threads-1``.
+        """
+        pos = ctx.core_id
+        if pos >= self.n_threads:
+            raise ValueError(
+                f"{self.name}: core {pos} outside the {self.n_threads}-thread tree"
+            )
+        epoch = self._epoch.get(pos, 0) + 1
+        self._epoch[pos] = epoch
+        # gather phase: wait for both subtrees, then report up
+        for child in self._children(pos):
+            yield from ctx.spin_until(self.arrival[child], lambda v: v >= epoch)
+        if pos == 0:
+            self.episodes += 1
+        else:
+            yield from ctx.store(self.arrival[pos], epoch)
+            yield from ctx.spin_until(self.wakeup[pos], lambda v: v >= epoch)
+        # release phase: wake the subtrees
+        for child in self._children(pos):
+            yield from ctx.store(self.wakeup[child], epoch)

@@ -1,0 +1,44 @@
+"""Benchmarks: the paper's five microbenchmarks and three applications.
+
+Microbenchmarks (Section IV-B, Table III) exercise canonical
+highly-contended access patterns:
+
+=========  ==========================================================
+``sctr``   Single Counter — one counter, one lock, all threads
+``mctr``   Multiple Counter — per-thread counters (own lines), one lock
+``dbll``   Doubly-Linked List — dequeue head / enqueue tail, one lock
+``prco``   Producer-Consumer — bounded FIFO, half produce half consume
+``actr``   Affinity Counter — two locks + a barrier between them
+=========  ==========================================================
+
+Applications are proxy kernels reproducing the lock-relevant structure the
+paper reports for SPLASH-2 Raytrace and Ocean and for QSort (DESIGN.md,
+substitution 2):
+
+==========  ========================================================
+``raytr``   34 locks, 2 highly contended (SCTR pattern), ray loop
+``ocean``   grid phases + barriers, 3 locks, 1 contended, <5% lock time
+``qsort``   parallel quicksort over a lock-protected work stack (PRCO)
+==========  ========================================================
+"""
+
+from repro.workloads.base import Workload, WorkloadInstance
+from repro.workloads.microbench import (
+    AffinityCounter,
+    DoublyLinkedList,
+    MultipleCounter,
+    ProducerConsumer,
+    SingleCounter,
+)
+from repro.workloads.raytrace import RaytraceProxy
+from repro.workloads.ocean import OceanProxy
+from repro.workloads.qsort import ParallelQuicksort
+from repro.workloads.registry import WORKLOADS, make_workload
+
+__all__ = [
+    "Workload", "WorkloadInstance",
+    "SingleCounter", "MultipleCounter", "DoublyLinkedList",
+    "ProducerConsumer", "AffinityCounter",
+    "RaytraceProxy", "OceanProxy", "ParallelQuicksort",
+    "WORKLOADS", "make_workload",
+]

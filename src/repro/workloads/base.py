@@ -1,0 +1,87 @@
+"""Workload abstraction.
+
+A :class:`Workload` is a parameterized benchmark definition; calling
+:meth:`Workload.build` on a fresh :class:`~repro.machine.Machine`
+instantiates its shared data, its locks (highly-contended ones with the
+requested lock kind — the paper's hybrid methodology) and one thread
+program per core, returned as a :class:`WorkloadInstance`.
+
+The instance also exposes per-lock labels (for the Figure 7 contention
+plots) and a post-run ``validate`` hook that asserts the computation's
+result was correct — a run that wins by corrupting its data must fail
+loudly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.locks.base import Lock
+from repro.machine import Machine
+
+__all__ = ["Workload", "WorkloadInstance"]
+
+
+@dataclass
+class WorkloadInstance:
+    """A workload bound to one machine, ready to run."""
+
+    name: str
+    programs: List[Callable]
+    locks: List[Lock]
+    hc_locks: List[Lock]
+    lock_labels: Dict[int, str]               # lock.uid -> display label
+    validate: Callable[[Machine], None] = field(default=lambda m: None)
+
+    @property
+    def n_locks(self) -> int:
+        """Total distinct locks (Table III's "Locks" column)."""
+        return len(self.locks)
+
+    @property
+    def n_hc_locks(self) -> int:
+        """Highly-contended locks (Table III's "H-C Locks" column)."""
+        return len(self.hc_locks)
+
+
+class Workload(ABC):
+    """A parameterized benchmark definition."""
+
+    #: registry key and display name
+    name: str = "workload"
+    #: number of highly-contended locks this workload declares (Table III)
+    n_hc = 1
+    #: Table III "Access Pattern" note
+    access_pattern: str = "-"
+
+    @abstractmethod
+    def build(self, machine: Machine, hc_kinds: Sequence[str],
+              other_kind: str = "tatas") -> WorkloadInstance:
+        """Instantiate on ``machine``.
+
+        Args:
+            machine: a fresh machine (its core count sets the thread count).
+            hc_kinds: lock kind for each highly-contended lock, length
+                :attr:`n_hc` (letting Figure 1 idealize them one at a time).
+            other_kind: lock kind for every non-contended lock.
+        """
+
+    def instantiate(self, machine: Machine, hc_kind: str = "mcs",
+                    other_kind: str = "tatas",
+                    hc_kinds: Optional[Sequence[str]] = None) -> WorkloadInstance:
+        """Convenience wrapper: one kind for all highly-contended locks."""
+        kinds = list(hc_kinds) if hc_kinds is not None else [hc_kind] * self.n_hc
+        if len(kinds) != self.n_hc:
+            raise ValueError(
+                f"{self.name}: expected {self.n_hc} highly-contended lock "
+                f"kinds, got {len(kinds)}"
+            )
+        return self.build(machine, kinds, other_kind)
+
+    @staticmethod
+    def split_iterations(total: int, n_threads: int) -> List[int]:
+        """Distribute ``total`` loop iterations across threads evenly."""
+        base, extra = divmod(total, n_threads)
+        return [base + (1 if t < extra else 0) for t in range(n_threads)]

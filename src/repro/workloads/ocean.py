@@ -1,0 +1,114 @@
+"""Ocean proxy (SPLASH-2 ``ocean``, 258x258 grid).
+
+Ocean is a barrier-dominated stencil code: per phase every thread relaxes
+its block of a *fixed* grid (strong scaling — the paper's 258x258 input is
+modelled as 1024 grid lines divided among however many threads run), then
+all threads barrier-synchronize and update a global residual accumulator
+under the single highly-contended lock; two bookkeeping locks are touched
+rarely.  The paper reports 3 locks, 1 highly contended (SCTR pattern),
+under 5% of time on locks, and correspondingly the smallest GLocks benefit
+of the three applications (-1% traffic, -10% ED²P).
+
+Block-boundary rows are read by the neighbouring thread (real sharing), so
+some coherence traffic exists independent of locks; the grid itself starts
+warm in the L2 (the untimed init phase wrote it).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.machine import Machine
+from repro.workloads.base import Workload, WorkloadInstance
+
+__all__ = ["OceanProxy"]
+
+
+class OceanProxy(Workload):
+    """Ocean-like kernel: fixed grid, phases + barriers, 3 locks, 1 contended."""
+
+    name = "ocean"
+    n_hc = 1
+    access_pattern = "SCTR"
+
+    def __init__(self, total_grid_lines: int = 1024, phases: int = 8,
+                 compute_per_line: int = 1200, bookkeep_every: int = 4) -> None:
+        if total_grid_lines < 2:
+            raise ValueError("need at least 2 grid lines")
+        self.total_grid_lines = total_grid_lines
+        self.phases = phases
+        self.compute_per_line = compute_per_line
+        self.bookkeep_every = bookkeep_every
+
+    def build(self, machine: Machine, hc_kinds: Sequence[str],
+              other_kind: str = "tatas") -> WorkloadInstance:
+        mem = machine.mem
+        n = machine.config.n_cores
+        line_bytes = machine.config.line_bytes
+        residual_lock = machine.make_lock(hc_kinds[0], name="ocean-residual")
+        io_lock = machine.make_lock(other_kind, name="ocean-io")
+        diag_lock = machine.make_lock(other_kind, name="ocean-diag")
+        residual = mem.address_space.alloc_line()
+        io_counter = mem.address_space.alloc_line()
+        diag_counter = mem.address_space.alloc_line()
+        barrier = machine.make_barrier(n, name="ocean-barrier")
+        # the fixed grid, divided into contiguous row blocks per thread
+        grid = mem.address_space.alloc_array(self.total_grid_lines * 8)
+        mem.warm_l2(grid, self.total_grid_lines * line_bytes)
+        lines_per = self.split_iterations(self.total_grid_lines, n)
+        block_start = [sum(lines_per[:i]) for i in range(n)]
+        phases = self.phases
+        compute_per_line = self.compute_per_line
+        bookkeep_every = self.bookkeep_every
+
+        def make_program(core_id):
+            my_first = block_start[core_id]
+            my_lines = lines_per[core_id]
+            # my right neighbour's first row (boundary sharing)
+            neighbour_first = block_start[(core_id + 1) % n]
+
+            def program(ctx):
+                for phase in range(phases):
+                    # stencil sweep over my block
+                    for row in range(my_first, my_first + my_lines):
+                        addr = grid + row * line_bytes
+                        value = yield from ctx.load(addr)
+                        yield from ctx.compute(compute_per_line)
+                        yield from ctx.store(addr, value + 1)
+                    # read the neighbour's boundary row (real sharing)
+                    if n > 1:
+                        yield from ctx.load(grid + neighbour_first * line_bytes)
+                    # global residual reduction: the contended lock
+                    yield from ctx.acquire(residual_lock)
+                    yield from ctx.rmw(residual, lambda v: v + 1)
+                    yield from ctx.release(residual_lock)
+                    # rare bookkeeping on the quiet locks
+                    if phase % bookkeep_every == 0 and ctx.core_id == 0:
+                        yield from ctx.acquire(io_lock)
+                        yield from ctx.rmw(io_counter, lambda v: v + 1)
+                        yield from ctx.release(io_lock)
+                    if phase % bookkeep_every == 1 and ctx.core_id == n - 1:
+                        yield from ctx.acquire(diag_lock)
+                        yield from ctx.rmw(diag_counter, lambda v: v + 1)
+                        yield from ctx.release(diag_lock)
+                    yield from ctx.barrier_wait(barrier)
+
+            return program
+
+        def validate(m: Machine) -> None:
+            assert m.mem.backing.read(residual) == phases * n
+            for row in range(self.total_grid_lines):
+                assert m.mem.backing.read(grid + row * line_bytes) == phases
+
+        return WorkloadInstance(
+            name=self.name,
+            programs=[make_program(c) for c in range(n)],
+            locks=[residual_lock, io_lock, diag_lock],
+            hc_locks=[residual_lock],
+            lock_labels={
+                residual_lock.uid: "OCEAN-L1",
+                io_lock.uid: "OCEAN-LR",
+                diag_lock.uid: "OCEAN-LR",
+            },
+            validate=validate,
+        )

@@ -1,0 +1,146 @@
+"""Parallel quicksort over a lock-protected work stack (the paper's QSort).
+
+16384 integers, one lock (highly contended, PRCO-like: the work stack is a
+shared producer/consumer structure).  Threads pop a segment; large segments
+are partitioned (touching the segment's cache lines and pushing the two
+halves back), small segments are sorted in place.  The single work-stack
+lock throttles scalability exactly as the paper's Table IV shows (QSort
+saturates near 12x at 32 cores).
+
+Memory is modelled at line granularity — a partition pass loads and stores
+each line of the segment once — while the per-element comparison work is
+charged as compute cycles.  The stack itself (top-of-stack index + segment
+records) lives in simulated shared memory, so every pop/push runs through
+the coherence protocol under the lock.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.machine import Machine
+from repro.workloads.base import Workload, WorkloadInstance
+
+__all__ = ["ParallelQuicksort"]
+
+WORDS_PER_LINE = 8
+
+
+class ParallelQuicksort(Workload):
+    """Work-stack parallel quicksort."""
+
+    name = "qsort"
+    n_hc = 1
+    access_pattern = "PRCO"
+
+    def __init__(self, elements: int = 16384, serial_threshold: int = 512,
+                 compare_cycles: int = 4) -> None:
+        if elements < 2:
+            raise ValueError("need at least two elements")
+        if serial_threshold < 2:
+            raise ValueError("serial threshold must be >= 2")
+        self.elements = elements
+        self.serial_threshold = serial_threshold
+        self.compare_cycles = compare_cycles
+
+    def build(self, machine: Machine, hc_kinds: Sequence[str],
+              other_kind: str = "tatas") -> WorkloadInstance:
+        mem = machine.mem
+        n = machine.config.n_cores
+        line_bytes = machine.config.line_bytes
+        lock = machine.make_lock(hc_kinds[0], name="qsort-stacklock")
+        # the array of elements, line-aligned; the untimed init phase wrote
+        # it, so it starts warm in the L2 (the paper times the sort only)
+        array_base = mem.address_space.alloc_array(self.elements)
+        mem.warm_l2(array_base, self.elements * 8)
+        # shared work stack: top index + (lo, hi) record slots
+        max_segments = 4 * self.elements // self.serial_threshold + 16
+        stack_top = mem.address_space.alloc_line()     # segments on the stack
+        pending = mem.address_space.alloc_line()       # segments not yet done
+        sorted_elems = mem.address_space.alloc_line()  # leaf elements finished
+        seg_lo = mem.address_space.alloc_array(max_segments)
+        seg_hi = mem.address_space.alloc_array(max_segments)
+        # seed the stack with the full range
+        mem.backing.write(seg_lo, 0)
+        mem.backing.write(seg_hi, self.elements)
+        mem.backing.write(stack_top, 1)
+        mem.backing.write(pending, 1)
+        threshold = self.serial_threshold
+        compare = self.compare_cycles
+        elements = self.elements
+
+        def line_of_elem(idx: int) -> int:
+            return array_base + (idx // WORDS_PER_LINE) * line_bytes
+
+        def touch_segment(ctx, lo, hi):
+            """Load+store every line of [lo, hi) once (a partition pass)."""
+            first = lo // WORDS_PER_LINE
+            last = (hi - 1) // WORDS_PER_LINE
+            for line_idx in range(first, last + 1):
+                addr = array_base + line_idx * line_bytes
+                value = yield from ctx.load(addr)
+                yield from ctx.store(addr, value + 1)
+
+        def program(ctx):
+            poll_backoff = 64
+            while True:
+                # pop a segment (or learn that sorting is finished)
+                yield from ctx.acquire(lock)
+                remaining = yield from ctx.load(pending)
+                if remaining == 0:
+                    yield from ctx.release(lock)
+                    return
+                top = yield from ctx.load(stack_top)
+                if top == 0:
+                    # nothing to steal right now -- others are partitioning;
+                    # back off exponentially in a pause loop
+                    yield from ctx.release(lock)
+                    yield from ctx.idle(poll_backoff)
+                    poll_backoff = min(poll_backoff * 2, 4096)
+                    continue
+                poll_backoff = 64
+                lo = yield from ctx.load(seg_lo + 8 * (top - 1))
+                hi = yield from ctx.load(seg_hi + 8 * (top - 1))
+                yield from ctx.store(stack_top, top - 1)
+                yield from ctx.release(lock)
+
+                size = hi - lo
+                if size <= threshold:
+                    # serial leaf sort: insertion sort over the warm segment
+                    # (~k^2/4 comparisons) + one pass over its lines
+                    yield from touch_segment(ctx, lo, hi)
+                    yield from ctx.compute(compare * size * size // 4)
+                    yield from ctx.acquire(lock)
+                    yield from ctx.rmw(sorted_elems, lambda v: v + size)
+                    yield from ctx.rmw(pending, lambda v: v - 1)
+                    yield from ctx.release(lock)
+                else:
+                    # partition: one pass over the data
+                    yield from touch_segment(ctx, lo, hi)
+                    yield from ctx.compute(compare * size)
+                    mid = lo + size // 2  # pivot assumed median-ish
+                    yield from ctx.acquire(lock)
+                    top = yield from ctx.load(stack_top)
+                    yield from ctx.store(seg_lo + 8 * top, lo)
+                    yield from ctx.store(seg_hi + 8 * top, mid)
+                    yield from ctx.store(seg_lo + 8 * (top + 1), mid)
+                    yield from ctx.store(seg_hi + 8 * (top + 1), hi)
+                    yield from ctx.store(stack_top, top + 2)
+                    # this segment became two pending segments
+                    yield from ctx.rmw(pending, lambda v: v + 1)
+                    yield from ctx.release(lock)
+
+        def validate(m: Machine) -> None:
+            assert m.mem.backing.read(pending) == 0
+            assert m.mem.backing.read(stack_top) == 0
+            got = m.mem.backing.read(sorted_elems)
+            assert got == elements, f"qsort finished {got}/{elements} elements"
+
+        return WorkloadInstance(
+            name=self.name,
+            programs=[program] * n,
+            locks=[lock],
+            hc_locks=[lock],
+            lock_labels={lock.uid: "QSORT-L1"},
+            validate=validate,
+        )

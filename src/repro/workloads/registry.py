@@ -1,0 +1,67 @@
+"""Workload registry: benchmark-name -> parameterized definition.
+
+``make_workload(name)`` returns a workload with the paper's Table III
+defaults; ``make_workload(name, scale=0.1)`` shrinks the input size for
+fast tests while keeping the access pattern intact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.workloads.base import Workload
+from repro.workloads.microbench import (
+    AffinityCounter,
+    DoublyLinkedList,
+    MultipleCounter,
+    ProducerConsumer,
+    SingleCounter,
+)
+from repro.workloads.ocean import OceanProxy
+from repro.workloads.qsort import ParallelQuicksort
+from repro.workloads.raytrace import RaytraceProxy
+
+__all__ = ["WORKLOADS", "MICROBENCHMARKS", "APPLICATIONS", "make_workload"]
+
+MICROBENCHMARKS = ("sctr", "mctr", "dbll", "prco", "actr")
+APPLICATIONS = ("raytr", "ocean", "qsort")
+WORKLOADS = MICROBENCHMARKS + APPLICATIONS
+
+_CLASSES: Dict[str, Type[Workload]] = {
+    "sctr": SingleCounter,
+    "mctr": MultipleCounter,
+    "dbll": DoublyLinkedList,
+    "prco": ProducerConsumer,
+    "actr": AffinityCounter,
+    "raytr": RaytraceProxy,
+    "ocean": OceanProxy,
+    "qsort": ParallelQuicksort,
+}
+
+
+def make_workload(name: str, scale: float = 1.0) -> Workload:
+    """Build a workload with paper-default inputs scaled by ``scale``."""
+    if name not in _CLASSES:
+        raise ValueError(f"unknown workload {name!r}; choose from {WORKLOADS}")
+    if not 0 < scale <= 1.0:
+        raise ValueError("scale must be in (0, 1]")
+
+    def s(value: int, minimum: int = 1) -> int:
+        return max(int(value * scale), minimum)
+
+    if name == "sctr":
+        return SingleCounter(iterations=s(1000))
+    if name == "mctr":
+        return MultipleCounter(iterations=s(1000))
+    if name == "dbll":
+        return DoublyLinkedList(iterations=s(1000))
+    if name == "prco":
+        return ProducerConsumer(items=s(1000))
+    if name == "actr":
+        return AffinityCounter(iterations=s(1000))
+    if name == "raytr":
+        return RaytraceProxy(rays=s(600, minimum=32))
+    if name == "ocean":
+        return OceanProxy(phases=s(8, minimum=2))
+    return ParallelQuicksort(elements=s(16384, minimum=2048),
+                             serial_threshold=512)

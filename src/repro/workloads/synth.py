@@ -1,0 +1,84 @@
+"""Synthetic lock workload for sensitivity/ablation studies.
+
+A fully parameterized version of the SCTR pattern: ``n`` threads loop over
+{acquire — critical section of tunable length and memory footprint —
+release — tunable think time}.  The ablation experiments sweep its knobs to
+answer the questions DESIGN.md calls out:
+
+- how long must a critical section be before the lock implementation stops
+  mattering (the GL-vs-MCS crossover)?
+- how does handoff cost scale with G-line latency or tree depth?
+- what does each arbitration policy do to per-thread fairness?
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.machine import Machine
+from repro.workloads.base import Workload, WorkloadInstance
+
+__all__ = ["SyntheticLockWorkload"]
+
+
+class SyntheticLockWorkload(Workload):
+    """Parameterized acquire/CS/release/think loop over one shared lock."""
+
+    name = "synth"
+    n_hc = 1
+
+    def __init__(self, iterations_per_thread: int = 20,
+                 cs_compute: int = 0, cs_shared_words: int = 1,
+                 think_cycles: int = 0) -> None:
+        if iterations_per_thread < 1:
+            raise ValueError("need at least one iteration")
+        if cs_shared_words < 0 or cs_compute < 0 or think_cycles < 0:
+            raise ValueError("negative workload parameter")
+        self.iterations_per_thread = iterations_per_thread
+        self.cs_compute = cs_compute
+        self.cs_shared_words = cs_shared_words
+        self.think_cycles = think_cycles
+
+    def build(self, machine: Machine, hc_kinds: Sequence[str],
+              other_kind: str = "tatas") -> WorkloadInstance:
+        n = machine.config.n_cores
+        lock = machine.make_lock(hc_kinds[0], name="synth-lock")
+        shared = machine.mem.address_space.alloc_words_padded(
+            max(self.cs_shared_words, 1))
+        iters = self.iterations_per_thread
+        cs_compute = self.cs_compute
+        n_words = self.cs_shared_words
+        think = self.think_cycles
+        entries = {core: 0 for core in range(n)}
+
+        def make_program(core_id):
+            def program(ctx):
+                for _ in range(iters):
+                    yield from ctx.acquire(lock)
+                    for w in range(n_words):
+                        yield from ctx.rmw(shared[w], lambda v: v + 1)
+                    if cs_compute:
+                        yield from ctx.compute(cs_compute)
+                    entries[core_id] += 1
+                    yield from ctx.release(lock)
+                    if think:
+                        yield from ctx.compute(think)
+            return program
+
+        def validate(m: Machine) -> None:
+            expected = n * iters
+            for w in range(n_words):
+                got = m.mem.backing.read(shared[w])
+                assert got == expected, f"synth word {w}: {got} != {expected}"
+            assert sum(entries.values()) == expected
+
+        instance = WorkloadInstance(
+            name=self.name,
+            programs=[make_program(c) for c in range(n)],
+            locks=[lock],
+            hc_locks=[lock],
+            lock_labels={lock.uid: "SYNTH-L1"},
+            validate=validate,
+        )
+        instance.entries = entries  # per-thread CS counts (fairness studies)
+        return instance

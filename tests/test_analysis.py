@@ -1,0 +1,106 @@
+"""Tests for the contention analysis (Eq. 1-3) and breakdown helpers."""
+
+import numpy as np
+import pytest
+
+from repro import CMPConfig, Machine
+from repro.analysis import analyze_contention, benchmark_licr, normalized_breakdown
+from repro.analysis.report import format_series, format_table
+from repro.workloads import make_workload
+
+
+def run_wl(name, hc_kind="tatas", n_cores=8, scale=0.05):
+    m = Machine(CMPConfig.baseline(n_cores))
+    inst = make_workload(name, scale=scale).instantiate(m, hc_kind=hc_kind,
+                                                        other_kind="tatas")
+    res = m.run(inst.programs)
+    inst.validate(m)
+    return res, inst
+
+
+def test_contention_profiles_have_all_labels():
+    res, inst = run_wl("actr")
+    profiles = analyze_contention(res, inst.lock_labels)
+    assert set(profiles) == {"ACTR-L1", "ACTR-L2"}
+    for p in profiles.values():
+        assert p.n_acquires > 0
+        assert p.total_cycles > 0
+
+
+def test_lcr_is_a_distribution():
+    res, inst = run_wl("sctr")
+    profiles = analyze_contention(res, inst.lock_labels)
+    lcr = profiles["SCTR-L1"].lcr()
+    assert lcr.sum() == pytest.approx(1.0)
+    assert np.all(lcr >= 0)
+
+
+def test_sctr_contention_concentrates_high():
+    """With no think time to speak of, most contended cycles see many
+    requesters — the Figure 7 shape for the micros."""
+    res, inst = run_wl("sctr", n_cores=8, scale=0.2)
+    p = analyze_contention(res, inst.lock_labels)["SCTR-L1"]
+    # more than half the contended cycles have >= half the cores requesting
+    assert p.aggregate_rate(4) > 0.5
+
+
+def test_raytr_quiet_locks_aggregate():
+    res, inst = run_wl("raytr", scale=0.1)
+    profiles = analyze_contention(res, inst.lock_labels)
+    assert "RAYTR-LR" in profiles
+    # the quiet per-cell locks see far less contention-time than the HC ones
+    hc_cycles = profiles["RAYTR-L1"].total_cycles
+    quiet = profiles["RAYTR-LR"]
+    assert quiet.aggregate_rate(5) < 0.5
+    assert hc_cycles > 0
+
+
+def test_benchmark_licr_sums_to_one():
+    res, inst = run_wl("actr")
+    profiles = analyze_contention(res, inst.lock_labels)
+    licr = benchmark_licr(profiles)
+    total = sum(arr.sum() for arr in licr.values())
+    assert total == pytest.approx(1.0)
+
+
+def test_benchmark_licr_empty_profiles():
+    res, inst = run_wl("sctr", n_cores=1, scale=0.02)
+    profiles = analyze_contention(res, inst.lock_labels)
+    licr = benchmark_licr(profiles)
+    # single-core run: zero contended cycles (waits are instantaneous-ish)
+    assert set(licr) == set(profiles)
+
+
+def test_normalized_breakdown_baseline_sums_to_one():
+    res, _ = run_wl("sctr", hc_kind="mcs")
+    b = normalized_breakdown(res, res)
+    assert sum(b.values()) == pytest.approx(1.0)
+
+
+def test_normalized_breakdown_ratio():
+    res_mcs, _ = run_wl("sctr", hc_kind="mcs")
+    res_gl, _ = run_wl("sctr", hc_kind="glock")
+    b = normalized_breakdown(res_gl, res_mcs)
+    assert sum(b.values()) == pytest.approx(res_gl.makespan / res_mcs.makespan)
+    assert b["lock"] < normalized_breakdown(res_mcs, res_mcs)["lock"]
+
+
+def test_normalized_breakdown_bad_baseline():
+    res, _ = run_wl("sctr", hc_kind="mcs")
+    import dataclasses
+    zero = dataclasses.replace(res, makespan=0)
+    with pytest.raises(ValueError):
+        normalized_breakdown(res, zero)
+
+
+def test_format_table_alignment():
+    out = format_table(["a", "bb"], [[1, 2.5], ["xxx", 4]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("a")
+    assert "2.500" in out
+
+
+def test_format_series():
+    out = format_series("s", {"x": 0.5, "y": 1.0}, precision=2)
+    assert out == "s: x=0.50 y=1.00"

@@ -1,0 +1,107 @@
+"""Tests for the shared-memory tree barrier."""
+
+import pytest
+
+from repro import CMPConfig, Machine
+
+
+def test_barrier_synchronizes_all_threads():
+    m = Machine(CMPConfig.baseline(8))
+    bar = m.make_barrier(8)
+    after = []
+
+    def prog(ctx):
+        yield from ctx.compute((ctx.core_id + 1) * 37)
+        yield from ctx.barrier_wait(bar)
+        after.append((ctx.core_id, ctx.sim.now))
+
+    m.run([prog] * 8)
+    times = [t for _, t in after]
+    # everyone leaves at/after the slowest arrival (8 * 37)
+    assert min(times) >= 8 * 37
+    assert bar.episodes == 1
+
+
+def test_barrier_reusable_many_episodes():
+    m = Machine(CMPConfig.baseline(4))
+    bar = m.make_barrier(4)
+    phase_log = []
+
+    def prog(ctx):
+        for phase in range(5):
+            yield from ctx.compute(10 + ctx.core_id)
+            yield from ctx.barrier_wait(bar)
+            phase_log.append((phase, ctx.core_id, ctx.sim.now))
+
+    m.run([prog] * 4)
+    assert bar.episodes == 5
+    # within each phase, no thread leaves before every thread arrived:
+    # thread exit times of phase p must all exceed max exit of phase p-1 start
+    by_phase = {}
+    for phase, core, t in phase_log:
+        by_phase.setdefault(phase, []).append(t)
+    for p in range(1, 5):
+        assert min(by_phase[p]) > min(by_phase[p - 1])
+
+
+def test_barrier_no_thread_passes_early():
+    """A fast thread must not start phase 2 work before slow threads arrive."""
+    m = Machine(CMPConfig.baseline(4))
+    bar = m.make_barrier(4)
+    arrived = set()
+    violations = []
+
+    def prog(ctx):
+        if ctx.core_id == 3:
+            yield from ctx.compute(5000)  # the straggler
+        arrived.add(ctx.core_id)
+        yield from ctx.barrier_wait(bar)
+        if len(arrived) != 4:
+            violations.append(ctx.core_id)
+
+    m.run([prog] * 4)
+    assert not violations
+
+
+def test_barrier_generates_bounded_traffic():
+    """Tree barrier flags see at most 2 threads; traffic stays modest."""
+    m = Machine(CMPConfig.baseline(8))
+    bar = m.make_barrier(8)
+
+    def prog(ctx):
+        yield from ctx.barrier_wait(bar)
+
+    res = m.run([prog] * 8)
+    assert res.total_traffic > 0
+    # each of the 7 arrival + 7 wakeup handoffs is O(1) messages
+    assert res.counters.get("l2.invalidations", 0) < 64
+
+
+def test_single_thread_barrier_trivial():
+    m = Machine(CMPConfig.baseline(4))
+    bar = m.make_barrier(1)
+
+    def prog(ctx):
+        yield from ctx.barrier_wait(bar)
+        yield from ctx.barrier_wait(bar)
+
+    m.run([prog])
+    assert bar.episodes == 2
+
+
+def test_barrier_core_out_of_range_rejected():
+    m = Machine(CMPConfig.baseline(4))
+    bar = m.make_barrier(2)
+
+    def prog(ctx):
+        yield from ctx.barrier_wait(bar)
+
+    with pytest.raises(Exception):
+        # core 2 is outside a 2-thread tree; cores 0,1 would block forever
+        m.run([lambda ctx: prog(ctx), lambda ctx: prog(ctx), prog])
+
+
+def test_invalid_barrier_size():
+    m = Machine(CMPConfig.baseline(4))
+    with pytest.raises(ValueError):
+        m.make_barrier(0)

@@ -1,0 +1,82 @@
+"""Tests for the repro-sim command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+def test_config_prints_table_ii(capsys):
+    code, out = run_cli(capsys, "config", "--cores", "32")
+    assert code == 0
+    assert "Number of cores" in out and "32" in out
+    assert "2D-mesh" in out
+
+
+def test_cost_prints_table_i(capsys):
+    code, out = run_cli(capsys, "cost", "--cores", "49")
+    assert code == 0
+    assert "G-lines" in out and "48" in out
+    assert "4 cycles" in out
+
+
+def test_cost_hierarchical(capsys):
+    code, out = run_cli(capsys, "cost", "--cores", "49", "--levels", "3")
+    assert code == 0
+    assert "6 cycles" in out  # 3-level worst-case acquire
+
+
+def test_run_workload(capsys):
+    code, out = run_cli(capsys, "run", "--workload", "sctr",
+                        "--lock", "glock", "--cores", "4", "--scale", "0.05")
+    assert code == 0
+    assert "makespan" in out and "ED2P" in out
+    assert "lock=" in out
+
+
+def test_run_rejects_unknown_workload():
+    with pytest.raises(SystemExit):
+        main(["run", "--workload", "nope"])
+
+
+def test_experiment_table1(capsys):
+    code, out = run_cli(capsys, "experiment", "table1")
+    assert code == 0
+    assert "Table I" in out and "measured" in out
+
+
+def test_experiment_fig08_small(capsys):
+    code, out = run_cli(capsys, "experiment", "fig08",
+                        "--scale", "0.03", "--cores", "4")
+    assert code == 0
+    assert "Figure 8" in out and "AvgM" in out
+
+
+def test_experiment_ablate_cs(capsys):
+    code, out = run_cli(capsys, "experiment", "ablate-cs")
+    assert code == 0
+    assert "critical-section length" in out
+
+
+def test_shootout(capsys):
+    code, out = run_cli(capsys, "shootout", "--cores", "4", "--iters", "40")
+    assert code == 0
+    for kind in ("mcs", "glock", "ideal"):
+        assert kind in out
+
+
+def test_all_experiment_names_resolve():
+    import importlib
+    for name, module_path in EXPERIMENTS.items():
+        module = importlib.import_module(module_path)
+        assert hasattr(module, "run") and hasattr(module, "render"), name
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,107 @@
+"""Unit tests for token-manager construction and G-line edge cases."""
+
+import pytest
+
+from repro import CMPConfig
+from repro.core import GLine, GLineNetwork, cost_model
+from repro.core.controllers import LeafPort, TokenManager
+from repro.sim import Simulator
+from repro.sim.stats import CounterSet
+
+
+def test_token_manager_rejects_unknown_policy():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        TokenManager(sim, CounterSet(), "m", arbitration="random")
+
+
+def test_root_with_parent_rejected():
+    sim = Simulator()
+    counters = CounterSet()
+    parent = TokenManager(sim, counters, "p")
+    child = TokenManager(sim, counters, "c")
+    parent.attach_child(child)
+    with pytest.raises(RuntimeError):
+        child.make_root()
+
+
+def test_rel_from_wrong_child_rejected():
+    sim = Simulator()
+    counters = CounterSet()
+    root = TokenManager(sim, counters, "r")
+    root.make_root()
+    granted = []
+    root.attach_child(LeafPort(lambda: granted.append(0)))
+    root.attach_child(LeafPort(lambda: granted.append(1)))
+    root.signal_request(0)
+    sim.run()
+    assert granted == [0]
+    root.signal_release(1)  # child 1 never held the token
+    with pytest.raises(RuntimeError):
+        sim.run()
+
+
+def test_gline_latency_must_be_positive():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        GLine(sim, CounterSet(), latency=0)
+
+
+def test_gline_counts_signals():
+    sim = Simulator()
+    counters = CounterSet()
+    wire = GLine(sim, counters, name="w")
+    hits = []
+    wire.transmit(hits.append, 1)
+    wire.transmit(hits.append, 2)
+    sim.run()
+    assert hits == [1, 2]
+    assert wire.signals_sent == 2
+    assert counters["gline.signals"] == 2
+
+
+def test_network_rejects_bad_levels():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        GLineNetwork(sim, CMPConfig.baseline(4), CounterSet(), levels=4)
+
+
+def test_network_release_without_request_rejected():
+    sim = Simulator()
+    net = GLineNetwork(sim, CMPConfig.baseline(4), CounterSet())
+    net.request(0, lambda: None)
+    sim.run()
+    # core 1 never requested/held: its manager sees a REL from a non-busy
+    # child and flags the protocol violation
+    net.release(1)
+    with pytest.raises(RuntimeError):
+        sim.run()
+
+
+def test_token_callback_without_wait_rejected():
+    sim = Simulator()
+    net = GLineNetwork(sim, CMPConfig.baseline(4), CounterSet())
+    # grant a token to core 0 twice by internal misuse: simulate by calling
+    # the leaf deliver callback directly after the real one consumed it
+    fired = []
+    net.request(0, lambda: fired.append(0))
+    sim.run()
+    assert fired == [0]
+    deliver = net._make_token_cb(0)
+    with pytest.raises(RuntimeError):
+        deliver()
+
+
+def test_cost_model_three_levels_g_lines_positive():
+    cost = cost_model(CMPConfig.baseline(64), levels=3)
+    assert cost.g_lines > 0
+    assert cost.secondary_managers > 8  # rows + intermediates
+    assert cost.acquire_worst_cycles == 6
+
+
+@pytest.mark.parametrize("n", [4, 9, 16, 36])
+def test_two_level_matches_closed_form_everywhere(n):
+    sim = Simulator()
+    cfg = CMPConfig.baseline(n)
+    net = GLineNetwork(sim, cfg, CounterSet())
+    assert net.n_glines == n - 1

@@ -1,0 +1,148 @@
+"""Tests for the core model and time-category attribution."""
+
+import pytest
+
+from repro import CMPConfig, Machine
+from repro.cpu import BARRIER, BUSY, LOCK, MEMORY
+
+
+def test_compute_attributes_busy():
+    m = Machine(CMPConfig.baseline(4))
+
+    def prog(ctx):
+        yield from ctx.compute(100)
+
+    res = m.run([prog])
+    assert res.per_core_cycles[0][BUSY] == 100
+    assert res.makespan == 100
+    assert res.instructions == 100
+
+
+def test_memory_ops_attribute_memory():
+    m = Machine(CMPConfig.baseline(4))
+    addr = m.mem.address_space.alloc_word()
+
+    def prog(ctx):
+        yield from ctx.store(addr, 1)
+        v = yield from ctx.load(addr)
+        assert v == 1
+
+    res = m.run([prog])
+    assert res.per_core_cycles[0][MEMORY] > 0
+    assert res.per_core_cycles[0][BUSY] == 0
+
+
+def test_lock_time_attributed_to_lock_category():
+    m = Machine(CMPConfig.baseline(4))
+    lock = m.make_lock("tatas")
+
+    def prog(ctx):
+        yield from ctx.acquire(lock)
+        yield from ctx.compute(10)
+        yield from ctx.release(lock)
+
+    res = m.run([prog, prog])
+    for core in range(2):
+        assert res.per_core_cycles[core][LOCK] > 0
+        assert res.per_core_cycles[core][BUSY] == 10
+
+
+def test_no_double_count_inside_lock():
+    """Lock category counts elapsed wall time once, not wrapper + inner ops."""
+    m = Machine(CMPConfig.baseline(4))
+    lock = m.make_lock("tatas")
+
+    def prog(ctx):
+        yield from ctx.acquire(lock)
+        yield from ctx.release(lock)
+
+    res = m.run([prog])
+    core = res.per_core_cycles[0]
+    assert core[LOCK] <= res.makespan
+    assert sum(core.values()) <= res.makespan
+
+
+def test_barrier_time_attributed():
+    m = Machine(CMPConfig.baseline(4))
+    bar = m.make_barrier(4)
+
+    def prog(ctx):
+        yield from ctx.compute(ctx.core_id * 50)  # staggered arrival
+        yield from ctx.barrier_wait(bar)
+
+    res = m.run([prog] * 4)
+    # core 0 arrives first and waits longest
+    assert res.per_core_cycles[0][BARRIER] > res.per_core_cycles[3][BARRIER] - 50
+    assert all(pc[BARRIER] > 0 for pc in res.per_core_cycles[:3])
+
+
+def test_critical_helper():
+    m = Machine(CMPConfig.baseline(4))
+    lock = m.make_lock("mcs")
+    counter = m.mem.address_space.alloc_line()
+
+    def prog(ctx):
+        def body():
+            yield from ctx.rmw(counter, lambda v: v + 1)
+
+        for _ in range(5):
+            yield from ctx.critical(lock, body())
+
+    m2 = m.run([prog] * 4)
+    assert m.mem.backing.read(counter) == 20
+
+
+def test_lock_intervals_recorded():
+    m = Machine(CMPConfig.baseline(4))
+    lock = m.make_lock("tatas")
+
+    def prog(ctx):
+        for _ in range(3):
+            yield from ctx.acquire(lock)
+            yield from ctx.compute(5)
+            yield from ctx.release(lock)
+
+    res = m.run([prog] * 4)
+    assert len(res.lock_intervals.intervals) == 12  # 4 cores x 3 acquires
+    assert res.lock_intervals.n_open == 0
+
+
+def test_machine_single_run_guard():
+    m = Machine(CMPConfig.baseline(4))
+
+    def prog(ctx):
+        yield from ctx.compute(1)
+
+    m.run([prog])
+    with pytest.raises(RuntimeError):
+        m.run([prog])
+
+
+def test_too_many_programs_rejected():
+    m = Machine(CMPConfig.baseline(4))
+
+    def prog(ctx):
+        yield from ctx.compute(1)
+
+    with pytest.raises(ValueError):
+        m.run([prog] * 5)
+
+
+def test_negative_compute_rejected():
+    m = Machine(CMPConfig.baseline(4))
+
+    def prog(ctx):
+        yield from ctx.compute(-1)
+
+    with pytest.raises(Exception):
+        m.run([prog])
+
+
+def test_makespan_is_max_finish_time():
+    m = Machine(CMPConfig.baseline(4))
+
+    def prog(ctx):
+        yield from ctx.compute((ctx.core_id + 1) * 100)
+
+    res = m.run([prog] * 4)
+    assert res.makespan == 400

@@ -1,0 +1,108 @@
+"""Tests for the energy model and accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CMPConfig, Machine
+from repro.energy import EnergyModel, account_run, ed2p, edp
+from repro.energy.metrics import normalized_ratio
+
+
+def run_workload(kind, n_cores=8, iters=15):
+    m = Machine(CMPConfig.baseline(n_cores))
+    lock = m.make_lock(kind)
+    counter = m.mem.address_space.alloc_line()
+
+    def prog(ctx):
+        for _ in range(iters):
+            yield from ctx.acquire(lock)
+            yield from ctx.rmw(counter, lambda v: v + 1)
+            yield from ctx.release(lock)
+
+    return m.run([prog] * n_cores)
+
+
+def test_model_orderings_validated():
+    EnergyModel().validate()
+    with pytest.raises(ValueError):
+        EnergyModel(dram_access_pj=1.0).validate()
+    with pytest.raises(ValueError):
+        EnergyModel(gline_signal_pj=100.0).validate()
+    with pytest.raises(ValueError):
+        EnergyModel(instruction_pj=-1.0).validate()
+
+
+def test_account_components_positive_for_mcs():
+    res = run_workload("mcs")
+    acc = account_run(res)
+    b = acc.breakdown()
+    assert b["core"] > 0 and b["l1"] > 0 and b["l2"] > 0
+    assert b["noc"] > 0 and b["leakage"] > 0
+    assert b["gline"] == 0  # no G-line activity under MCS
+    assert acc.total_pj == pytest.approx(sum(b.values()))
+
+
+def test_glock_run_has_gline_but_less_noc_energy():
+    res_mcs = run_workload("mcs")
+    res_gl = run_workload("glock")
+    acc_mcs = account_run(res_mcs)
+    acc_gl = account_run(res_gl)
+    assert acc_gl.gline_pj > 0
+    assert acc_gl.noc_pj < acc_mcs.noc_pj
+    # the G-line network energy is tiny compared to the NoC savings
+    assert acc_gl.gline_pj < (acc_mcs.noc_pj - acc_gl.noc_pj)
+
+
+def test_glock_improves_full_cmp_ed2p():
+    res_mcs = run_workload("mcs")
+    res_gl = run_workload("glock")
+    m_mcs = ed2p(account_run(res_mcs), res_mcs.makespan)
+    m_gl = ed2p(account_run(res_gl), res_gl.makespan)
+    assert m_gl < m_mcs
+
+
+def test_leakage_scales_with_makespan_and_cores():
+    res_small = run_workload("mcs", n_cores=4, iters=5)
+    acc = account_run(res_small)
+    model = EnergyModel()
+    expected = res_small.makespan * (
+        4 * model.tile_leakage_pj_per_cycle
+        + res_small.config.gline.n_glocks * model.gline_leakage_pj_per_cycle
+    )
+    assert acc.leakage_pj == pytest.approx(expected)
+
+
+def test_edp_vs_ed2p_weighting():
+    res = run_workload("mcs", n_cores=4, iters=5)
+    acc = account_run(res)
+    assert ed2p(acc, res.makespan) == pytest.approx(edp(acc, res.makespan) * res.makespan)
+
+
+def test_normalized_ratio_guard():
+    assert normalized_ratio(1.0, 2.0) == 0.5
+    with pytest.raises(ValueError):
+        normalized_ratio(1.0, 0.0)
+
+
+_CACHED_RES = None
+
+
+def _cached_result():
+    global _CACHED_RES
+    if _CACHED_RES is None:
+        _CACHED_RES = run_workload("tatas", n_cores=4, iters=5)
+    return _CACHED_RES
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.floats(1.0, 100.0), st.floats(1.0, 15.0))
+def test_custom_model_scales_linearly(instr_pj, l1_pj):
+    """Doubling a per-event energy doubles that component exactly."""
+    res = _cached_result()
+    base = account_run(res, EnergyModel(instruction_pj=instr_pj, l1_access_pj=l1_pj))
+    double = account_run(
+        res, EnergyModel(instruction_pj=2 * instr_pj, l1_access_pj=l1_pj)
+    )
+    assert double.core_pj == pytest.approx(2 * base.core_pj)
+    assert double.l1_pj == pytest.approx(base.l1_pj)

@@ -1,0 +1,45 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are part of the public deliverable; they must not rot.  Each is
+executed in-process (monkey-patched argv-free mains) and checked for its
+signature output.
+"""
+
+import importlib.util
+import io
+import os
+import sys
+from contextlib import redirect_stdout
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+CASES = [
+    ("quickstart", "GLocks quickstart"),
+    ("lock_shootout", "Lock shootout"),
+    ("contention_profiler", "contention profiles"),
+    ("scaling_study", "Application scaling"),
+    ("protocol_trace", "Figure 4"),
+    ("multiprogrammed", "binding events"),
+    ("power_phases", "power timeline"),
+    ("granularity_study", "Locking granularity"),
+]
+
+
+def run_example(name: str) -> str:
+    path = os.path.join(EXAMPLES_DIR, f"{name}.py")
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        spec.loader.exec_module(module)
+        module.main()
+    return buffer.getvalue()
+
+
+@pytest.mark.parametrize("name,marker", CASES)
+def test_example_runs(name, marker):
+    output = run_example(name)
+    assert marker.lower() in output.lower(), f"{name} missing '{marker}'"
+    assert len(output) > 100

@@ -1,0 +1,94 @@
+"""Tests for CSV export and the digest validation experiment."""
+
+import csv
+import json
+import os
+
+import pytest
+
+from repro.analysis.export import export_bars, export_series, write_csv
+from repro.experiments import validate
+
+
+def read_csv(path):
+    with open(path) as fh:
+        return list(csv.reader(fh))
+
+
+def test_write_csv_roundtrip(tmp_path):
+    path = str(tmp_path / "t.csv")
+    n = write_csv(path, ["a", "b"], [[1, 2], [3, 4]])
+    assert n == 2
+    rows = read_csv(path)
+    assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+
+def test_export_bars_flattens(tmp_path):
+    bars = {
+        "sctr": {"MCS": {"busy": 0.1, "lock": 0.9},
+                 "GL": {"busy": 0.1, "lock": 0.5}},
+        "mctr": {"MCS": {"busy": 0.4, "lock": 0.6},
+                 "GL": {"busy": 0.4, "lock": 0.1}},
+    }
+    path = str(tmp_path / "bars.csv")
+    n = export_bars(path, bars)
+    assert n == 4
+    rows = read_csv(path)
+    assert rows[0] == ["benchmark", "variant", "busy", "lock"]
+    assert ["sctr", "GL", "0.1", "0.5"] in rows
+
+
+def test_export_series(tmp_path):
+    path = str(tmp_path / "s.csv")
+    export_series(path, {"a": 1.5, "b": 2.0}, key_name="k", value_name="v")
+    rows = read_csv(path)
+    assert rows == [["k", "v"], ["a", "1.5"], ["b", "2.0"]]
+
+
+def make_digest(tmp_path, fig8=None, table4=None):
+    digest = {}
+    if fig8 is not None:
+        digest["fig8"] = {"ratios": fig8, "averages": {}}
+    if table4 is not None:
+        digest["table4"] = table4
+    path = str(tmp_path / "digest.json")
+    json.dump(digest, open(path, "w"))
+    return path
+
+
+def test_validate_agreeing_digest(tmp_path):
+    path = make_digest(tmp_path, fig8={"sctr": 0.6, "actr": 0.4})
+    results = validate.run(path)
+    assert len(results["deviations"]) == 2
+    assert results["disagreements"] == []
+    assert "all normalized ratios agree" in validate.render(results)
+
+
+def test_validate_flags_direction_mismatch(tmp_path):
+    path = make_digest(tmp_path, fig8={"sctr": 1.2})  # GL slower: mismatch
+    results = validate.run(path)
+    assert len(results["disagreements"]) == 1
+    assert "DIRECTION MISMATCH" in validate.render(results)
+
+
+def test_validate_table4_keys(tmp_path):
+    path = make_digest(
+        tmp_path,
+        table4={"raytr/MCS": {"4": 3.9, "8": 7.4, "16": 13.5, "32": 19.0}},
+    )
+    results = validate.run(path)
+    keys = {d.key for d in results["deviations"]}
+    assert "table4/raytr/MCS@32" in keys
+    assert len(keys) == 4
+
+
+def test_validate_missing_digest():
+    with pytest.raises(FileNotFoundError):
+        validate.run("no_such_digest.json")
+
+
+def test_validate_real_recorded_digest_if_present():
+    if not os.path.exists("results_full.json"):
+        pytest.skip("full-scale digest not recorded")
+    results = validate.run("results_full.json")
+    assert results["disagreements"] == []

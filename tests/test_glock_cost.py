@@ -1,0 +1,67 @@
+"""Tests of the Table I analytical cost model."""
+
+import math
+
+import pytest
+
+from repro import CMPConfig
+from repro.core import cost_model
+
+
+def test_table1_values_for_square_mesh():
+    """Table I exactly, for a square 49-core (7x7) CMP."""
+    cfg = CMPConfig.baseline(49)
+    cost = cost_model(cfg)
+    assert cost.g_lines == 48                      # C - 1
+    assert cost.primary_managers == 1
+    assert cost.secondary_managers == 7            # sqrt(C)
+    assert cost.local_controllers == 48            # C - 1
+    assert cost.fsx_flags == 7                     # sqrt(C)
+    assert cost.fx_flags == 49                     # C
+    assert cost.acquire_worst_cycles == 4
+    assert cost.acquire_best_cycles == 2
+    assert cost.release_cycles == 1
+
+
+@pytest.mark.parametrize("n", [4, 9, 16, 25, 36, 49])
+def test_square_meshes_match_closed_forms(n):
+    cfg = CMPConfig.baseline(n)
+    cost = cost_model(cfg)
+    side = int(math.isqrt(n))
+    assert cost.g_lines == n - 1
+    assert cost.secondary_managers == side
+    assert cost.fx_flags == n
+
+
+def test_paper_32_core_chip():
+    """The evaluated 32-core chip: 6x6 grid, 6 populated rows."""
+    cfg = CMPConfig.baseline(32)
+    cost = cost_model(cfg)
+    assert cost.g_lines == 31
+    assert cost.secondary_managers == 6
+    assert cost.local_controllers == 31
+
+
+def test_hierarchical_adds_two_cycles():
+    cfg = CMPConfig.baseline(64)
+    c2 = cost_model(CMPConfig.baseline(49), levels=2)
+    c3 = cost_model(cfg, levels=3)
+    assert c3.acquire_worst_cycles == c2.acquire_worst_cycles + 2
+    assert c3.acquire_best_cycles == c2.acquire_best_cycles
+
+
+def test_gline_latency_scales_all_latencies():
+    from dataclasses import replace
+    cfg = CMPConfig.baseline(16)
+    slow = replace(cfg, gline=replace(cfg.gline, gline_latency=3))
+    cost = cost_model(slow)
+    assert cost.acquire_worst_cycles == 12
+    assert cost.acquire_best_cycles == 6
+    assert cost.release_cycles == 3
+
+
+def test_rows_renders_table():
+    rows = cost_model(CMPConfig.baseline(49)).rows()
+    labels = [r[0] for r in rows]
+    assert "G-lines" in labels and "Lock Release" in labels
+    assert len(rows) == 9

@@ -1,0 +1,259 @@
+"""Cycle-level tests of the GLocks token protocol (paper Section III).
+
+Verifies the Figure 4 choreography, the Table I latencies, round-robin
+fairness at both manager levels, and the hierarchical (3-level) extension.
+"""
+
+import pytest
+
+from repro import CMPConfig, Machine
+from repro.core import GLineNetwork, GLockDevice, cost_model
+from repro.sim import Simulator
+from repro.sim.stats import CounterSet
+
+
+def make_device(n_cores=9, levels=2, gline_latency=1):
+    sim = Simulator()
+    cfg = CMPConfig.baseline(n_cores)
+    if gline_latency != 1:
+        from dataclasses import replace
+        cfg = replace(cfg, gline=replace(cfg.gline, gline_latency=gline_latency))
+    counters = CounterSet()
+    dev = GLockDevice(sim, cfg, counters, levels=levels)
+    return sim, dev, counters
+
+
+def test_acquire_best_case_two_cycles():
+    """Token parked at the primary, single requester: REQ + hops + TOKEN."""
+    sim, dev, _ = make_device(9)
+    grant_time = {}
+
+    def prog():
+        yield from dev.acquire(0)
+        grant_time["t"] = sim.now
+
+    p = sim.spawn(prog())
+    sim.run_until_processes_finish([p])
+    # 9 cores -> 3x3 mesh: REQ C->S (1), REQ S->R (2), TOKEN R->S (3),
+    # TOKEN S->C (4): the paper's *worst* case, since the token starts at R
+    assert grant_time["t"] == 4
+
+
+def test_acquire_fast_when_token_at_local_manager():
+    """Second acquire from the same row: S holds nothing, but R grants
+    back through the row -- and a repeat acquire right after a release by a
+    row peer takes the 2-cycle best case."""
+    sim, dev, _ = make_device(9)
+    times = {}
+
+    def prog():
+        yield from dev.acquire(0)      # cold: 4 cycles
+        t0 = sim.now
+        # core 1 (same row) is already waiting by now -- see prog2
+        yield from dev.release(0)
+        times["release_done"] = sim.now - t0
+
+    def prog2():
+        yield 1                        # request while 0 holds the lock
+        t0 = sim.now
+        yield from dev.acquire(1)
+        times["second_grant"] = sim.now
+
+    p1 = sim.spawn(prog())
+    p2 = sim.spawn(prog2())
+    sim.run_until_processes_finish([p1, p2])
+    # release is a single-cycle register store for the releaser
+    assert times["release_done"] == 1
+    # handoff within the row: REL C0->S (1 cycle) + TOKEN S->C1 (1 cycle)
+    assert times["second_grant"] == 4 + 2
+
+
+def test_all_cores_request_simultaneously_figure4():
+    """The Figure 4 scenario: 9 cores request at cycle 0; first grant at 4."""
+    sim, dev, _ = make_device(9)
+    grants = []
+
+    def prog(core):
+        yield from dev.acquire(core)
+        grants.append((sim.now, core))
+        yield from dev.release(core)
+
+    procs = [sim.spawn(prog(c)) for c in range(9)]
+    sim.run_until_processes_finish(procs)
+    times = [t for t, _ in grants]
+    order = [c for _, c in grants]
+    assert times[0] == 4                      # cycle-4 first grant (Fig. 4b)
+    # round-robin: cores granted in id order (row by row)
+    assert order == list(range(9))
+    # intra-row handoff is 2 cycles; crossing rows adds the R round-trip
+    deltas = [t2 - t1 for t1, t2 in zip(times, times[1:])]
+    assert deltas[0] == 2 and deltas[1] == 2  # cores 0->1->2 same row
+    assert deltas[2] > 2                      # row 0 -> row 1 via R
+
+
+def test_release_latency_one_cycle():
+    sim, dev, _ = make_device(9)
+    durations = {}
+
+    def prog():
+        yield from dev.acquire(0)
+        t0 = sim.now
+        yield from dev.release(0)
+        durations["rel"] = sim.now - t0
+
+    p = sim.spawn(prog())
+    sim.run_until_processes_finish([p])
+    assert durations["rel"] == 1
+
+
+def test_table1_latency_bounds_measured():
+    """Measured acquire latencies always fall within Table I's [2, 4]."""
+    sim, dev, _ = make_device(16)
+    latencies = []
+
+    def prog(core, delay):
+        yield delay
+        t0 = sim.now
+        yield from dev.acquire(core)
+        latencies.append(sim.now - t0)
+        yield 7
+        yield from dev.release(core)
+
+    procs = [sim.spawn(prog(c, 100 * c)) for c in range(16)]
+    sim.run_until_processes_finish(procs)
+    assert all(2 <= lat <= 4 for lat in latencies)
+
+
+def test_double_request_rejected():
+    sim, dev, _ = make_device(9)
+    net = dev.network
+    net.request(3, lambda: None)
+    with pytest.raises(RuntimeError):
+        net.request(3, lambda: None)
+
+
+def test_wrong_owner_release_rejected():
+    sim, dev, _ = make_device(9)
+
+    def prog():
+        yield from dev.acquire(0)
+
+    p = sim.spawn(prog())
+    sim.run_until_processes_finish([p])
+
+    def bad():
+        yield from dev.release(5)
+
+    p2 = sim.spawn(bad())
+    with pytest.raises(RuntimeError):
+        sim.run_until_processes_finish([p2])
+
+
+def test_gline_signal_counting():
+    sim, dev, counters = make_device(9)
+
+    def prog():
+        yield from dev.acquire(0)
+        yield from dev.release(0)
+
+    p = sim.spawn(prog())
+    sim.run_until_processes_finish([p])
+    # REQ, REQ, TOKEN, TOKEN, REL (+ S's REL back to R)
+    assert counters["gline.signals"] >= 5
+
+
+def test_network_resource_counts_match_cost_model():
+    for n in (4, 9, 16, 25, 32, 49):
+        sim = Simulator()
+        cfg = CMPConfig.baseline(n)
+        net = GLineNetwork(sim, cfg, CounterSet())
+        cost = cost_model(cfg)
+        assert net.n_glines == cost.g_lines == n - 1
+        assert net.n_managers == cost.primary_managers + cost.secondary_managers
+
+
+def test_drop_limit_enforced():
+    sim = Simulator()
+    cfg = CMPConfig.baseline(64)  # 8x8 mesh: 8 cores/row > 7 drops
+    with pytest.raises(ValueError):
+        GLineNetwork(sim, cfg, CounterSet(), levels=2)
+
+
+def test_hierarchical_network_supports_large_meshes():
+    """The future-work 3-level tree handles >49 cores."""
+    sim, dev, _ = make_device(36, levels=3)
+    grants = []
+
+    def prog(core):
+        yield from dev.acquire(core)
+        grants.append(core)
+        yield from dev.release(core)
+
+    procs = [sim.spawn(prog(c)) for c in range(36)]
+    sim.run_until_processes_finish(procs)
+    assert grants == list(range(36))
+
+
+def test_hierarchical_worst_case_latency():
+    """3 levels: worst-case acquire is 6 G-line cycles."""
+    sim, dev, _ = make_device(36, levels=3)
+    t = {}
+
+    def prog():
+        yield from dev.acquire(35)  # far core, token at root
+        t["grant"] = sim.now
+
+    p = sim.spawn(prog())
+    sim.run_until_processes_finish([p])
+    assert t["grant"] == 6
+
+
+def test_longer_gline_latency_scales_protocol():
+    """The paper's other future-work path: slower, longer G-lines."""
+    sim, dev, _ = make_device(9, gline_latency=2)
+    t = {}
+
+    def prog():
+        yield from dev.acquire(0)
+        t["grant"] = sim.now
+
+    p = sim.spawn(prog())
+    sim.run_until_processes_finish([p])
+    assert t["grant"] == 8  # 4 signals x 2 cycles
+
+
+def test_token_parks_at_root_when_idle():
+    sim, dev, _ = make_device(9)
+
+    def first():
+        yield from dev.acquire(4)
+        yield from dev.release(4)
+
+    p = sim.spawn(first())
+    sim.run_until_processes_finish([p])
+    assert dev.network.root.has_token
+    assert dev.holder is None
+
+
+def test_fairness_across_rows_round_robin():
+    """Rows are served round-robin by the primary under saturation."""
+    sim, dev, _ = make_device(9)
+    order = []
+
+    def prog(core):
+        for _ in range(3):
+            yield from dev.acquire(core)
+            order.append(core)
+            yield 11
+            yield from dev.release(core)
+
+    procs = [sim.spawn(prog(c)) for c in range(9)]
+    sim.run_until_processes_finish(procs)
+    rows = [c // 3 for c in order]
+    # rows appear as repeating blocks 0,1,2 (each block = one row tenure)
+    assert len(order) == 27
+    for i in range(9):
+        block = rows[i * 3:(i + 1) * 3]
+        assert len(set(block)) == 1
+    block_rows = [rows[i * 3] for i in range(9)]
+    assert block_rows == [0, 1, 2] * 3

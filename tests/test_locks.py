@@ -1,0 +1,227 @@
+"""Correctness tests for every lock algorithm.
+
+Each lock kind must provide mutual exclusion, lose no critical sections,
+and (for the queue-based ones) be fair.  Tests run on the real simulated
+memory hierarchy so they also exercise the protocol under lock-shaped
+contention.
+"""
+
+import pytest
+
+from repro import CMPConfig, Machine
+from repro.locks import LOCK_KINDS
+
+ALL_KINDS = list(LOCK_KINDS)
+
+
+def run_counter_workload(kind, n_cores=8, iters=20, cs_compute=3):
+    """All cores increment one shared counter under one lock."""
+    m = Machine(CMPConfig.baseline(n_cores))
+    lock = m.make_lock(kind)
+    counter = m.mem.address_space.alloc_line()
+    holders = []
+
+    def prog(ctx):
+        for _ in range(iters):
+            yield from ctx.acquire(lock)
+            holders.append(ctx.core_id)          # entry marker
+            v = yield from ctx.load(counter)
+            yield from ctx.compute(cs_compute)
+            yield from ctx.store(counter, v + 1)
+            holders.append(~ctx.core_id)         # exit marker
+            yield from ctx.release(lock)
+
+    res = m.run([prog] * n_cores)
+    return m, res, counter, holders
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_mutual_exclusion_and_no_lost_updates(kind):
+    m, res, counter, holders = run_counter_workload(kind)
+    # non-atomic load/compute/store inside the CS: correct only under mutex
+    assert m.mem.backing.read(counter) == 8 * 20
+    # entry/exit markers must alternate strictly
+    for i in range(0, len(holders), 2):
+        assert holders[i] >= 0 and holders[i + 1] == ~holders[i]
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_single_thread_uncontended(kind):
+    m = Machine(CMPConfig.baseline(4))
+    lock = m.make_lock(kind)
+
+    def prog(ctx):
+        for _ in range(10):
+            yield from ctx.acquire(lock)
+            yield from ctx.compute(1)
+            yield from ctx.release(lock)
+
+    res = m.run([prog])
+    assert res.makespan > 0
+
+
+@pytest.mark.parametrize("kind", ["ticket", "anderson", "mcs", "glock", "ideal"])
+def test_queue_locks_are_fair(kind):
+    """Under saturation, no core gets twice as many CS entries as another."""
+    m = Machine(CMPConfig.baseline(8))
+    lock = m.make_lock(kind)
+    entries = {c: 0 for c in range(8)}
+    total_target = 8 * 12
+
+    def prog(ctx):
+        for _ in range(12):
+            yield from ctx.acquire(lock)
+            entries[ctx.core_id] += 1
+            yield from ctx.compute(20)
+            yield from ctx.release(lock)
+
+    m.run([prog] * 8)
+    assert sum(entries.values()) == total_target
+    assert max(entries.values()) <= 2 * min(entries.values())
+
+
+def test_glock_strict_round_robin_under_saturation():
+    """With all cores always waiting, GLock grants follow core order."""
+    m = Machine(CMPConfig.baseline(8))
+    lock = m.make_lock("glock")
+    order = []
+
+    def prog(ctx):
+        for _ in range(4):
+            yield from ctx.acquire(lock)
+            order.append(ctx.core_id)
+            yield from ctx.compute(30)
+            yield from ctx.release(lock)
+
+    m.run([prog] * 8)
+    # after the first full round, the sequence must cycle 0..7 repeatedly
+    first = order[:8]
+    assert sorted(first) == list(range(8))
+    for i in range(8, len(order)):
+        assert order[i] == (order[i - 8])
+
+
+def test_ticket_lock_fifo_order():
+    m = Machine(CMPConfig.baseline(8))
+    lock = m.make_lock("ticket")
+    order = []
+
+    def prog(ctx):
+        yield from ctx.compute(ctx.core_id * 200)  # staggered arrival
+        yield from ctx.acquire(lock)
+        order.append(ctx.core_id)
+        yield from ctx.compute(500)
+        yield from ctx.release(lock)
+
+    m.run([prog] * 8)
+    assert order == sorted(order)
+
+
+def test_mcs_lock_uncontended_fast_path():
+    """MCS with no contention: acquire+release is a handful of memory ops."""
+    m = Machine(CMPConfig.baseline(4))
+    lock = m.make_lock("mcs")
+
+    def prog(ctx):
+        yield from ctx.acquire(lock)
+        yield from ctx.release(lock)
+
+    res = m.run([prog])
+    # 3 memory ops (store, swap, load) + CAS: no spinning
+    assert m.counters["l1.spin_cycles"] == 0
+
+
+def test_glock_zero_network_traffic():
+    m = Machine(CMPConfig.baseline(8))
+    lock = m.make_lock("glock")
+
+    def prog(ctx):
+        for _ in range(10):
+            yield from ctx.acquire(lock)
+            yield from ctx.release(lock)
+
+    res = m.run([prog] * 8)
+    assert res.total_traffic == 0
+    assert res.counters["gline.signals"] > 0
+
+
+def test_simple_lock_generates_more_traffic_than_tatas():
+    """With realistic critical-section lengths, raw test&set spins flood the
+    network for the whole CS duration while TATAS pays a bounded per-handoff
+    refetch storm (the regime Section II describes)."""
+    def traffic(kind):
+        m, res, _, _ = run_counter_workload(kind, n_cores=8, iters=10,
+                                            cs_compute=500)
+        return res.total_traffic
+
+    assert traffic("simple") > traffic("tatas")
+
+
+def test_mcs_less_traffic_than_ticket_under_contention():
+    def traffic(kind):
+        m, res, _, _ = run_counter_workload(kind, n_cores=8, iters=15, cs_compute=10)
+        return res.total_traffic
+
+    # MCS: one invalidation per handoff; ticket: all waiters re-fetch
+    assert traffic("mcs") < traffic("ticket")
+
+
+def test_glock_faster_than_mcs_under_high_contention():
+    def makespan(kind):
+        m, res, _, _ = run_counter_workload(kind, n_cores=8, iters=25)
+        return res.makespan
+
+    assert makespan("glock") < makespan("mcs")
+
+
+def test_ideal_lock_wrong_owner_release_raises():
+    m = Machine(CMPConfig.baseline(4))
+    lock = m.make_lock("ideal")
+
+    def bad(ctx):
+        yield from ctx.release(lock)
+
+    with pytest.raises(RuntimeError):
+        m.run([bad])
+
+
+def test_glock_pool_exhaustion_without_sharing():
+    m = Machine(CMPConfig.baseline(4))
+    m.make_lock("glock")
+    m.make_lock("glock")  # the paper provisions two
+    with pytest.raises(RuntimeError):
+        m.make_lock("glock")
+
+
+def test_glock_pool_sharing_mode():
+    m = Machine(CMPConfig.baseline(4), allow_glock_sharing=True)
+    locks = [m.make_lock("glock") for _ in range(4)]
+    # two program locks share each physical device
+    assert locks[0].device is locks[2].device
+    assert locks[1].device is locks[3].device
+
+    counter = m.mem.address_space.alloc_line()
+
+    def prog(ctx):
+        for i in range(5):
+            lk = locks[(ctx.core_id + i) % 4]
+            yield from ctx.acquire(lk)
+            yield from ctx.rmw(counter, lambda v: v + 1)
+            yield from ctx.release(lk)
+
+    m.run([prog] * 4)
+    assert m.mem.backing.read(counter) == 20
+
+
+def test_unknown_lock_kind_rejected():
+    m = Machine(CMPConfig.baseline(4))
+    with pytest.raises(ValueError):
+        m.make_lock("spinlock3000")
+
+
+def test_backoff_reduces_rmw_attempts_vs_simple():
+    def rmws(kind):
+        m, res, _, _ = run_counter_workload(kind, n_cores=8, iters=10)
+        return res.counters["l1.rmw"]
+
+    assert rmws("tatas_backoff") <= rmws("simple")

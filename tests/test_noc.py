@@ -1,0 +1,145 @@
+"""Unit and property tests for the 2D-mesh NoC."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc import Mesh, Message, MsgCategory
+from repro.sim import CMPConfig, Simulator
+
+
+def make_mesh(n_cores=16):
+    sim = Simulator()
+    cfg = CMPConfig.baseline(n_cores)
+    mesh = Mesh(sim, cfg)
+    inbox = {i: [] for i in range(n_cores)}
+    for i in range(n_cores):
+        mesh.register(i, lambda m, i=i: inbox[i].append((sim.now, m)))
+    return sim, cfg, mesh, inbox
+
+
+def ctrl(src, dst, kind="GetS", cat=MsgCategory.REQUEST, size=8):
+    return Message(src=src, dst=dst, kind=kind, category=cat, size_bytes=size)
+
+
+def test_mesh_link_count_4x4():
+    _, _, mesh, _ = make_mesh(16)
+    # 4x4 grid: 2 * (3*4 + 3*4) unidirectional links
+    assert mesh.n_links == 48
+
+
+def test_xy_route_length_is_manhattan():
+    _, cfg, mesh, _ = make_mesh(16)
+    for src in range(16):
+        for dst in range(16):
+            assert len(mesh.route(src, dst)) == cfg.hop_distance(src, dst)
+
+
+def test_xy_route_goes_x_first():
+    _, cfg, mesh, _ = make_mesh(16)
+    hops = mesh.route(0, 15)  # (0,0) -> (3,3)
+    xs = [h.u for h in hops]
+    assert xs[0] == (0, 0)
+    # first three hops move along x, next three along y
+    assert [h.v for h in hops[:3]] == [(1, 0), (2, 0), (3, 0)]
+    assert [h.v for h in hops[3:]] == [(3, 1), (3, 2), (3, 3)]
+
+
+def test_delivery_latency_uncontended():
+    sim, cfg, mesh, inbox = make_mesh(16)
+    msg = ctrl(0, 3)  # 3 hops
+    mesh.send(msg)
+    sim.run()
+    t, m = inbox[3][0]
+    # per hop: router_latency + 1 cycle serialization (8B < 75B link)
+    assert t == 3 * (cfg.noc.router_latency + 1)
+    assert m is msg
+
+
+def test_local_delivery_bypasses_network():
+    sim, _, mesh, inbox = make_mesh(16)
+    mesh.send(ctrl(5, 5))
+    sim.run()
+    assert len(inbox[5]) == 1
+    assert mesh.traffic.total_messages == 0
+    assert mesh.traffic.switch_bytes() == 0
+
+
+def test_traffic_accounting_switch_bytes():
+    sim, _, mesh, _ = make_mesh(16)
+    mesh.send(ctrl(0, 3, size=8))  # 3 hops -> 4 switches
+    sim.run()
+    assert mesh.traffic.switch_bytes(MsgCategory.REQUEST) == 8 * 4
+    assert mesh.traffic.byte_hops == 8 * 3
+    assert mesh.traffic.breakdown()["reply"] == 0
+
+
+def test_link_contention_serializes():
+    sim, cfg, mesh, inbox = make_mesh(16)
+    # two large messages over the same first link at the same time
+    big = cfg.noc.link_width_bytes * 4  # 4 cycles serialization
+    mesh.send(ctrl(0, 1, size=big))
+    mesh.send(ctrl(0, 1, size=big))
+    sim.run()
+    t1 = inbox[1][0][0]
+    t2 = inbox[1][1][0]
+    assert t1 == cfg.noc.router_latency + 4
+    # second message waits for the link to free (4 cycles later)
+    assert t2 == t1 + 4
+
+
+def test_fifo_order_preserved_same_route():
+    sim, _, mesh, inbox = make_mesh(16)
+    a = ctrl(0, 15, kind="A")
+    b = ctrl(0, 15, kind="B")
+    mesh.send(a)
+    mesh.send(b)
+    sim.run()
+    kinds = [m.kind for _, m in inbox[15]]
+    assert kinds == ["A", "B"]
+
+
+def test_message_size_must_be_positive():
+    with pytest.raises(ValueError):
+        Message(src=0, dst=1, kind="X", category=MsgCategory.REPLY, size_bytes=0)
+
+
+def test_register_twice_rejected():
+    sim = Simulator()
+    mesh = Mesh(sim, CMPConfig.baseline(4))
+    mesh.register(0, lambda m: None)
+    with pytest.raises(ValueError):
+        mesh.register(0, lambda m: None)
+
+
+def test_unregistered_destination_raises():
+    sim = Simulator()
+    mesh = Mesh(sim, CMPConfig.baseline(4))
+    with pytest.raises(KeyError):
+        mesh.send(ctrl(0, 1))
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 31), st.integers(0, 31), st.integers(1, 300))
+def test_route_and_delivery_properties(src, dst, size):
+    """Property: every message is delivered exactly once, after a delay of at
+    least hops*(router+ser), and traffic accounting matches size*switches."""
+    sim = Simulator()
+    cfg = CMPConfig.baseline(32)
+    mesh = Mesh(sim, cfg)
+    got = []
+    for i in range(32):
+        mesh.register(i, lambda m, i=i: got.append((i, sim.now)))
+    msg = Message(src=src, dst=dst, kind="t", category=MsgCategory.REPLY, size_bytes=size)
+    predicted = mesh.send(msg)
+    sim.run()
+    assert len(got) == 1
+    tile, t = got[0]
+    assert tile == dst and t == predicted
+    hops = cfg.hop_distance(src, dst)
+    ser = -(-size // cfg.noc.link_width_bytes)
+    if src == dst:
+        assert mesh.traffic.switch_bytes() == 0
+    else:
+        assert t == hops * (cfg.noc.router_latency + ser)
+        assert mesh.traffic.switch_bytes(MsgCategory.REPLY) == size * (hops + 1)

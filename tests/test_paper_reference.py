@@ -1,0 +1,74 @@
+"""Tests for the embedded paper-reference data and comparison helpers."""
+
+import pytest
+
+from repro.analysis.paper import (
+    PAPER_AVERAGES,
+    PAPER_FIG8_TIME_RATIO,
+    PAPER_FIG9_TRAFFIC_RATIO,
+    PAPER_FIG10_ED2P_RATIO,
+    PAPER_TABLE1_LATENCIES,
+    PAPER_TABLE4_SPEEDUPS,
+    Deviation,
+    compare_to_paper,
+)
+
+
+def test_reference_tables_complete():
+    assert set(PAPER_FIG9_TRAFFIC_RATIO) == set(PAPER_FIG10_ED2P_RATIO)
+    assert len(PAPER_TABLE4_SPEEDUPS) == 6
+    for speedups in PAPER_TABLE4_SPEEDUPS.values():
+        assert set(speedups) == {4, 8, 16, 32}
+    assert PAPER_TABLE1_LATENCIES == {"acquire_worst": 4, "acquire_best": 2,
+                                      "release": 1}
+
+
+def test_reference_values_encode_reductions():
+    """Spot-check against the abstract's quoted reductions."""
+    # micro average execution-time reduction of 42%
+    micro_avg = sum(PAPER_FIG8_TIME_RATIO.values()) / len(PAPER_FIG8_TIME_RATIO)
+    assert micro_avg == pytest.approx(1 - 0.42, abs=0.02)
+    assert PAPER_AVERAGES["fig9_avgm"] == pytest.approx(1 - 0.76, abs=0.01)
+    assert PAPER_AVERAGES["fig10_avga"] == pytest.approx(1 - 0.28, abs=0.01)
+
+
+def test_deviation_properties():
+    d = Deviation("x", paper=0.5, measured=0.6)
+    assert d.absolute == pytest.approx(0.1)
+    assert d.relative == pytest.approx(0.2)
+    assert d.same_direction  # both < 1: GLocks wins in both
+
+
+def test_deviation_direction_disagreement():
+    d = Deviation("x", paper=0.9, measured=1.1)
+    assert not d.same_direction
+
+
+def test_compare_to_paper_pairs_shared_keys():
+    measured = {"sctr": 0.65, "mctr": 0.58, "unknown": 1.0}
+    rows = compare_to_paper(measured, PAPER_FIG8_TIME_RATIO, prefix="fig8/")
+    keys = {r.key for r in rows}
+    assert keys == {"fig8/sctr", "fig8/mctr"}
+    for r in rows:
+        assert r.same_direction
+
+
+def test_measured_full_scale_digest_agrees_in_direction():
+    """If a full-scale digest exists (results_full.json from
+    scripts/record_experiments.py), every ratio must agree with the paper
+    on who wins."""
+    import json
+    import os
+
+    path = os.path.join(os.path.dirname(__file__), "..", "results_full.json")
+    if not os.path.exists(path):
+        pytest.skip("full-scale digest not recorded")
+    digest = json.load(open(path))
+    for fig, ref in (("fig8", PAPER_FIG8_TIME_RATIO),
+                     ("fig9", PAPER_FIG9_TRAFFIC_RATIO),
+                     ("fig10", PAPER_FIG10_ED2P_RATIO)):
+        rows = compare_to_paper(digest[fig]["ratios"], ref, prefix=f"{fig}/")
+        assert rows, f"no shared keys for {fig}"
+        for row in rows:
+            assert row.same_direction, f"{row.key}: paper {row.paper} vs " \
+                                       f"measured {row.measured}"

@@ -1,0 +1,74 @@
+"""Tests for windowed power sampling."""
+
+import pytest
+
+from repro import CMPConfig, Machine
+from repro.energy import PowerSampler, account_run
+
+
+def sampled_run(kind="mcs", window=2000, n_cores=8, iters=40):
+    machine = Machine(CMPConfig.baseline(n_cores))
+    lock = machine.make_lock(kind)
+    counter = machine.mem.address_space.alloc_line()
+
+    def prog(ctx):
+        for _ in range(iters):
+            yield from ctx.acquire(lock)
+            yield from ctx.rmw(counter, lambda v: v + 1)
+            yield from ctx.release(lock)
+
+    sampler = PowerSampler(machine, window=window)
+    sampler.attach()
+    result = machine.run([prog] * n_cores)
+    return machine, sampler, result
+
+
+def test_sampler_produces_windows():
+    _, sampler, result = sampled_run()
+    series = sampler.power_series()
+    assert len(series) >= 2
+    assert all(s.watts > 0 for s in series)
+    assert all(s.end_cycle - s.start_cycle == 2000 for s in series)
+
+
+def test_windowed_energy_sums_to_total():
+    """Window deltas must add up to the cumulative energy at the last
+    snapshot (no double counting, nothing missed)."""
+    machine, sampler, result = sampled_run()
+    series = sampler.power_series()
+    summed = sum(s.energy_pj for s in series)
+    last_snapshot_energy = sampler._snapshots[-1][1]
+    first = sampler._snapshots[0][1]
+    assert summed == pytest.approx(last_snapshot_energy - first)
+
+
+def test_windowed_total_close_to_account_run():
+    machine, sampler, result = sampled_run(window=500)
+    series = sampler.power_series()
+    acc = account_run(result)
+    covered = sum(s.energy_pj for s in series)
+    # the last partial window is not sampled; totals agree within one window
+    assert covered <= acc.total_pj
+    assert covered > 0.5 * acc.total_pj
+
+
+def test_mcs_run_draws_more_noc_power_than_glock():
+    _, s_mcs, r_mcs = sampled_run("mcs")
+    _, s_gl, r_gl = sampled_run("glock")
+    avg_mcs = sum(s.watts for s in s_mcs.power_series()) / len(s_mcs.power_series())
+    avg_gl = sum(s.watts for s in s_gl.power_series()) / len(s_gl.power_series())
+    assert avg_gl < avg_mcs
+
+
+def test_attach_twice_rejected():
+    machine = Machine(CMPConfig.baseline(4))
+    sampler = PowerSampler(machine)
+    sampler.attach()
+    with pytest.raises(RuntimeError):
+        sampler.attach()
+
+
+def test_bad_window_rejected():
+    machine = Machine(CMPConfig.baseline(4))
+    with pytest.raises(ValueError):
+        PowerSampler(machine, window=0)

@@ -1,0 +1,198 @@
+"""Property-based tests of the system's core invariants.
+
+Hypothesis drives randomized schedules against:
+
+- the token-manager tree (token uniqueness, liveness, bounded-tenure
+  fairness) for every arbitration policy;
+- the memory system (linearizability of RMW histories, M/E exclusivity);
+- the ideal/queue locks (FIFO admission under staggered arrival).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CMPConfig, Machine
+from repro.core import GLockDevice
+from repro.sim import Simulator
+from repro.sim.stats import CounterSet
+
+
+# --------------------------------------------------------------------- #
+# token-manager tree
+# --------------------------------------------------------------------- #
+@settings(max_examples=25, deadline=None)
+@given(
+    n_cores=st.sampled_from([4, 9, 16, 25]),
+    policy=st.sampled_from(["round_robin", "fifo", "static"]),
+    plan=st.lists(
+        st.tuples(st.integers(0, 24), st.integers(0, 40), st.integers(1, 30)),
+        min_size=1, max_size=25,
+    ),
+)
+def test_token_never_duplicated_and_all_grants_served(n_cores, policy, plan):
+    """Random (core, start-delay, hold-time) schedules: exactly one holder
+    at any instant, and every request is eventually granted."""
+    sim = Simulator()
+    cfg = CMPConfig.baseline(n_cores)
+    counters = CounterSet()
+    from repro.core.network import GLineNetwork
+
+    class _Dev(GLockDevice):
+        def __init__(self):
+            self.sim = sim
+            self.counters = counters
+            self.lock_id = 0
+            self.network = GLineNetwork(sim, cfg, counters,
+                                        arbitration=policy)
+            self._holder = None
+
+    dev = _Dev()
+    holders = []
+    grants = []
+
+    def prog(core, delay, hold):
+        yield delay
+        yield from dev.acquire(core)
+        holders.append(core)
+        assert len(holders) == 1, "token duplicated"
+        grants.append(core)
+        yield hold
+        holders.remove(core)
+        yield from dev.release(core)
+
+    # at most one outstanding request per core
+    seen_cores = set()
+    procs = []
+    for core_mod, delay, hold in plan:
+        core = core_mod % n_cores
+        if core in seen_cores:
+            continue
+        seen_cores.add(core)
+        procs.append(sim.spawn(prog(core, delay, hold)))
+    sim.run_until_processes_finish(procs, max_events=500_000)
+    assert sorted(grants) == sorted(seen_cores)
+    assert dev.holder is None
+    assert dev.network.root.has_token  # token parked back at the primary
+
+
+@settings(max_examples=15, deadline=None)
+@given(n_rounds=st.integers(2, 5), n_cores=st.sampled_from([4, 9]))
+def test_round_robin_tenure_bound(n_rounds, n_cores):
+    """Under saturation, round-robin never grants a core twice before every
+    other requesting core was granted once (bounded bypass = 0)."""
+    sim = Simulator()
+    cfg = CMPConfig.baseline(n_cores)
+    dev = GLockDevice(sim, cfg, CounterSet())
+    order = []
+
+    def prog(core):
+        for _ in range(n_rounds):
+            yield from dev.acquire(core)
+            order.append(core)
+            yield 17
+            yield from dev.release(core)
+
+    procs = [sim.spawn(prog(c)) for c in range(n_cores)]
+    sim.run_until_processes_finish(procs, max_events=1_000_000)
+    # split into rounds: each full window of n_cores grants is a permutation
+    for r in range(n_rounds):
+        window = order[r * n_cores:(r + 1) * n_cores]
+        assert sorted(window) == list(range(n_cores))
+
+
+# --------------------------------------------------------------------- #
+# memory-system linearizability
+# --------------------------------------------------------------------- #
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n_cores=st.sampled_from([2, 4, 8]),
+)
+def test_rmw_histories_linearizable(seed, n_cores):
+    """Unique-token RMWs: every core atomically swaps in its own tag; the
+    sequence of observed old values must form a chain (each observed value
+    was written by exactly one earlier op, no lost or duplicated writes)."""
+    rng = np.random.default_rng(seed)
+    sim = Simulator()
+    from repro.mem import MemorySystem
+    mem = MemorySystem(sim, CMPConfig.baseline(n_cores))
+    addr = mem.address_space.alloc_word()
+    observed = []
+
+    def prog(core, n_ops, delays):
+        for i in range(n_ops):
+            tag = core * 1000 + i + 1
+            old = yield from mem.l1(core).rmw(addr, lambda v, t=tag: t)
+            observed.append((tag, old))
+            if delays[i]:
+                yield int(delays[i])
+
+    procs = []
+    for core in range(n_cores):
+        n_ops = int(rng.integers(1, 8))
+        delays = rng.integers(0, 6, size=n_ops)
+        procs.append(sim.spawn(prog(core, n_ops, delays)))
+    sim.run_until_processes_finish(procs, max_events=2_000_000)
+
+    # chain check: old values seen = all written tags except exactly one
+    # (the final value), plus the initial 0 exactly once
+    tags = {tag for tag, _ in observed}
+    olds = [old for _, old in observed]
+    assert olds.count(0) == 1
+    final = mem.backing.read(addr)
+    assert final in tags
+    expected_olds = (tags - {final}) | {0}
+    assert sorted(olds) == sorted(expected_olds)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_me_exclusivity_after_random_ops(seed):
+    rng = np.random.default_rng(seed)
+    sim = Simulator()
+    from repro.mem import MemorySystem
+    mem = MemorySystem(sim, CMPConfig.baseline(4))
+    addrs = [mem.address_space.alloc_word() for _ in range(3)]
+
+    def prog(core):
+        for _ in range(12):
+            addr = addrs[int(rng.integers(0, 3))]
+            if rng.integers(0, 2):
+                yield from mem.l1(core).store(addr, core)
+            else:
+                yield from mem.l1(core).load(addr)
+
+    procs = [sim.spawn(prog(c)) for c in range(4)]
+    sim.run_until_processes_finish(procs, max_events=2_000_000)
+    for addr in addrs:
+        states = [mem.l1(c).state_of(addr) for c in range(4)]
+        holders = [s for s in states if s is not None]
+        if any(s in ("M", "E") for s in holders):
+            assert len(holders) == 1
+
+
+# --------------------------------------------------------------------- #
+# lock admission order
+# --------------------------------------------------------------------- #
+@settings(max_examples=10, deadline=None)
+@given(
+    kind=st.sampled_from(["ticket", "mcs", "clh", "ideal"]),
+    gaps=st.lists(st.integers(200, 500), min_size=4, max_size=4),
+)
+def test_fifo_locks_respect_staggered_arrival(kind, gaps):
+    machine = Machine(CMPConfig.baseline(4))
+    lock = machine.make_lock(kind)
+    order = []
+    starts = np.cumsum([0] + gaps[:-1])
+
+    def prog(ctx):
+        yield from ctx.compute(int(starts[ctx.core_id]) + 1)
+        yield from ctx.acquire(lock)
+        order.append(ctx.core_id)
+        yield from ctx.compute(1500)
+        yield from ctx.release(lock)
+
+    machine.run([prog] * 4)
+    assert order == sorted(order)

@@ -1,0 +1,79 @@
+"""Unit tests for CMP configuration."""
+
+import pytest
+
+from repro.sim import CacheConfig, CMPConfig
+
+
+def test_baseline_matches_table_ii():
+    cfg = CMPConfig.baseline()
+    assert cfg.n_cores == 32
+    assert cfg.line_bytes == 64
+    assert cfg.l1.size_bytes == 32 * 1024 and cfg.l1.ways == 4 and cfg.l1.latency == 2
+    assert cfg.l2.size_bytes == 256 * 1024 and cfg.l2.ways == 4 and cfg.l2.latency == 16
+    assert cfg.memory_latency == 400
+    assert cfg.noc.link_width_bytes == 75
+
+
+def test_mesh_geometry_32_cores():
+    cfg = CMPConfig.baseline(32)
+    assert cfg.mesh_width == 6 and cfg.mesh_height == 6
+    assert cfg.tile_coords(0) == (0, 0)
+    assert cfg.tile_coords(5) == (5, 0)
+    assert cfg.tile_coords(6) == (0, 1)
+    assert cfg.tile_coords(31) == (1, 5)
+
+
+@pytest.mark.parametrize("n,w,h", [(4, 2, 2), (8, 3, 3), (9, 3, 3), (16, 4, 4), (32, 6, 6)])
+def test_mesh_geometry_various(n, w, h):
+    cfg = CMPConfig.baseline(n)
+    assert (cfg.mesh_width, cfg.mesh_height) == (w, h)
+    # every core maps inside the grid
+    for c in range(n):
+        x, y = cfg.tile_coords(c)
+        assert 0 <= x < w and 0 <= y < h
+
+
+def test_hop_distance_manhattan():
+    cfg = CMPConfig.baseline(16)  # 4x4
+    assert cfg.hop_distance(0, 0) == 0
+    assert cfg.hop_distance(0, 3) == 3
+    assert cfg.hop_distance(0, 15) == 6
+    assert cfg.hop_distance(5, 10) == 2
+
+
+def test_cache_config_derived_fields():
+    c = CacheConfig(32 * 1024, 4, 64, 2)
+    assert c.n_sets == 128
+    assert c.n_lines == 512
+
+
+def test_cache_config_rejects_non_pow2_sets():
+    with pytest.raises(ValueError):
+        CacheConfig(3 * 1024, 4, 64, 2)
+
+
+def test_invalid_core_ids_rejected():
+    cfg = CMPConfig.baseline(4)
+    with pytest.raises(ValueError):
+        cfg.tile_coords(4)
+    with pytest.raises(ValueError):
+        cfg.tile_coords(-1)
+
+
+def test_with_cores_copies():
+    cfg = CMPConfig.baseline(32)
+    small = cfg.with_cores(8)
+    assert small.n_cores == 8
+    assert small.l1 == cfg.l1
+    assert cfg.n_cores == 32  # original untouched
+
+
+def test_line_size_mismatch_rejected():
+    with pytest.raises(ValueError):
+        CMPConfig(n_cores=4, line_bytes=32)
+
+
+def test_describe_mentions_key_params():
+    text = CMPConfig.baseline().describe()
+    assert "32" in text and "2D-mesh" in text and "400 cycles" in text

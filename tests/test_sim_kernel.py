@@ -1,0 +1,267 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+def test_schedule_runs_in_time_order():
+    sim = Simulator()
+    out = []
+    sim.schedule(5, out.append, "b")
+    sim.schedule(1, out.append, "a")
+    sim.schedule(9, out.append, "c")
+    sim.run()
+    assert out == ["a", "b", "c"]
+    assert sim.now == 9
+
+
+def test_same_cycle_fifo_order():
+    sim = Simulator()
+    out = []
+    for i in range(10):
+        sim.schedule(3, out.append, i)
+    sim.run()
+    assert out == list(range(10))
+
+
+def test_run_until_stops_early():
+    sim = Simulator()
+    out = []
+    sim.schedule(2, out.append, "early")
+    sim.schedule(100, out.append, "late")
+    sim.run(until=50)
+    assert out == ["early"]
+    assert sim.now == 50
+    sim.run()
+    assert out == ["early", "late"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5, lambda: None)
+
+
+def test_process_int_yields_advance_time():
+    sim = Simulator()
+    trace = []
+
+    def proc():
+        trace.append(sim.now)
+        yield 10
+        trace.append(sim.now)
+        yield 5
+        trace.append(sim.now)
+        return "done"
+
+    p = sim.spawn(proc())
+    sim.run()
+    assert trace == [0, 10, 15]
+    assert p.finished and p.result == "done"
+
+
+def test_process_yield_zero_is_legal():
+    sim = Simulator()
+
+    def proc():
+        yield 0
+        yield 0
+        return sim.now
+
+    p = sim.spawn(proc())
+    sim.run()
+    assert p.result == 0
+
+
+def test_process_negative_yield_raises():
+    sim = Simulator()
+
+    def proc():
+        yield -3
+
+    sim.spawn(proc())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_process_bad_yield_type_raises():
+    sim = Simulator()
+
+    def proc():
+        yield "nope"
+
+    sim.spawn(proc())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_signal_wakes_process_with_value():
+    sim = Simulator()
+    sig = sim.signal("s")
+    got = []
+
+    def waiter():
+        value = yield sig
+        got.append((sim.now, value))
+
+    sim.spawn(waiter())
+    sim.schedule(7, sig.fire, 42)
+    sim.run()
+    assert got == [(7, 42)]
+
+
+def test_signal_wakes_all_waiters():
+    sim = Simulator()
+    sig = sim.signal()
+    got = []
+
+    def waiter(i):
+        yield sig
+        got.append(i)
+
+    for i in range(5):
+        sim.spawn(waiter(i))
+    sim.schedule(1, sig.fire)
+    sim.run()
+    assert sorted(got) == list(range(5))
+
+
+def test_signal_fire_does_not_wake_future_waiters():
+    sim = Simulator()
+    sig = sim.signal()
+    got = []
+
+    def late_waiter():
+        yield 5
+        yield sig  # fired at t=1, before we started waiting
+        got.append("woke")
+
+    sim.spawn(late_waiter())
+    sim.schedule(1, sig.fire)
+    sim.schedule(20, sig.fire)
+    sim.run()
+    assert got == ["woke"]
+    assert sim.now == 20
+
+
+def test_yield_from_composes_subgenerators():
+    sim = Simulator()
+
+    def inner():
+        yield 3
+        return 99
+
+    def outer():
+        v = yield from inner()
+        yield 2
+        return v + 1
+
+    p = sim.spawn(outer())
+    sim.run()
+    assert p.result == 100
+    assert sim.now == 5
+
+
+def test_join_waits_for_completion():
+    sim = Simulator()
+
+    def worker():
+        yield 50
+        return "w"
+
+    def boss(w):
+        r = yield from w.join()
+        return (sim.now, r)
+
+    w = sim.spawn(worker())
+    b = sim.spawn(boss(w))
+    sim.run()
+    assert b.result == (50, "w")
+
+
+def test_join_on_finished_process_returns_immediately():
+    sim = Simulator()
+
+    def worker():
+        yield 1
+        return 7
+
+    def boss(w):
+        yield 100
+        r = yield from w.join()
+        return r
+
+    w = sim.spawn(worker())
+    b = sim.spawn(boss(w))
+    sim.run()
+    assert b.result == 7
+
+
+def test_run_until_processes_finish_ignores_leftovers():
+    sim = Simulator()
+
+    def forever():
+        while True:
+            yield 10
+
+    def finite():
+        yield 25
+        return "ok"
+
+    sim.spawn(forever())
+    p = sim.spawn(finite())
+    end = sim.run_until_processes_finish([p])
+    assert end == 25
+    assert p.result == "ok"
+
+
+def test_run_until_processes_finish_raises_if_starved():
+    sim = Simulator()
+    sig = sim.signal()
+
+    def stuck():
+        yield sig
+
+    p = sim.spawn(stuck())
+    with pytest.raises(SimulationError):
+        sim.run_until_processes_finish([p])
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def forever():
+        while True:
+            yield 1
+
+    sim.spawn(forever())
+    with pytest.raises(SimulationError):
+        sim.run(max_events=100)
+
+
+def test_determinism_two_identical_runs():
+    def build():
+        sim = Simulator()
+        order = []
+
+        def proc(i, delay):
+            yield delay
+            order.append(i)
+            yield delay
+            order.append(i + 100)
+
+        for i, d in enumerate([3, 3, 1, 7, 3]):
+            sim.spawn(proc(i, d))
+        sim.run()
+        return order
+
+    assert build() == build()

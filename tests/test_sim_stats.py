@@ -1,0 +1,122 @@
+"""Unit and property tests for the stats structures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.stats import CounterSet, Histogram, Interval, IntervalRecorder, sweep_concurrency
+
+
+def test_counterset_basics():
+    c = CounterSet()
+    c.add("noc.bytes.request", 10)
+    c.add("noc.bytes.request", 5)
+    c.add("noc.bytes.reply", 7)
+    assert c["noc.bytes.request"] == 15
+    assert c["missing"] == 0
+    assert c.total("noc.bytes") == 22
+    assert "noc.bytes.reply" in c
+
+
+def test_counterset_merge():
+    a, b = CounterSet(), CounterSet()
+    a.add("x", 1)
+    b.add("x", 2)
+    b.add("y", 3)
+    a.merge(b)
+    assert a["x"] == 3 and a["y"] == 3
+
+
+def test_histogram_clamps_and_normalizes():
+    h = Histogram(4)
+    h.add(0)  # clamps to 1
+    h.add(2, 3)
+    h.add(99, 6)  # clamps to 4
+    assert h.total == 10
+    norm = h.normalized()
+    assert norm[1] == pytest.approx(0.1)
+    assert norm[2] == pytest.approx(0.3)
+    assert norm[4] == pytest.approx(0.6)
+
+
+def test_histogram_empty_normalized_is_zero():
+    h = Histogram(3)
+    assert np.all(h.normalized() == 0)
+
+
+def test_interval_recorder_open_close():
+    r = IntervalRecorder()
+    r.open(1, 0, 10)
+    r.open(1, 1, 12)
+    r.close(1, 0, 20)
+    r.close(1, 1, 14)
+    assert r.n_open == 0
+    lengths = sorted(iv.length for iv in r.intervals)
+    assert lengths == [2, 10]
+
+
+def test_interval_recorder_unmatched_close_raises():
+    r = IntervalRecorder()
+    with pytest.raises(KeyError):
+        r.close(1, 0, 5)
+
+
+def test_sweep_concurrency_simple_overlap():
+    ivs = [Interval(0, 10, 0), Interval(5, 15, 1)]
+    h = sweep_concurrency(ivs, 4)
+    # [0,5): depth 1; [5,10): depth 2; [10,15): depth 1
+    assert h.counts[1] == 10
+    assert h.counts[2] == 5
+    assert h.total == 15
+
+
+def test_sweep_concurrency_zero_length_ignored():
+    h = sweep_concurrency([Interval(5, 5, 0)], 4)
+    assert h.total == 0
+
+
+def test_sweep_concurrency_identical_intervals():
+    ivs = [Interval(0, 8, i) for i in range(3)]
+    h = sweep_concurrency(ivs, 8)
+    assert h.counts[3] == 8
+    assert h.total == 8
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 200), st.integers(1, 50)),
+        min_size=0,
+        max_size=30,
+    )
+)
+def test_sweep_total_equals_union_weighted_by_depth(spans):
+    """Property: sum over bins of (cycles * 1) == total covered cycle-depth
+    where depth is capped at n_bins (clamping collapses deeper bins)."""
+    ivs = [Interval(s, s + l, i) for i, (s, l) in enumerate(spans)]
+    n_bins = 32
+    h = sweep_concurrency(ivs, n_bins)
+    # brute force per-cycle depth
+    if ivs:
+        horizon = max(iv.end for iv in ivs)
+        depth = np.zeros(horizon + 1, dtype=int)
+        for iv in ivs:
+            depth[iv.start:iv.end] += 1
+        expected_total = int(np.count_nonzero(depth))
+        assert h.total == expected_total
+        for level in range(1, min(int(depth.max(initial=0)), n_bins - 1) + 1):
+            if level < n_bins:
+                assert h.counts[level] == int(np.sum(depth == level))
+    else:
+        assert h.total == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(1, 31), min_size=1, max_size=100))
+def test_histogram_total_is_sum_of_weights(bins):
+    h = Histogram(32)
+    for b in bins:
+        h.add(b)
+    assert h.total == len(bins)
+    assert h.normalized().sum() == pytest.approx(1.0)

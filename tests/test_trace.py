@@ -1,0 +1,111 @@
+"""Tests for the tracing subsystem."""
+
+import pytest
+
+from repro import CMPConfig, Machine
+from repro.sim import Tracer
+from repro.sim.trace import TraceEvent
+
+
+def traced_machine(kind="glock", n_cores=4, categories=None):
+    machine = Machine(CMPConfig.baseline(n_cores))
+    tracer = Tracer(categories=categories)
+    machine.sim.tracer = tracer
+    lock = machine.make_lock(kind)
+
+    def prog(ctx):
+        yield from ctx.acquire(lock)
+        yield from ctx.compute(5)
+        yield from ctx.release(lock)
+
+    machine.run([prog] * n_cores)
+    return tracer
+
+
+def test_tracer_records_lock_events():
+    tracer = traced_machine()
+    grants = [e for e in tracer.events("lock") if "granted" in e.description]
+    assert len(grants) == 4
+    assert all(isinstance(e, TraceEvent) for e in grants)
+
+
+def test_tracer_records_gline_signals_for_glocks():
+    tracer = traced_machine("glock")
+    assert len(tracer.events("gline")) > 0
+    assert len(tracer.events("noc")) == 0  # GLocks send nothing on the NoC
+
+
+def test_tracer_records_noc_messages_for_mcs():
+    tracer = traced_machine("mcs")
+    assert len(tracer.events("noc")) > 0
+    assert len(tracer.events("gline")) == 0
+
+
+def test_category_filter_drops_other_events():
+    tracer = traced_machine("mcs", categories=("lock",))
+    assert len(tracer.events("noc")) == 0
+    assert len(tracer.events("lock")) > 0
+
+
+def test_events_are_time_ordered():
+    tracer = traced_machine()
+    times = [e.time for e in tracer.events()]
+    assert times == sorted(times)
+
+
+def test_bounded_capacity_drops_oldest():
+    tracer = Tracer(capacity=10)
+    for i in range(25):
+        tracer.record(i, "x", "s", "d")
+    assert len(tracer) == 10
+    assert tracer.dropped == 15
+    assert tracer.recorded == 25
+    assert tracer.events()[0].time == 15  # oldest were dropped
+
+
+def test_render_contains_cycle_and_source():
+    tracer = traced_machine()
+    text = tracer.render(category="lock", limit=5)
+    assert "cycle" in text and "core0" in text
+
+
+def test_source_prefix_filter():
+    tracer = traced_machine("glock")
+    core0 = tracer.events("lock", source_prefix="core0")
+    assert core0 and all(e.source == "core0" for e in core0)
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(ValueError):
+        Tracer(capacity=0)
+
+
+def test_tracing_off_by_default_no_overhead_records():
+    machine = Machine(CMPConfig.baseline(4))
+    assert machine.sim.tracer is None
+    lock = machine.make_lock("glock")
+
+    def prog(ctx):
+        yield from ctx.acquire(lock)
+        yield from ctx.release(lock)
+
+    machine.run([prog])  # must simply not crash without a tracer
+
+
+def test_tracing_does_not_change_timing():
+    def makespan(with_tracer):
+        machine = Machine(CMPConfig.baseline(4))
+        if with_tracer:
+            machine.sim.tracer = Tracer()
+        lock = machine.make_lock("mcs")
+        counter = machine.mem.address_space.alloc_line()
+
+        def prog(ctx):
+            for _ in range(5):
+                yield from ctx.acquire(lock)
+                yield from ctx.rmw(counter, lambda v: v + 1)
+                yield from ctx.release(lock)
+
+        return machine.run([prog] * 4).makespan
+
+    assert makespan(False) == makespan(True)

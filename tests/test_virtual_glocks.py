@@ -1,0 +1,151 @@
+"""Tests for dynamic GLock virtualization (future-work feature)."""
+
+import pytest
+
+from repro import CMPConfig, Machine
+from repro.core.virtual import DynamicGLockManager, VirtualGLock
+from repro.noc import hotspot_report, utilization
+
+
+def make_manager(n_cores=8):
+    machine = Machine(CMPConfig.baseline(n_cores))  # 2 physical GLocks
+    manager = DynamicGLockManager(machine.glocks, machine.mem)
+    return machine, manager
+
+
+def run_counters(machine, locks, counters, iters, pick):
+    n = machine.config.n_cores
+
+    def make_program(core):
+        def program(ctx):
+            for i in range(iters):
+                idx = pick(core, i)
+                yield from ctx.acquire(locks[idx])
+                yield from ctx.rmw(counters[idx], lambda v: v + 1)
+                yield from ctx.release(locks[idx])
+                yield from ctx.compute(20)
+        return program
+
+    machine.run([make_program(c) for c in range(n)])
+    return sum(machine.mem.backing.read(a) for a in counters)
+
+
+def test_two_locks_bind_directly():
+    machine, manager = make_manager()
+    locks = [manager.make_lock(f"v{i}") for i in range(2)]
+    counters = machine.mem.address_space.alloc_words_padded(2)
+    total = run_counters(machine, locks, counters, 10,
+                         pick=lambda c, i: c % 2)
+    assert total == 8 * 10
+    assert manager.binds == 2
+    assert manager.steals == 0 and manager.fallbacks == 0
+
+
+def test_four_locks_two_devices_steal_or_fallback():
+    machine, manager = make_manager()
+    locks = [manager.make_lock(f"v{i}") for i in range(4)]
+    counters = machine.mem.address_space.alloc_words_padded(4)
+    # phased access: early iterations hit locks 0/1, later ones 2/3, so the
+    # second pair can steal the first pair's quiesced networks
+    total = run_counters(machine, locks, counters, 12,
+                         pick=lambda c, i: (c % 2) if i < 6 else 2 + (c % 2))
+    assert total == 8 * 12
+    assert manager.binds >= 2
+    assert manager.steals + manager.fallbacks > 0
+
+
+def test_mutual_exclusion_under_adversarial_mixing():
+    """Every core hammers every lock in a rotating pattern: mode switches,
+    steals and fallbacks must never break mutual exclusion."""
+    machine, manager = make_manager()
+    n_locks = 5
+    locks = [manager.make_lock(f"v{i}") for i in range(n_locks)]
+    counters = machine.mem.address_space.alloc_words_padded(n_locks)
+    in_cs = [0] * n_locks
+
+    def make_program(core):
+        def program(ctx):
+            for i in range(15):
+                idx = (core + i) % n_locks
+                yield from ctx.acquire(locks[idx])
+                in_cs[idx] += 1
+                assert in_cs[idx] == 1, f"two holders inside lock {idx}"
+                value = yield from ctx.load(counters[idx])
+                yield from ctx.compute(7)
+                yield from ctx.store(counters[idx], value + 1)
+                in_cs[idx] -= 1
+                yield from ctx.release(locks[idx])
+        return program
+
+    machine.run([make_program(c) for c in range(8)])
+    total = sum(machine.mem.backing.read(a) for a in counters)
+    assert total == 8 * 15
+
+
+def test_fallback_used_when_all_devices_hot():
+    machine, manager = make_manager()
+    locks = [manager.make_lock(f"v{i}") for i in range(3)]
+    counters = machine.mem.address_space.alloc_words_padded(3)
+    # all three locks continuously hot: the third can never steal
+    total = run_counters(machine, locks, counters, 12,
+                         pick=lambda c, i: c % 3)
+    assert total == 8 * 12
+    assert manager.fallbacks > 0
+
+
+def test_virtual_lock_is_a_lock():
+    machine, manager = make_manager()
+    lock = manager.make_lock("v")
+    assert isinstance(lock, VirtualGLock)
+    assert lock.name == "v"
+
+
+# --------------------------------------------------------------------- #
+# NoC hotspot analysis
+# --------------------------------------------------------------------- #
+def test_hotspots_concentrate_around_lock_home():
+    machine = Machine(CMPConfig.baseline(16))
+    lock = machine.make_lock("tatas")
+    counter = machine.mem.address_space.alloc_line()
+
+    def prog(ctx):
+        for _ in range(10):
+            yield from ctx.acquire(lock)
+            yield from ctx.rmw(counter, lambda v: v + 1)
+            yield from ctx.release(lock)
+
+    res = machine.run([prog] * 16)
+    top = hotspot_report(machine.mem.mesh, top_n=3)
+    assert len(top) == 3
+    loads = [b for _, b in top]
+    assert loads == sorted(loads, reverse=True)
+    # the hottest link carries a disproportionate share
+    all_bytes = sum(machine.mem.mesh.link_bytes.values())
+    assert loads[0] > all_bytes / machine.mem.mesh.n_links
+
+
+def test_utilization_bounded_and_positive():
+    machine = Machine(CMPConfig.baseline(8))
+    addr = machine.mem.address_space.alloc_word()
+
+    def prog(ctx):
+        yield from ctx.store(addr, ctx.core_id)
+
+    res = machine.run([prog] * 8)
+    util = utilization(machine.mem.mesh, res.makespan)
+    assert util and all(0 <= u <= 1 for u in util.values())
+    with pytest.raises(ValueError):
+        utilization(machine.mem.mesh, 0)
+
+
+def test_glock_leaves_no_hotspots():
+    machine = Machine(CMPConfig.baseline(16))
+    lock = machine.make_lock("glock")
+
+    def prog(ctx):
+        for _ in range(10):
+            yield from ctx.acquire(lock)
+            yield from ctx.release(lock)
+
+    machine.run([prog] * 16)
+    assert sum(machine.mem.mesh.link_bytes.values()) == 0
