@@ -5,10 +5,14 @@
     repro-sim config [--cores N]             # print the Table II chip
     repro-sim cost [--cores N] [--levels L]  # Table I for that chip
     repro-sim run --workload sctr --lock glock [--cores N] [--scale S]
+                  [--sanitize]               # runtime invariant checks
     repro-sim experiment fig08 [--scale S] [--cores N]
     repro-sim shootout [--cores N] [--iters I]
+    repro-sim lint [paths...]                # simulator-aware static lint
+    repro-sim modelcheck [--cores N] [--arbitration P] [--max-concurrent K]
 
-(also runnable as ``python -m repro.cli ...``)
+(also runnable as ``python -m repro.cli ...``; the lint alone also as
+``python -m repro.lint ...``)
 """
 
 from __future__ import annotations
@@ -63,6 +67,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--other-lock", default="tatas")
     p.add_argument("--cores", type=int, default=32)
     p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--sanitize", action="store_true",
+                   help="validate runtime invariants every event "
+                        "(repro.verify.invariants)")
+    p.add_argument("--sanitize-starvation-bound", type=int, default=1_000_000,
+                   metavar="CYCLES",
+                   help="max cycles a core may wait for a TOKEN under "
+                        "--sanitize (default: 1e6)")
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument("name", choices=sorted(EXPERIMENTS))
@@ -72,6 +83,26 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("shootout", help="compare all lock kinds quickly")
     p.add_argument("--cores", type=int, default=8)
     p.add_argument("--iters", type=int, default=160)
+
+    p = sub.add_parser("lint", help="simulator-aware static lint "
+                                    "(SIM001-SIM004)")
+    p.add_argument("paths", nargs="*", default=["src/"],
+                   help="files or directories (default: src/)")
+
+    p = sub.add_parser("modelcheck",
+                       help="exhaust the token-protocol state space on a "
+                            "small mesh")
+    p.add_argument("--cores", type=int, default=4,
+                   help="mesh size (default 4 = 2x2)")
+    p.add_argument("--levels", type=int, default=2, choices=(2, 3))
+    p.add_argument("--arbitration", default="all",
+                   choices=("all", "round_robin", "fifo", "static"))
+    p.add_argument("--max-concurrent", type=int, default=None,
+                   help="bound on simultaneously active cores "
+                        "(default: all cores eager — keep to small meshes)")
+    p.add_argument("--fairness-bound", type=int, default=None,
+                   help="per-manager bounded-bypass check "
+                        "(round_robin/fifo only)")
 
     return parser
 
@@ -95,11 +126,23 @@ def _cmd_cost(args) -> int:
 
 def _cmd_run(args) -> int:
     machine = Machine(CMPConfig.baseline(args.cores))
+    if args.sanitize:
+        from repro.verify.invariants import attach_sanitizer
+
+        if machine.sanitizer is not None:
+            # e.g. pytest --sanitize auto-attached one; ours carries the
+            # CLI-configured starvation bound
+            machine.sanitizer.detach()
+        sanitizer = attach_sanitizer(
+            machine, starvation_bound=args.sanitize_starvation_bound)
     workload = make_workload(args.workload, scale=args.scale)
     instance = workload.instantiate(machine, hc_kind=args.lock,
                                     other_kind=args.other_lock)
     result = machine.run(instance.programs)
     instance.validate(machine)
+    if args.sanitize:
+        print(f"sanitizer  : OK ({sanitizer.checks_run} per-event checks, "
+              "drain invariants hold)")
     energy = account_run(result)
     fractions = result.category_fractions()
     print(f"workload   : {args.workload} (scale {args.scale}) on "
@@ -157,6 +200,27 @@ def _cmd_shootout(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.verify.lint import main as lint_main
+
+    return lint_main(args.paths)
+
+
+def _cmd_modelcheck(args) -> int:
+    from repro.verify.modelcheck import check_protocol
+
+    policies = (("round_robin", "fifo", "static")
+                if args.arbitration == "all" else (args.arbitration,))
+    for policy in policies:
+        fairness = args.fairness_bound if policy != "static" else None
+        result = check_protocol(
+            args.cores, args.levels, policy,
+            max_concurrent=args.max_concurrent,
+            fairness_bound=fairness)
+        print(result.describe())
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -165,6 +229,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "experiment": _cmd_experiment,
         "shootout": _cmd_shootout,
+        "lint": _cmd_lint,
+        "modelcheck": _cmd_modelcheck,
     }[args.command]
     return handler(args)
 

@@ -62,7 +62,7 @@ class GLockDevice:
                 f"by {self._holder}"
             )
         self._holder = None
-        self.network.release(core_id)
+        self.network.release(core_id)  # noqa: SIM001 — plain REL signal, not a coroutine
         self.counters.add("glock.releases")
         yield 1  # "mov 1, lock_rel"
 
@@ -93,6 +93,7 @@ class GLockPool:
         ]
         self.allow_sharing = allow_sharing
         self._assigned = 0
+        # program-level locks multiplexed onto each device, by lock_id
         self._shared_devices: Dict[int, int] = {}
 
     def assign(self) -> GLockDevice:
@@ -107,9 +108,27 @@ class GLockPool:
                 "enable sharing or provision more in GLineConfig.n_glocks"
             )
         self._assigned += 1
+        self._shared_devices[device.lock_id] = \
+            self._shared_devices.get(device.lock_id, 0) + 1
         return device
 
     @property
     def n_assigned(self) -> int:
         """Program-level locks assigned so far."""
         return self._assigned
+
+    def device_sharers(self, lock_id: int) -> int:
+        """Program-level locks currently multiplexed onto device ``lock_id``."""
+        if not 0 <= lock_id < len(self.devices):
+            raise ValueError(f"no GLock device {lock_id}")
+        return self._shared_devices.get(lock_id, 0)
+
+    @property
+    def sharer_counts(self) -> Dict[int, int]:
+        """Per-device sharer counts ``{lock_id: n_program_locks}``.
+
+        Under the paper's static provisioning every count is 0 or 1; with
+        ``allow_sharing`` the excess program locks round-robin onto devices
+        and counts report the serialization pressure on each network.
+        """
+        return dict(self._shared_devices)

@@ -1,0 +1,14 @@
+"""``python -m repro.lint`` — entry point for the simulator-aware lint.
+
+The implementation lives in :mod:`repro.verify.lint`; this module keeps the
+documented invocation short.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.verify.lint import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -91,6 +91,10 @@ class Machine:
         ]
         self.lock_intervals = IntervalRecorder()
         self._ran = False
+        #: optional repro.verify.invariants.InvariantSanitizer; set by
+        #: InvariantSanitizer.attach() (or the --sanitize CLI flag) and
+        #: finalized automatically at the end of run()
+        self.sanitizer = None
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -116,12 +120,17 @@ class Machine:
     # execution
     # ------------------------------------------------------------------ #
     def run(self, programs: Sequence[ThreadProgram],
-            max_events: int = 200_000_000) -> RunResult:
+            max_events: int = 200_000_000,
+            max_cycles: Optional[int] = None) -> RunResult:
         """Run one program per core (parallel phase); returns measurements.
 
         A machine runs one parallel phase; build a fresh Machine per run so
         caches, counters and clocks start cold (the paper likewise measures
         whole parallel phases).
+
+        ``max_cycles`` arms the kernel's deadlock watchdog: exceeding it
+        raises a SimulationError naming the blocked processes and the
+        signals they wait on.
         """
         if self._ran:
             raise RuntimeError("a Machine runs a single parallel phase; "
@@ -136,7 +145,10 @@ class Machine:
             ctx = self.context(core_id)
             proc = self.sim.spawn(self._wrap(program, ctx), name=f"core{core_id}")
             procs.append(proc)
-        self.sim.run_until_processes_finish(procs, max_events=max_events)
+        self.sim.run_until_processes_finish(procs, max_events=max_events,
+                                            max_cycles=max_cycles)
+        if self.sanitizer is not None:
+            self.sanitizer.at_drain(procs)
         return self._collect(procs)
 
     def _wrap(self, program: ThreadProgram, ctx: ThreadContext):

@@ -25,6 +25,7 @@ seconds range (see the performance notes in ``DESIGN.md``).
 from __future__ import annotations
 
 import heapq
+import weakref
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 __all__ = ["Simulator", "Process", "Signal", "SimulationError"]
@@ -45,7 +46,8 @@ class Signal:
     and stack depth bounded.
     """
 
-    __slots__ = ("sim", "name", "_waiters", "fire_count", "last_value")
+    __slots__ = ("sim", "name", "_waiters", "fire_count", "last_value",
+                 "__weakref__")
 
     def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
@@ -55,6 +57,8 @@ class Signal:
         self.fire_count = 0
         #: value passed to the most recent :meth:`fire`.
         self.last_value: Any = None
+        if sim._signal_registry is not None:
+            sim._signal_registry.append(weakref.ref(self))
 
     def add_callback(self, fn: Callable[[Any], None]) -> None:
         """Register ``fn(value)`` to run (once) the next time the signal fires."""
@@ -86,7 +90,8 @@ class Process:
     value is stored in :attr:`result` and broadcast through :attr:`done`.
     """
 
-    __slots__ = ("sim", "name", "_gen", "finished", "result", "done")
+    __slots__ = ("sim", "name", "_gen", "finished", "result", "done",
+                 "waiting_on")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = "") -> None:
         self.sim = sim
@@ -96,10 +101,14 @@ class Process:
         self.result: Any = None
         #: fires (with the return value) when the generator completes.
         self.done = Signal(sim, name=f"{name}.done")
+        #: the :class:`Signal` this process is currently suspended on, if any
+        #: (diagnostic: the deadlock watchdog names it in its report).
+        self.waiting_on: Optional[Signal] = None
 
     def _step(self, value: Any = None) -> None:
         if self.finished:
             return
+        self.waiting_on = None
         try:
             item = self._gen.send(value)
         except StopIteration as stop:
@@ -107,13 +116,22 @@ class Process:
             self.result = stop.value
             self.done.fire(stop.value)
             return
-        if type(item) is int or isinstance(item, int):
+        if isinstance(item, bool):
+            # bool is an int subclass: `yield True` would silently act as a
+            # 1-cycle delay, which is always a bug (a forgotten `yield from`
+            # around a predicate-returning coroutine, typically)
+            raise SimulationError(
+                f"process {self.name!r} yielded a bool ({item}); "
+                "yield an int delay or a Signal"
+            )
+        if isinstance(item, int):
             if item < 0:
                 raise SimulationError(
                     f"process {self.name!r} yielded negative delay {item}"
                 )
             self.sim.schedule(item, self._step)
         elif isinstance(item, Signal):
+            self.waiting_on = item
             item.add_callback(self._step)
         else:
             raise SimulationError(
@@ -144,6 +162,39 @@ class Simulator:
         #: optional :class:`repro.sim.trace.Tracer`; instrumented components
         #: emit events here when set (see repro.sim.trace)
         self.tracer = None
+        #: optional checkpoint ``fn(sim)`` invoked after every executed event;
+        #: the runtime invariant sanitizer (repro.verify.invariants) hooks in
+        #: here.  ``None`` keeps the hot path a single falsy check.
+        self.on_event: Optional[Callable[["Simulator"], None]] = None
+        # weak registry of live Signals, populated only when enabled (see
+        # enable_signal_registry) so normal runs pay nothing
+        self._signal_registry: Optional[List["weakref.ref[Signal]"]] = None
+
+    # ------------------------------------------------------------------ #
+    # diagnostics
+    # ------------------------------------------------------------------ #
+    def enable_signal_registry(self) -> None:
+        """Track every Signal created from now on (weakly).
+
+        Used by the invariant sanitizer to detect orphaned waiters at drain;
+        off by default so plain simulations allocate nothing extra.
+        """
+        if self._signal_registry is None:
+            self._signal_registry = []
+
+    def live_signals(self) -> List[Signal]:
+        """Signals created since :meth:`enable_signal_registry` and still alive."""
+        if self._signal_registry is None:
+            return []
+        alive = []
+        refs = []
+        for ref in self._signal_registry:
+            sig = ref()
+            if sig is not None:
+                alive.append(sig)
+                refs.append(ref)
+        self._signal_registry = refs  # drop dead references as we go
+        return alive
 
     # ------------------------------------------------------------------ #
     # scheduling primitives
@@ -197,6 +248,8 @@ class Simulator:
             self.now = time
             fn(*args)
             executed += 1
+            if self.on_event is not None:
+                self.on_event(self)
             if max_events is not None and executed >= max_events:
                 raise SimulationError(
                     f"exceeded max_events={max_events} at cycle {self.now}"
@@ -205,22 +258,39 @@ class Simulator:
         return self.now
 
     def run_until_processes_finish(
-        self, procs: Iterable[Process], max_events: Optional[int] = None
+        self, procs: Iterable[Process], max_events: Optional[int] = None,
+        max_cycles: Optional[int] = None,
     ) -> int:
         """Run until every process in ``procs`` has finished.
 
         Leftover events (e.g. background pollers) are abandoned, which models
         "the parallel phase ended"; the returned cycle is the completion time
         of the last process.
+
+        Args:
+            max_events: safety valve against runaway simulations.
+            max_cycles: deadlock watchdog — if simulated time passes this
+                cycle with processes still unfinished, raise a
+                :class:`SimulationError` naming the blocked processes and
+                the signals they wait on.
         """
         procs = list(procs)
         queue = self._queue
         executed = 0
         while queue and not all(p.finished for p in procs):
-            time, _seq, fn, args = heapq.heappop(queue)
+            time, _seq, fn, args = queue[0]
+            if max_cycles is not None and time > max_cycles:
+                self.now = max_cycles
+                raise SimulationError(
+                    f"deadlock watchdog: exceeded max_cycles={max_cycles} "
+                    f"with blocked processes: {self._blocked_report(procs)}"
+                )
+            heapq.heappop(queue)
             self.now = time
             fn(*args)
             executed += 1
+            if self.on_event is not None:
+                self.on_event(self)
             if max_events is not None and executed >= max_events:
                 raise SimulationError(
                     f"exceeded max_events={max_events} at cycle {self.now}"
@@ -229,9 +299,24 @@ class Simulator:
         unfinished = [p.name for p in procs if not p.finished]
         if unfinished:
             raise SimulationError(
-                f"event queue drained with unfinished processes: {unfinished}"
+                "event queue drained with unfinished processes: "
+                f"{self._blocked_report(procs)}"
             )
         return self.now
+
+    @staticmethod
+    def _blocked_report(procs: Iterable[Process]) -> str:
+        """``name (waiting on signal)`` for every unfinished process."""
+        parts = []
+        for p in procs:
+            if p.finished:
+                continue
+            if p.waiting_on is not None:
+                parts.append(f"{p.name} (waiting on "
+                             f"{p.waiting_on.name or 'unnamed signal'})")
+            else:
+                parts.append(f"{p.name} (delayed/ready)")
+        return "; ".join(parts) or "<none>"
 
     @property
     def events_executed(self) -> int:

@@ -1,0 +1,40 @@
+"""Protocol verification layer for the GLocks reproduction.
+
+Three coordinated tools guard the paper's central correctness claims (one
+token per G-line network, starvation-free two-level round-robin
+arbitration, single-signal release):
+
+- :mod:`repro.verify.modelcheck` — an exhaustive state-space explorer that
+  drives the *real* :class:`~repro.core.controllers.TokenManager` FSM
+  through every interleaving of REQ/REL/TOKEN events a physical G-line
+  network could produce, checking mutual exclusion, token conservation,
+  deadlock-freedom and bounded-bypass fairness on small configurations.
+- :mod:`repro.verify.invariants` — a runtime sanitizer that hooks the
+  simulator event loop (``Simulator.on_event``) and validates per-cycle
+  invariants on full paper-scale workloads (``--sanitize`` on the CLI, or
+  ``pytest --sanitize`` for the test suite).
+- :mod:`repro.verify.lint` — an AST-based static lint for simulator
+  hazards (``python -m repro.lint src/`` or ``repro-sim lint``).
+
+See docs/protocol.md ("Verified invariants") for the property list and the
+configuration sizes each property has been exhausted on.
+"""
+
+from repro.verify.invariants import InvariantSanitizer, InvariantViolation
+from repro.verify.lint import LintFinding, lint_paths, lint_source
+from repro.verify.modelcheck import (
+    CheckResult,
+    ModelCheckViolation,
+    check_protocol,
+)
+
+__all__ = [
+    "CheckResult",
+    "ModelCheckViolation",
+    "check_protocol",
+    "InvariantSanitizer",
+    "InvariantViolation",
+    "LintFinding",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,180 @@
+"""Runtime invariant sanitizer for full-scale simulations.
+
+Where :mod:`repro.verify.modelcheck` exhausts small configurations, the
+sanitizer rides along full 32-core paper workloads: it hooks the kernel's
+``Simulator.on_event`` checkpoint and validates, after every executed
+event:
+
+- **monotonic time** — ``sim.now`` never decreases;
+- **single holder per device** — a GLock's holder is a valid core id and
+  is never simultaneously registered as a waiter on the same device;
+- **bounded waiting** — no core waits on a device longer than
+  ``starvation_bound`` cycles (catches lost TOKEN/REL signals long before
+  the run's ``max_events`` valve trips);
+- **token-network sanity** — a device's primary manager never ends up
+  token-less while the whole network is idle.
+
+At drain (:meth:`at_drain`, called by ``Machine.run`` once all thread
+programs finished) it additionally checks that no process is left
+suspended on a :class:`~repro.sim.kernel.Signal` that can no longer fire
+("orphaned waiter") and that every device's token parked back at its
+primary manager.
+
+Enable it with ``repro-sim run --sanitize ...``, ``pytest --sanitize``,
+or directly::
+
+    machine = Machine(CMPConfig.baseline(32))
+    InvariantSanitizer(machine).attach()
+    machine.run(programs)   # raises InvariantViolation on any breach
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.sim.kernel import Process, SimulationError, Simulator
+
+__all__ = ["InvariantSanitizer", "InvariantViolation", "attach_sanitizer"]
+
+
+class InvariantViolation(SimulationError):
+    """A runtime invariant failed during a sanitized simulation."""
+
+
+class InvariantSanitizer:
+    """Per-event invariant checks over a :class:`~repro.machine.Machine`.
+
+    Args:
+        machine: the machine to watch (its GLock devices and simulator).
+        starvation_bound: max cycles a core may wait for a TOKEN before the
+            sanitizer declares it starved.  The default is generous enough
+            for every paper workload at 32 cores; tighten it to hunt
+            latency regressions.
+        check_interval: run the per-event checks every N executed events
+            (1 = every event).  Starvation accounting stays exact at any
+            interval because request start times are read from the device.
+    """
+
+    def __init__(self, machine, *, starvation_bound: int = 1_000_000,
+                 check_interval: int = 1) -> None:
+        if starvation_bound < 1:
+            raise ValueError("starvation_bound must be positive")
+        if check_interval < 1:
+            raise ValueError("check_interval must be positive")
+        self.machine = machine
+        self.starvation_bound = starvation_bound
+        self.check_interval = check_interval
+        self.checks_run = 0
+        self.events_seen = 0
+        self._last_now = 0
+        # (device lock_id, core) -> cycle the request was first observed
+        self._wait_since: Dict[Tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------ #
+    # wiring
+    # ------------------------------------------------------------------ #
+    def attach(self) -> "InvariantSanitizer":
+        """Hook the machine's simulator; returns self for chaining."""
+        sim: Simulator = self.machine.sim
+        if sim.on_event is not None:
+            raise RuntimeError("simulator already has an on_event hook")
+        sim.enable_signal_registry()
+        sim.on_event = self._on_event
+        self.machine.sanitizer = self
+        return self
+
+    def detach(self) -> None:
+        """Remove the hook (the signal registry stays enabled)."""
+        # bound-method access builds a fresh object each time, so == not is
+        if self.machine.sim.on_event == self._on_event:
+            self.machine.sim.on_event = None
+        if self.machine.sanitizer is self:
+            self.machine.sanitizer = None
+
+    # ------------------------------------------------------------------ #
+    # per-event checkpoint
+    # ------------------------------------------------------------------ #
+    def _on_event(self, sim: Simulator) -> None:
+        self.events_seen += 1
+        if sim.now < self._last_now:
+            raise InvariantViolation(
+                f"time ran backwards: {self._last_now} -> {sim.now}")
+        self._last_now = sim.now
+        if self.events_seen % self.check_interval:
+            return
+        self.checks_run += 1
+        n_cores = self.machine.config.n_cores
+        for device in self.machine.glocks.devices:
+            holder = device.holder
+            waiters = device.network._token_callbacks
+            if holder is not None:
+                if not 0 <= holder < n_cores:
+                    raise InvariantViolation(
+                        f"GLock {device.lock_id}: holder {holder} is not a "
+                        f"valid core id (0..{n_cores - 1})")
+                if holder in waiters:
+                    raise InvariantViolation(
+                        f"GLock {device.lock_id}: core {holder} holds the "
+                        "lock and is simultaneously queued as a waiter")
+            self._check_starvation(device, waiters, sim.now)
+
+    def _check_starvation(self, device, waiters, now: int) -> None:
+        lock_id = device.lock_id
+        for core in waiters:
+            since = self._wait_since.setdefault((lock_id, core), now)
+            if now - since > self.starvation_bound:
+                raise InvariantViolation(
+                    f"GLock {lock_id}: core {core} has waited "
+                    f"{now - since} cycles for a TOKEN (bound "
+                    f"{self.starvation_bound}) — lost signal or starvation")
+        # forget cores that are no longer waiting on this device
+        stale = [key for key in self._wait_since
+                 if key[0] == lock_id and key[1] not in waiters]
+        for key in stale:
+            del self._wait_since[key]
+
+    # ------------------------------------------------------------------ #
+    # drain checkpoint
+    # ------------------------------------------------------------------ #
+    def at_drain(self, procs: Optional[Iterable[Process]] = None) -> None:
+        """Validate end-of-phase invariants once the parallel phase ended."""
+        sim: Simulator = self.machine.sim
+        # A suspended process is provably orphaned only once the event queue
+        # is empty: nothing can ever fire its signal.  When events remain,
+        # the parallel phase ended mid-flight and abandoned helpers
+        # (directory transactions, pollers) are expected — see
+        # run_until_processes_finish.  Plain callback waiters are never
+        # orphans for the same reason.
+        if sim.pending_events == 0:
+            orphans: List[str] = []
+            for sig in sim.live_signals():
+                for fn in sig._waiters:
+                    owner = getattr(fn, "__self__", None)
+                    if isinstance(owner, Process) and not owner.finished:
+                        orphans.append(
+                            f"{owner.name} on {sig.name or '<unnamed>'}")
+            if orphans:
+                raise InvariantViolation(
+                    "orphaned Signal waiters at drain (a process is "
+                    "suspended on a signal that will never fire): "
+                    f"{sorted(orphans)}")
+        if procs is not None:
+            stuck = [p.name for p in procs if not p.finished]
+            if stuck:
+                raise InvariantViolation(
+                    f"processes unfinished at drain: {stuck}")
+        for device in self.machine.glocks.devices:
+            if device.holder is not None:
+                raise InvariantViolation(
+                    f"GLock {device.lock_id}: still held by core "
+                    f"{device.holder} after the parallel phase")
+            if device.network._token_callbacks:
+                raise InvariantViolation(
+                    f"GLock {device.lock_id}: cores "
+                    f"{sorted(device.network._token_callbacks)} still wait "
+                    "for a TOKEN after the parallel phase")
+
+
+def attach_sanitizer(machine, **kwargs) -> InvariantSanitizer:
+    """Convenience: ``InvariantSanitizer(machine, **kwargs).attach()``."""
+    return InvariantSanitizer(machine, **kwargs).attach()

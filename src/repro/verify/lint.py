@@ -1,0 +1,258 @@
+"""Simulator-aware static lint (AST-based, zero dependencies).
+
+Generic linters cannot know that this codebase's ``acquire``/``release``
+are *coroutines*, that the kernel turns yielded ints into cycle delays, or
+that the event heap owns simulated time.  This pass encodes those
+simulator-specific hazards:
+
+``SIM001`` — coroutine call discarded
+    ``ctx.acquire(lock)`` / ``device.release(core)`` as a bare statement
+    (or a plain ``yield`` of it) creates the generator and throws it away:
+    the lock operation silently never runs.  They must be driven with
+    ``yield from``.
+
+``SIM002`` — bool yielded as a delay
+    ``yield True`` reaches the kernel as an int subclass and historically
+    acted as a 1-cycle delay; the kernel now rejects bools at runtime and
+    this rule catches them before a simulation ever runs.
+
+``SIM003`` — unseeded randomness in simulator code
+    Module-level ``random.random()`` / ``numpy.random.<fn>()`` draw from
+    a process-global, unseeded stream and silently break bit-reproducible
+    simulation.  Use ``random.Random(seed)`` or
+    ``numpy.random.default_rng(seed)``.
+
+``SIM004`` — kernel-owned state mutated from model code
+    Assigning ``sim.now``, ``proc.finished``, a signal's waiter list, etc.
+    from a component or callback corrupts the event engine; all such state
+    may only change inside ``repro/sim/kernel.py`` through the scheduling
+    APIs.
+
+A finding can be suppressed per line with ``# noqa: SIM001`` (or a bare
+``# noqa``) — e.g. for a plain (non-coroutine) method that happens to be
+called ``release``.
+
+Run as ``python -m repro.lint <paths>`` or ``repro-sim lint <paths>``;
+exits non-zero when findings exist.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["LintFinding", "lint_source", "lint_paths", "main"]
+
+#: method names that are generator coroutines throughout the codebase and
+#: therefore must be driven with ``yield from`` (SIM001)
+COROUTINE_METHODS = frozenset({"acquire", "release"})
+
+#: ``random``-module functions that are legitimate without a seed
+_RANDOM_OK = frozenset({"Random", "SystemRandom", "seed", "getstate", "setstate"})
+#: ``numpy.random`` entry points that produce seeded/explicit generators
+_NP_RANDOM_OK = frozenset({"default_rng", "Generator", "SeedSequence",
+                           "RandomState", "BitGenerator", "PCG64"})
+
+#: attributes owned by the event kernel: writable only in repro/sim/kernel.py
+KERNEL_OWNED_ATTRS = frozenset({
+    "now", "_queue", "_seq", "_events_executed",     # Simulator
+    "finished", "_gen", "waiting_on",                # Process
+    "_waiters", "fire_count", "last_value",          # Signal
+    "on_event", "_signal_registry",
+})
+
+#: file whose job is to mutate that state
+KERNEL_FILE_SUFFIX = ("sim/kernel.py", "sim\\kernel.py")
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, path: str, is_kernel: bool) -> None:
+        self.path = path
+        self.is_kernel = is_kernel
+        self.findings: List[LintFinding] = []
+
+    def _add(self, node: ast.AST, code: str, message: str) -> None:
+        self.findings.append(LintFinding(
+            path=self.path, line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0), code=code, message=message))
+
+    # ------------------------------------------------------------------ #
+    # SIM001: coroutine call discarded
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _coroutine_call(node: ast.AST) -> Optional[str]:
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in COROUTINE_METHODS):
+            return node.func.attr
+        return None
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        name = self._coroutine_call(node.value)
+        if name is not None:
+            self._add(node, "SIM001",
+                      f"coroutine '{name}(...)' called as a bare statement: "
+                      "the generator is discarded and the lock operation "
+                      "never runs — drive it with 'yield from'")
+        self.generic_visit(node)
+
+    def visit_Yield(self, node: ast.Yield) -> None:
+        # SIM001: `yield x.acquire()` suspends on a generator object, which
+        # the kernel rejects; the author meant `yield from`
+        name = self._coroutine_call(node.value) if node.value else None
+        if name is not None:
+            self._add(node, "SIM001",
+                      f"'yield {name}(...)' yields the generator object "
+                      "itself — use 'yield from' to run the coroutine")
+        # SIM002: bool delay
+        if isinstance(node.value, ast.Constant) and isinstance(node.value.value, bool):
+            self._add(node, "SIM002",
+                      f"'yield {node.value.value}' is a bool, not a cycle "
+                      "delay; the kernel rejects it at runtime")
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------ #
+    # SIM003: unseeded randomness
+    # ------------------------------------------------------------------ #
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            # random.<fn>(...)
+            if (isinstance(func.value, ast.Name) and func.value.id == "random"
+                    and func.attr not in _RANDOM_OK):
+                self._add(node, "SIM003",
+                          f"'random.{func.attr}()' uses the global unseeded "
+                          "RNG and breaks reproducibility — use "
+                          "random.Random(seed)")
+            # np.random.<fn>(...) / numpy.random.<fn>(...)
+            if (isinstance(func.value, ast.Attribute)
+                    and func.value.attr == "random"
+                    and isinstance(func.value.value, ast.Name)
+                    and func.value.value.id in ("np", "numpy")
+                    and func.attr not in _NP_RANDOM_OK):
+                self._add(node, "SIM003",
+                          f"'{func.value.value.id}.random.{func.attr}()' "
+                          "uses numpy's global unseeded RNG — use "
+                          "numpy.random.default_rng(seed)")
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------ #
+    # SIM004: kernel-owned state mutated outside the kernel
+    # ------------------------------------------------------------------ #
+    def _check_kernel_write(self, target: ast.AST, node: ast.AST) -> None:
+        if self.is_kernel:
+            return
+        if isinstance(target, ast.Attribute) and target.attr in KERNEL_OWNED_ATTRS:
+            # allow hooking the public checkpoint: `sim.on_event = fn`
+            if target.attr == "on_event":
+                return
+            self._add(node, "SIM004",
+                      f"assignment to kernel-owned attribute "
+                      f"'.{target.attr}' outside repro/sim/kernel.py — "
+                      "model code must go through the scheduling APIs")
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_kernel_write(target, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_kernel_write(node.target, node)
+        self.generic_visit(node)
+
+
+def _suppressed(finding: LintFinding, lines: List[str]) -> bool:
+    """True if the finding's source line carries a matching ``# noqa``."""
+    if not 1 <= finding.line <= len(lines):
+        return False
+    line = lines[finding.line - 1]
+    marker = line.find("# noqa")
+    if marker < 0:
+        return False
+    spec = line[marker + len("# noqa"):].strip()
+    if not spec.startswith(":"):
+        return True  # bare `# noqa` silences everything on the line
+    # accept "SIM001", "SIM001, SIM004", "SIM001 — rationale text"
+    codes = {part.strip().split()[0]
+             for part in spec[1:].split(",") if part.strip()}
+    return finding.code in codes
+
+
+def lint_source(source: str, path: str = "<string>") -> List[LintFinding]:
+    """Lint one module's source text; returns findings (empty = clean)."""
+    normalized = path.replace("\\", "/")
+    is_kernel = normalized.endswith("sim/kernel.py")
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as err:
+        return [LintFinding(path=path, line=err.lineno or 0,
+                            col=err.offset or 0, code="SIM000",
+                            message=f"syntax error: {err.msg}")]
+    visitor = _Visitor(path, is_kernel)
+    visitor.visit(tree)
+    lines = source.splitlines()
+    findings = [f for f in visitor.findings if not _suppressed(f, lines)]
+    return sorted(findings, key=lambda f: (f.line, f.col, f.code))
+
+
+def _iter_python_files(paths: Sequence[str]) -> Iterable[Path]:
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            yield from sorted(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            yield p
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {raw}")
+
+
+def lint_paths(paths: Sequence[str]) -> List[LintFinding]:
+    """Lint every ``*.py`` under ``paths`` (files or directories)."""
+    findings: List[LintFinding] = []
+    for file in _iter_python_files(paths):
+        findings.extend(lint_source(file.read_text(encoding="utf-8"), str(file)))
+    return findings
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point: ``python -m repro.lint <paths...>``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="simulator-aware static lint (SIM001-SIM004)")
+    parser.add_argument("paths", nargs="+",
+                        help="python files or directories to lint")
+    args = parser.parse_args(argv)
+    try:
+        findings = lint_paths(args.paths)
+    except FileNotFoundError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    for finding in findings:
+        print(finding.format())
+    if findings:
+        print(f"{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via repro.lint
+    sys.exit(main())

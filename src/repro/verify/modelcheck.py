@@ -1,0 +1,405 @@
+"""Exhaustive model checking of the GLocks token protocol.
+
+The checker runs the *production* FSM — :class:`repro.core.controllers.
+TokenManager` wired into a real :class:`repro.core.network.GLineNetwork` —
+under a controlled scheduler that, instead of the deterministic event heap,
+explores **every** order in which in-flight REQ/REL/TOKEN signals can be
+delivered, interleaved with every order in which cores can issue requests
+and releases.  The only ordering kept is the physical one: two signals on
+the *same* G-line are pulses on a single wire and stay FIFO; signals on
+different wires may arrive in any relative order (modelling arbitrary wire
+lengths and G-line latencies).
+
+Cores are modelled as eager loops (idle -> request -> hold -> release ->
+idle, forever), so the reachable graph is finite and covers steady-state
+contention, not just a single acquisition wave.  ``max_concurrent`` bounds
+how many cores may be simultaneously active, which is what makes larger
+meshes (e.g. the 4x4) tractable: the exploration is then exhaustive over
+every interleaving of every choice of up-to-``max_concurrent`` active
+cores.
+
+Checked on every reachable state:
+
+- **mutual exclusion** — at most one core holds the lock;
+- **token conservation** — exactly one token exists, counting manager
+  loci (``has_token`` with no busy child), in-flight TOKEN grants,
+  in-flight REL signals and the holding core;
+- **deadlock-freedom / no lost wake-ups** — a state with no in-flight
+  signals and no holder must be fully quiescent: token parked at the
+  primary, no raised request flags, no waiting core;
+- **bounded bypass** (optional, ``fairness_bound``) — once a child's
+  request flag is raised at a manager, that manager grants at most
+  ``fairness_bound`` other children before serving it.  This is the
+  per-manager admission property; composed over the (at most two) manager
+  levels it bounds end-to-end bypass by the product of the per-level
+  bounds.  (End-to-end bypass counted from the *issue* of a REQ is
+  unbounded in this model — an adversarial scheduler can float the REQ
+  signal on its wire indefinitely — so the flag-raise is the correct
+  admission instant.)  Checked for ``round_robin`` and ``fifo``;
+  ``static`` starves by design — the ablation's strawman.
+
+A violation raises :class:`ModelCheckViolation` carrying the action trace
+from the initial state, which replays the counterexample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.controllers import TokenManager
+from repro.core.network import GLineNetwork
+from repro.sim.config import CMPConfig
+from repro.sim.stats import CounterSet
+
+__all__ = ["CheckResult", "ModelCheckViolation", "check_protocol"]
+
+# core lifecycle states
+IDLE, WAITING, HOLDING = 0, 1, 2
+
+# event kinds that represent the token travelling through the network;
+# together with manager loci and holding cores they must always sum to 1
+_TOKEN_KINDS = frozenset({"_receive_token", "receive_token", "_on_release"})
+
+
+class ModelCheckViolation(AssertionError):
+    """A protocol property failed on some reachable interleaving."""
+
+    def __init__(self, message: str, trace: List[str]) -> None:
+        lines = "\n  ".join(trace) if trace else "<initial state>"
+        super().__init__(f"{message}\ncounterexample ({len(trace)} steps):\n  {lines}")
+        self.trace = trace
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Statistics from one exhausted state space (success — violations raise)."""
+
+    n_cores: int
+    levels: int
+    arbitration: str
+    max_concurrent: Optional[int]
+    fairness_bound: Optional[int]
+    n_states: int
+    n_transitions: int
+    max_pending: int
+
+    def describe(self) -> str:
+        scope = ("all cores eager" if self.max_concurrent is None
+                 else f"<= {self.max_concurrent} concurrent cores")
+        fair = ("" if self.fairness_bound is None
+                else f", bypass bound {self.fairness_bound}")
+        return (f"{self.n_cores} cores / {self.levels} levels / "
+                f"{self.arbitration}: exhausted {self.n_states} states, "
+                f"{self.n_transitions} transitions ({scope}{fair}) — "
+                "mutual exclusion, token conservation, deadlock-freedom OK")
+
+
+class _ControlledSim:
+    """Simulator stand-in: captures scheduled signals instead of running them.
+
+    The network's :class:`~repro.core.gline.GLine` objects call
+    ``sim.schedule(latency, receiver, *args)``; here that appends the event
+    to a pending list the explorer fires in every admissible order.
+    """
+
+    def __init__(self) -> None:
+        self.now = 0  # noqa: SIM004 — this *is* the simulator stand-in
+        self.tracer = None
+        self.pending: List[Tuple[Any, str, tuple]] = []  # (channel, kind, (fn, args))
+
+    def schedule(self, delay: int, fn: Callable, *args: Any) -> None:
+        kind = getattr(getattr(fn, "__func__", fn), "__name__", repr(fn))
+        owner = getattr(fn, "__self__", fn)
+        if kind in ("_on_request", "_on_release"):
+            # child -> manager up-line: REQ and REL share one wire
+            channel = (id(owner), "up", args[0])
+        elif kind in ("_receive_token", "receive_token"):
+            channel = (id(owner), "down")
+        else:  # pragma: no cover - would mean a new signal type in the FSM
+            raise RuntimeError(f"model checker met unknown event {kind!r}")
+        self.pending.append((channel, kind, (fn, args)))
+
+
+class _Explorer:
+    """DFS over the reachable joint state of network, wires and cores."""
+
+    def __init__(self, n_cores: int, levels: int, arbitration: str,
+                 max_concurrent: Optional[int],
+                 fairness_bound: Optional[int],
+                 max_states: int) -> None:
+        self.n_cores = n_cores
+        self.fairness_bound = fairness_bound
+        self.max_concurrent = max_concurrent
+        self.max_states = max_states
+        self.sim = _ControlledSim()
+        config = CMPConfig.baseline(n_cores)
+        self.network = GLineNetwork(self.sim, config, CounterSet(),
+                                    levels=levels, arbitration=arbitration)
+        self.managers: List[TokenManager] = [self.network.root]
+        if levels == 3:
+            self.managers.extend(self.network.intermediates)
+        self.managers.extend(self.network.secondaries)
+        self.core_state = [IDLE] * n_cores
+        # per-manager, per-child grant-bypass counters (fairness check):
+        # bypass[m][i] counts grants manager m gave to other children while
+        # child i's request flag stayed raised
+        self.bypass = [[0] * len(m.children) for m in self.managers]
+        self._grant_cbs = [self._make_grant_cb(c) for c in range(n_cores)]
+        self._trace_of: Dict[Any, Tuple[Any, Optional[str]]] = {}
+        self._cur_key: Any = None  # predecessor key while applying an action
+        self._cur_action: Optional[str] = None
+        self.n_states = 0
+        self.n_transitions = 0
+        self.max_pending = 0
+
+    # ------------------------------------------------------------------ #
+    # grant delivery (runs synchronously inside a fired TOKEN event)
+    # ------------------------------------------------------------------ #
+    def _make_grant_cb(self, core: int) -> Callable[[], None]:
+        def granted() -> None:
+            if self.core_state[core] != WAITING:
+                self._violation(f"TOKEN delivered to core {core} which is "
+                                f"not waiting (state {self.core_state[core]})")
+            if HOLDING in self.core_state:
+                holder = self.core_state.index(HOLDING)
+                self._violation("mutual exclusion: TOKEN delivered to core "
+                                f"{core} while core {holder} holds the lock")
+            self.core_state[core] = HOLDING
+        return granted
+
+    # ------------------------------------------------------------------ #
+    # fairness accounting (per-manager bounded bypass)
+    # ------------------------------------------------------------------ #
+    def _update_fairness(self, pre_mgrs) -> None:
+        """Compare pre/post busy_child per manager to detect grants."""
+        for m_idx, mgr in enumerate(self.managers):
+            granted = mgr.busy_child
+            counters = self.bypass[m_idx]
+            if granted is not None and granted != pre_mgrs[m_idx][3]:
+                counters[granted] = 0
+                for i, flagged in enumerate(mgr.flags):
+                    if flagged and i != granted:
+                        counters[i] += 1
+                        if counters[i] > self.fairness_bound:
+                            self._violation(
+                                f"bounded bypass: manager {mgr.name} granted "
+                                f"{counters[i]} other children (bound "
+                                f"{self.fairness_bound}) while child {i}'s "
+                                f"request flag stayed raised — latest grant "
+                                f"to child {granted}")
+            # a cleared flag ends the admission window: reset its counter so
+            # equivalent states hash identically
+            for i, flagged in enumerate(mgr.flags):
+                if not flagged:
+                    counters[i] = 0
+
+    # ------------------------------------------------------------------ #
+    # state snapshot / restore / hashing
+    # ------------------------------------------------------------------ #
+    def _snapshot(self):
+        mgrs = tuple(
+            (tuple(m.flags), tuple(m._fifo_order), m.has_token,
+             m.busy_child, m.rr_pos, m._requested_parent)
+            for m in self.managers
+        )
+        return (mgrs, tuple(self.core_state),
+                tuple(tuple(b) for b in self.bypass),
+                tuple(self.sim.pending))
+
+    def _restore(self, snap) -> None:
+        mgrs, cores, bypass, pending = snap
+        for m, (flags, fifo, has_token, busy, rr, reqp) in zip(self.managers, mgrs):
+            m.flags[:] = flags
+            m._fifo_order[:] = fifo
+            m.has_token = has_token
+            m.busy_child = busy
+            m.rr_pos = rr
+            m._requested_parent = reqp
+        self.core_state[:] = cores
+        for mine, saved in zip(self.bypass, bypass):
+            mine[:] = saved
+        self.sim.pending[:] = pending
+        # a core's grant callback is registered exactly while it waits
+        self.network._token_callbacks = {
+            c: self._grant_cbs[c] for c in range(self.n_cores)
+            if cores[c] == WAITING
+        }
+
+    @staticmethod
+    def _key(snap) -> Any:
+        mgrs, cores, bypass, pending = snap
+        # pending order only matters per wire: canonicalize to sorted
+        # per-channel FIFO sequences so equivalent interleavings coincide
+        per_channel: Dict[Any, List[Tuple[str, tuple]]] = {}
+        for channel, kind, (fn, args) in pending:
+            per_channel.setdefault(channel, []).append((kind, args))
+        wires = tuple(sorted(
+            (channel, tuple(events)) for channel, events in per_channel.items()
+        ))
+        return (mgrs, cores, bypass, wires)
+
+    # ------------------------------------------------------------------ #
+    # transitions
+    # ------------------------------------------------------------------ #
+    def _enabled_actions(self, snap) -> List[Tuple[str, int]]:
+        mgrs, cores, _bypass, pending = snap
+        actions: List[Tuple[str, int]] = []
+        seen_channels = set()
+        for i, (channel, _kind, _ev) in enumerate(pending):
+            if channel not in seen_channels:  # wire-FIFO: head of line only
+                seen_channels.add(channel)
+                actions.append(("fire", i))
+        active = sum(1 for s in cores if s != IDLE)
+        can_request = (self.max_concurrent is None
+                       or active < self.max_concurrent)
+        for c, s in enumerate(cores):
+            if s == IDLE and can_request:
+                actions.append(("req", c))
+            elif s == HOLDING:
+                actions.append(("rel", c))
+        return actions
+
+    def _apply(self, action: Tuple[str, int], snap) -> None:
+        op, arg = action
+        if op == "fire":
+            _channel, _kind, (fn, args) = self.sim.pending.pop(arg)
+            fn(*args)
+        elif op == "req":
+            self.core_state[arg] = WAITING
+            self.network.request(arg, self._grant_cbs[arg])
+        else:  # rel
+            self.core_state[arg] = IDLE
+            self.network.release(arg)  # noqa: SIM001 — plain REL signal
+        if self.fairness_bound is not None:
+            self._update_fairness(snap[0])
+
+    @staticmethod
+    def _describe(action: Tuple[str, int], snap) -> str:
+        op, arg = action
+        if op == "req":
+            return f"core {arg}: REQ"
+        if op == "rel":
+            return f"core {arg}: REL"
+        channel, kind, (fn, args) = snap[3][arg]
+        owner = getattr(fn, "__self__", None)
+        where = getattr(owner, "name", owner.__class__.__name__ if owner else "?")
+        label = {"_on_request": "deliver REQ", "_on_release": "deliver REL",
+                 "_receive_token": "deliver TOKEN",
+                 "receive_token": "deliver TOKEN (leaf)"}.get(kind, kind)
+        return f"{label} at {where} (args={args})"
+
+    # ------------------------------------------------------------------ #
+    # invariants
+    # ------------------------------------------------------------------ #
+    def _violation(self, message: str) -> None:
+        trace: List[str] = []
+        if self._cur_action is not None:
+            trace.append(self._cur_action)
+        key = self._cur_key
+        while key is not None:
+            parent, action = self._trace_of[key]
+            if action is not None:
+                trace.append(action)
+            key = parent
+        trace.reverse()
+        raise ModelCheckViolation(message, trace)
+
+    def _check_invariants(self) -> None:
+        holders = [c for c, s in enumerate(self.core_state) if s == HOLDING]
+        if len(holders) > 1:
+            self._violation(f"mutual exclusion: cores {holders} all hold the lock")
+        tokens = sum(1 for m in self.managers
+                     if m.has_token and m.busy_child is None)
+        tokens += sum(1 for _ch, kind, _ev in self.sim.pending
+                      if kind in _TOKEN_KINDS)
+        tokens += len(holders)
+        if tokens != 1:
+            self._violation(f"token conservation: counted {tokens} tokens "
+                            "(manager loci + in-flight TOKEN/REL + holder)")
+        if not self.sim.pending and not holders:
+            # no activity and nobody holds the lock: the network must be
+            # fully quiescent or someone is starved forever
+            waiting = [c for c, s in enumerate(self.core_state) if s == WAITING]
+            if waiting:
+                self._violation(f"deadlock: cores {waiting} wait forever "
+                                "(no in-flight signals, no holder)")
+            for m in self.managers:
+                if any(m.flags) or m.busy_child is not None:
+                    self._violation(f"lost wake-up: manager {m.name} has "
+                                    f"raised flags {m.flags} / busy child "
+                                    f"{m.busy_child} in a quiescent state")
+            if not self.network.root.has_token:
+                self._violation("token did not park at the primary in a "
+                                "quiescent state")
+
+    # ------------------------------------------------------------------ #
+    # the exploration loop
+    # ------------------------------------------------------------------ #
+    def run(self) -> Tuple[int, int, int]:
+        initial = self._snapshot()
+        initial_key = self._key(initial)
+        self._trace_of[initial_key] = (None, None)
+        self._cur_key, self._cur_action = initial_key, None
+        self._check_invariants()
+        visited = {initial_key}
+        stack = [(initial, initial_key)]
+        while stack:
+            snap, key = stack.pop()
+            for action in self._enabled_actions(snap):
+                self._restore(snap)
+                self._cur_key = key
+                self._cur_action = self._describe(action, snap)
+                self._apply(action, snap)
+                self._check_invariants()
+                self.n_transitions += 1
+                self.max_pending = max(self.max_pending, len(self.sim.pending))
+                succ = self._snapshot()
+                succ_key = self._key(succ)
+                if succ_key not in visited:
+                    visited.add(succ_key)
+                    self._trace_of[succ_key] = (key, self._cur_action)
+                    stack.append((succ, succ_key))
+                    if len(visited) > self.max_states:
+                        raise RuntimeError(
+                            f"state space exceeds max_states={self.max_states}; "
+                            "lower max_concurrent or raise the limit")
+        self.n_states = len(visited)
+        return self.n_states, self.n_transitions, self.max_pending
+
+
+def check_protocol(n_cores: int = 4, levels: int = 2,
+                   arbitration: str = "round_robin", *,
+                   max_concurrent: Optional[int] = None,
+                   fairness_bound: Optional[int] = None,
+                   max_states: int = 5_000_000) -> CheckResult:
+    """Exhaust the protocol state space for one configuration.
+
+    Raises :class:`ModelCheckViolation` (with a counterexample trace) if any
+    property fails; returns exploration statistics otherwise.
+
+    Args:
+        n_cores: mesh size (4 = 2x2, 16 = 4x4, ...).
+        levels: 2 (the paper's network) or 3 (hierarchical extension).
+        arbitration: ``round_robin`` / ``fifo`` / ``static``.
+        max_concurrent: bound on simultaneously active cores (None = all
+            cores eager — exhaustive but exponential; keep to <= 4 cores).
+        fairness_bound: if set, assert the per-manager admission property:
+            once a child's request flag is raised at a manager, at most
+            this many grants go to that manager's other children before it
+            is served (round_robin / fifo only; the static policy starves
+            by construction).
+        max_states: hard cap on explored states (guards CI time).
+    """
+    if arbitration == "static" and fairness_bound is not None:
+        raise ValueError("static arbitration starves by design; "
+                         "fairness_bound only applies to round_robin/fifo")
+    explorer = _Explorer(n_cores, levels, arbitration, max_concurrent,
+                         fairness_bound, max_states)
+    n_states, n_transitions, max_pending = explorer.run()
+    return CheckResult(
+        n_cores=n_cores, levels=levels, arbitration=arbitration,
+        max_concurrent=max_concurrent, fairness_bound=fairness_bound,
+        n_states=n_states, n_transitions=n_transitions,
+        max_pending=max_pending,
+    )

@@ -1,0 +1,51 @@
+"""Shared fixtures: opt-in runtime invariant sanitization.
+
+``pytest --sanitize`` attaches :class:`repro.verify.invariants.
+InvariantSanitizer` to every :class:`~repro.machine.Machine` the tests
+build, so the whole tier-1 suite doubles as a protocol-invariant
+regression harness.  Off by default — the per-event checks roughly double
+kernel overhead.
+
+Tests that need a sanitizer unconditionally can request the
+``sanitized_machine_factory`` fixture instead.
+"""
+
+import pytest
+
+from repro.machine import Machine
+from repro.verify.invariants import InvariantSanitizer
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--sanitize", action="store_true", default=False,
+        help="attach the runtime invariant sanitizer to every Machine")
+
+
+@pytest.fixture(autouse=True)
+def _global_sanitize(request, monkeypatch):
+    """When --sanitize is given, transparently sanitize every Machine."""
+    if not request.config.getoption("--sanitize"):
+        yield
+        return
+    original_init = Machine.__init__
+
+    def sanitized_init(self, *args, **kwargs):
+        original_init(self, *args, **kwargs)
+        InvariantSanitizer(self).attach()
+
+    monkeypatch.setattr(Machine, "__init__", sanitized_init)
+    yield
+
+
+@pytest.fixture
+def sanitized_machine_factory():
+    """Build Machines with an attached sanitizer regardless of --sanitize."""
+    def factory(config=None, **machine_kwargs):
+        machine = Machine(config, **machine_kwargs)
+        if machine.sanitizer is not None:   # --sanitize already attached one
+            machine.sanitizer.detach()
+        sanitizer = InvariantSanitizer(machine).attach()
+        return machine, sanitizer
+
+    return factory

@@ -80,3 +80,42 @@ def test_all_experiment_names_resolve():
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_run_with_sanitizer(capsys):
+    code, out = run_cli(capsys, "run", "--workload", "sctr",
+                        "--lock", "glock", "--cores", "4", "--scale", "0.05",
+                        "--sanitize")
+    assert code == 0
+    assert "sanitizer  : OK" in out
+    assert "per-event checks" in out
+
+
+def test_lint_subcommand_clean_on_src(capsys):
+    code, out = run_cli(capsys, "lint", "src/")
+    assert code == 0
+    assert out == ""
+
+
+def test_lint_subcommand_flags_findings(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f(ctx, l):\n    ctx.acquire(l)\n")
+    code, out = run_cli(capsys, "lint", str(bad))
+    assert code == 1
+    assert "SIM001" in out
+
+
+def test_modelcheck_subcommand_single_policy(capsys):
+    code, out = run_cli(capsys, "modelcheck", "--cores", "4",
+                        "--arbitration", "round_robin")
+    assert code == 0
+    assert "round_robin" in out
+    assert "states" in out
+
+
+def test_modelcheck_subcommand_all_policies(capsys):
+    code, out = run_cli(capsys, "modelcheck", "--cores", "4",
+                        "--fairness-bound", "1")
+    assert code == 0
+    for policy in ("round_robin", "fifo", "static"):
+        assert policy in out

@@ -105,3 +105,48 @@ def test_two_level_matches_closed_form_everywhere(n):
     cfg = CMPConfig.baseline(n)
     net = GLineNetwork(sim, cfg, CounterSet())
     assert net.n_glines == n - 1
+
+
+def test_glock_pool_sharer_counts():
+    """GLockPool tracks how many program locks share each device."""
+    from repro.core.glock import GLockPool
+
+    sim = Simulator()
+    cfg = CMPConfig.baseline(16)
+    pool = GLockPool(sim, cfg, CounterSet(), allow_sharing=True)
+    n_devices = len(pool.devices)
+    assert n_devices == cfg.gline.n_glocks
+
+    # static provisioning phase: one program lock per device
+    for i in range(n_devices):
+        device = pool.assign()
+        assert device.lock_id == i
+        assert pool.device_sharers(i) == 1
+
+    # multiplexing phase: extras round-robin back onto device 0, 1, ...
+    extra = pool.assign()
+    assert extra.lock_id == 0
+    assert pool.device_sharers(0) == 2
+    assert pool.device_sharers(1) == 1
+    assert pool.n_assigned == n_devices + 1
+    assert pool.sharer_counts == {0: 2, **{i: 1 for i in range(1, n_devices)}}
+    # the property returns a copy, not the live dict
+    pool.sharer_counts[0] = 99
+    assert pool.device_sharers(0) == 2
+
+
+def test_glock_pool_sharer_counts_without_sharing():
+    from repro.core.glock import GLockPool
+
+    sim = Simulator()
+    cfg = CMPConfig.baseline(16)
+    pool = GLockPool(sim, cfg, CounterSet(), allow_sharing=False)
+    pool.assign()
+    assert pool.device_sharers(0) == 1
+    assert pool.device_sharers(1) == 0
+    with pytest.raises(ValueError):
+        pool.device_sharers(len(pool.devices))
+    for _ in range(len(pool.devices) - 1):
+        pool.assign()
+    with pytest.raises(RuntimeError):
+        pool.assign()   # pool exhausted, sharing disabled

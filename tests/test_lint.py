@@ -1,0 +1,212 @@
+"""Simulator-aware lint: each rule flags its seeded violation, noqa works,
+and the repo's own src/ tree is clean."""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.verify.lint import lint_paths, lint_source, main
+
+
+def _codes(source):
+    return [f.code for f in lint_source(textwrap.dedent(source), "m.py")]
+
+
+# --------------------------------------------------------------------- #
+# SIM001: coroutine call discarded
+# --------------------------------------------------------------------- #
+def test_sim001_bare_acquire_statement():
+    src = """
+    def program(ctx, lock):
+        ctx.acquire(lock)
+        yield 1
+    """
+    assert "SIM001" in _codes(src)
+
+
+def test_sim001_plain_yield_of_release():
+    src = """
+    def program(ctx, lock):
+        yield ctx.release(lock)
+    """
+    assert "SIM001" in _codes(src)
+
+
+def test_sim001_yield_from_is_clean():
+    src = """
+    def program(ctx, lock):
+        yield from ctx.acquire(lock)
+        yield from ctx.release(lock)
+    """
+    assert _codes(src) == []
+
+
+def test_sim001_assigned_generator_is_clean():
+    # storing the generator (e.g. to pass to spawn) is deliberate
+    src = """
+    def driver(ctx, lock, sim):
+        gen = ctx.acquire(lock)
+        sim.spawn(gen)
+    """
+    assert _codes(src) == []
+
+
+# --------------------------------------------------------------------- #
+# SIM002: bool yielded as delay
+# --------------------------------------------------------------------- #
+def test_sim002_yield_true():
+    src = """
+    def program(ctx):
+        yield True
+    """
+    assert "SIM002" in _codes(src)
+
+
+def test_sim002_int_delay_is_clean():
+    src = """
+    def program(ctx):
+        yield 1
+        yield 0
+    """
+    assert _codes(src) == []
+
+
+# --------------------------------------------------------------------- #
+# SIM003: unseeded randomness
+# --------------------------------------------------------------------- #
+def test_sim003_global_random():
+    src = """
+    import random
+
+    def jitter():
+        return random.randint(0, 3)
+    """
+    assert "SIM003" in _codes(src)
+
+
+def test_sim003_numpy_global_random():
+    src = """
+    import numpy as np
+
+    def jitter():
+        return np.random.poisson(2.0)
+    """
+    assert "SIM003" in _codes(src)
+
+
+def test_sim003_seeded_random_is_clean():
+    src = """
+    import random
+    import numpy as np
+
+    def make(seed):
+        return random.Random(seed), np.random.default_rng(seed)
+    """
+    assert _codes(src) == []
+
+
+# --------------------------------------------------------------------- #
+# SIM004: kernel-owned state mutated outside the kernel
+# --------------------------------------------------------------------- #
+def test_sim004_assigning_sim_now():
+    src = """
+    def warp(sim):
+        sim.now = 0
+    """
+    assert "SIM004" in _codes(src)
+
+
+def test_sim004_augassign_counts():
+    src = """
+    def warp(sim):
+        sim.now += 5
+    """
+    assert "SIM004" in _codes(src)
+
+
+def test_sim004_marking_process_finished():
+    src = """
+    def kill(proc):
+        proc.finished = True
+    """
+    assert "SIM004" in _codes(src)
+
+
+def test_sim004_on_event_hook_is_allowed():
+    src = """
+    def attach(sim, fn):
+        sim.on_event = fn
+    """
+    assert _codes(src) == []
+
+
+def test_sim004_allowed_inside_kernel_file():
+    src = "def tick(self):\n    self.now = 5\n"
+    assert lint_source(src, "src/repro/sim/kernel.py") == []
+    assert lint_source(src, "src\\repro\\sim\\kernel.py") == []
+
+
+# --------------------------------------------------------------------- #
+# noqa suppression
+# --------------------------------------------------------------------- #
+def test_noqa_with_code_suppresses():
+    src = "def f(net, c):\n    net.release(c)  # noqa: SIM001\n"
+    assert lint_source(src, "m.py") == []
+
+
+def test_noqa_with_rationale_text_suppresses():
+    src = ("def f(net, c):\n"
+           "    net.release(c)  # noqa: SIM001 — plain method, not coroutine\n")
+    assert lint_source(src, "m.py") == []
+
+
+def test_bare_noqa_suppresses_everything():
+    src = "def f(sim):\n    sim.now = 0  # noqa\n"
+    assert lint_source(src, "m.py") == []
+
+
+def test_noqa_for_other_code_does_not_suppress():
+    src = "def f(sim):\n    sim.now = 0  # noqa: SIM001\n"
+    assert [f.code for f in lint_source(src, "m.py")] == ["SIM004"]
+
+
+# --------------------------------------------------------------------- #
+# file/dir walking + CLI
+# --------------------------------------------------------------------- #
+def test_syntax_error_reported_not_raised():
+    findings = lint_source("def broken(:\n", "bad.py")
+    assert [f.code for f in findings] == ["SIM000"]
+
+
+def test_lint_paths_walks_directories(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "bad.py").write_text("def f(ctx, l):\n    ctx.acquire(l)\n")
+    (tmp_path / "pkg" / "good.py").write_text("X = 1\n")
+    findings = lint_paths([str(tmp_path)])
+    assert len(findings) == 1
+    assert findings[0].code == "SIM001"
+    assert findings[0].path.endswith("bad.py")
+
+
+def test_repo_src_tree_is_clean():
+    """Acceptance criterion: `python -m repro.lint src/` exits 0."""
+    repo_src = Path(__file__).resolve().parent.parent / "src"
+    assert lint_paths([str(repo_src)]) == []
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f(ctx, l):\n    yield True\n")
+    good = tmp_path / "good.py"
+    good.write_text("X = 1\n")
+    assert main([str(good)]) == 0
+    assert main([str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "SIM002" in out
+    assert main([str(tmp_path / "missing.txt")]) == 2
+
+
+def test_finding_format_is_clickable():
+    findings = lint_source("def f(ctx, l):\n    ctx.acquire(l)\n", "a/b.py")
+    assert findings[0].format().startswith("a/b.py:2:")

@@ -265,3 +265,104 @@ def test_determinism_two_identical_runs():
         return order
 
     assert build() == build()
+
+
+def test_bool_yield_rejected():
+    """bool is an int subclass; `yield True` must not act as a 1-cycle delay."""
+    sim = Simulator()
+
+    def oops():
+        yield True
+
+    sim.spawn(oops(), name="boolproc")
+    with pytest.raises(SimulationError, match="bool"):
+        sim.run()
+
+
+def test_bool_false_yield_rejected_too():
+    sim = Simulator()
+
+    def oops():
+        yield False
+
+    sim.spawn(oops())
+    with pytest.raises(SimulationError, match="bool"):
+        sim.run()
+
+
+def test_max_cycles_watchdog_names_blocked_process_and_signal():
+    """The deadlock watchdog reports who is stuck and on which signal."""
+    sim = Simulator()
+    sig = sim.signal("token-never-comes")
+
+    def stuck():
+        yield sig
+
+    def ticker():
+        while True:
+            yield 10
+
+    p = sim.spawn(stuck(), name="waiter")
+    sim.spawn(ticker(), name="ticker")
+    with pytest.raises(SimulationError) as exc:
+        sim.run_until_processes_finish([p], max_cycles=100)
+    message = str(exc.value)
+    assert "max_cycles=100" in message
+    assert "waiter" in message
+    assert "token-never-comes" in message
+
+
+def test_max_cycles_not_triggered_when_processes_finish_in_time():
+    sim = Simulator()
+
+    def quick():
+        yield 5
+        return "done"
+
+    p = sim.spawn(quick())
+    end = sim.run_until_processes_finish([p], max_cycles=100)
+    assert end == 5
+    assert p.result == "done"
+
+
+def test_drained_queue_report_includes_signal_name():
+    sim = Simulator()
+    sig = sim.signal("lost-wakeup")
+
+    def stuck():
+        yield sig
+
+    p = sim.spawn(stuck(), name="victim")
+    with pytest.raises(SimulationError, match="lost-wakeup"):
+        sim.run_until_processes_finish([p])
+
+
+def test_waiting_on_tracks_suspension():
+    sim = Simulator()
+    sig = sim.signal("gate")
+
+    def proc():
+        yield 2
+        yield sig
+
+    p = sim.spawn(proc(), name="p")
+    sim.run(until=2)
+    assert p.waiting_on is sig
+    sig.fire()
+    sim.run()
+    assert p.finished
+    assert p.waiting_on is None
+
+
+def test_signal_registry_tracks_live_signals():
+    sim = Simulator()
+    assert sim.live_signals() == []          # registry off: empty, no error
+    sim.enable_signal_registry()
+    sig = sim.signal("tracked")
+    names = [s.name for s in sim.live_signals()]
+    assert "tracked" in names
+    del sig
+    import gc
+
+    gc.collect()
+    assert "tracked" not in [s.name for s in sim.live_signals()]
