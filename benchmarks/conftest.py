@@ -8,12 +8,17 @@ smaller value for quick smoke runs.
 
 import pytest
 
+from repro.runner import Engine, use_engine
+
 
 def pytest_addoption(parser):
     parser.addoption("--repro-scale", type=float, default=1.0,
                      help="input-size scale factor (1.0 = Table III)")
     parser.addoption("--repro-cores", type=int, default=32,
                      help="simulated core count (paper: 32)")
+    parser.addoption("--repro-jobs", type=int, default=1,
+                     help="simulator runs to execute in parallel "
+                          "(process pool; default: 1 = in-process)")
 
 
 @pytest.fixture(scope="session")
@@ -24,3 +29,15 @@ def repro_scale(request):
 @pytest.fixture(scope="session")
 def repro_cores(request):
     return request.config.getoption("--repro-cores")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def repro_engine(request):
+    """Route every harness in the suite through one shared engine.
+
+    Benchmarks only measure figure *values*, so the engine runs without a
+    disk cache — each timed pass genuinely simulates.
+    """
+    engine = Engine(jobs=request.config.getoption("--repro-jobs"))
+    with use_engine(engine):
+        yield engine

@@ -10,13 +10,16 @@ runs of Figures 1 and 7 simulate thundering herds cycle by cycle).
 
 import argparse
 import json
+import os
 import sys
 import time
 
+from repro.cli import DEFAULT_CACHE_DIR
 from repro.experiments import (
     fig01_ideal, fig07_contention, fig08_exectime, fig09_traffic,
     fig10_ed2p, table1_cost, table4_speedup,
 )
+from repro.runner import Engine, use_engine
 
 
 def main() -> int:
@@ -27,13 +30,28 @@ def main() -> int:
                         help="also dump a machine-readable digest here")
     parser.add_argument("--csv-dir", type=str, default="",
                         help="also export per-figure CSV files here")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="simulator runs to execute in parallel")
+    parser.add_argument("--cache-dir", type=str, default="",
+                        help="persistent result cache (default: "
+                             "$REPRO_SIM_CACHE_DIR or ~/.cache/repro-sim)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="skip the on-disk result cache entirely")
     args = parser.parse_args()
+    if args.no_cache:
+        cache_dir = None
+    else:
+        cache_dir = os.path.expanduser(
+            args.cache_dir or os.environ.get("REPRO_SIM_CACHE_DIR")
+            or DEFAULT_CACHE_DIR)
+    engine = Engine(jobs=args.jobs, cache_dir=cache_dir)
     digest = {}
 
     def stage(name, fn, render):
         t0 = time.time()
         print(f"=== {name} ===", flush=True)
-        results = fn()
+        with use_engine(engine):
+            results = fn()
         print(render(results))
         print(f"[{name}: {time.time() - t0:.0f}s]\n", flush=True)
         return results
@@ -98,6 +116,7 @@ def main() -> int:
 
         print()
         print(validate.render(validate.run(args.json)))
+    print(engine.summary())
     return 0
 
 

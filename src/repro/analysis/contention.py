@@ -73,6 +73,12 @@ def analyze_contention(result: RunResult,
     Locks sharing a label (e.g. Raytrace's 32 quiet locks, all "RAYTR-LR")
     are aggregated, mirroring the paper's Figure 7 presentation.
     """
+    if result.lock_intervals is None:
+        raise ValueError(
+            "RunResult carries no lock-wait intervals "
+            "(lock_intervals is None); contention analysis needs a run "
+            "produced by Machine.run, which always records them"
+        )
     n = result.config.n_cores
     by_label: Dict[str, List[Interval]] = defaultdict(list)
     acquires: Dict[str, int] = defaultdict(int)

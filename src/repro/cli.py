@@ -7,9 +7,16 @@
     repro-sim run --workload sctr --lock glock [--cores N] [--scale S]
                   [--sanitize]               # runtime invariant checks
     repro-sim experiment fig08 [--scale S] [--cores N]
-    repro-sim shootout [--cores N] [--iters I]
+                  [--jobs J] [--cache-dir D] [--no-cache]
+    repro-sim shootout [--cores N] [--iters I] [--jobs J] ...
     repro-sim lint [paths...]                # simulator-aware static lint
     repro-sim modelcheck [--cores N] [--arbitration P] [--max-concurrent K]
+
+``experiment`` and ``shootout`` submit their runs to the experiment
+engine (:mod:`repro.runner`): ``--jobs`` fans independent simulations out
+over a process pool, and results are cached on disk keyed by their spec
+hash, so a repeated invocation re-executes nothing (the trailing
+``[engine] ...`` summary line reports ``executed=`` / ``disk_hits=``).
 
 (also runnable as ``python -m repro.cli ...``; the lint alone also as
 ``python -m repro.lint ...``)
@@ -18,16 +25,21 @@
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from repro.analysis.report import format_table
 from repro.energy import account_run, ed2p
 from repro.machine import Machine
+from repro.runner import Engine, MachineSpec, RunSpec, use_engine
 from repro.sim.config import CMPConfig
 from repro.workloads import WORKLOADS, make_workload
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "DEFAULT_CACHE_DIR"]
+
+#: default persistent result cache (override: --cache-dir / REPRO_SIM_CACHE_DIR)
+DEFAULT_CACHE_DIR = os.path.join("~", ".cache", "repro-sim")
 
 EXPERIMENTS = {
     "fig01": "repro.experiments.fig01_ideal",
@@ -75,14 +87,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="max cycles a core may wait for a TOKEN under "
                         "--sanitize (default: 1e6)")
 
+    def add_engine_flags(p):
+        p.add_argument("--jobs", type=int, default=1, metavar="J",
+                       help="simulator runs to execute in parallel "
+                            "(process pool; default: 1 = in-process)")
+        p.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="persistent result cache location (default: "
+                            "$REPRO_SIM_CACHE_DIR or ~/.cache/repro-sim)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="skip the on-disk result cache entirely")
+
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument("name", choices=sorted(EXPERIMENTS))
     p.add_argument("--scale", type=float, default=1.0)
     p.add_argument("--cores", type=int, default=32)
+    add_engine_flags(p)
 
     p = sub.add_parser("shootout", help="compare all lock kinds quickly")
     p.add_argument("--cores", type=int, default=8)
     p.add_argument("--iters", type=int, default=160)
+    add_engine_flags(p)
 
     p = sub.add_parser("lint", help="simulator-aware static lint "
                                     "(SIM001-SIM004)")
@@ -157,6 +181,18 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _engine_from_args(args) -> Engine:
+    """Build the experiment engine the CLI flags describe."""
+    if args.no_cache:
+        cache_dir = None
+    else:
+        cache_dir = (args.cache_dir
+                     or os.environ.get("REPRO_SIM_CACHE_DIR")
+                     or DEFAULT_CACHE_DIR)
+        cache_dir = os.path.expanduser(cache_dir)
+    return Engine(jobs=args.jobs, cache_dir=cache_dir)
+
+
 def _cmd_experiment(args) -> int:
     import importlib
 
@@ -169,34 +205,33 @@ def _cmd_experiment(args) -> int:
         kwargs["scale"] = args.scale
     if "n_cores" in signature.parameters:
         kwargs["n_cores"] = args.cores
-    print(module.render(module.run(**kwargs)))
+    engine = _engine_from_args(args)
+    with use_engine(engine):
+        print(module.render(module.run(**kwargs)))
+    print(engine.summary())
     return 0
 
 
 def _cmd_shootout(args) -> int:
     from repro.locks import LOCK_KINDS
 
-    rows = []
-    for kind in LOCK_KINDS:
-        machine = Machine(CMPConfig.baseline(args.cores))
-        lock = machine.make_lock(kind)
-        counter = machine.mem.address_space.alloc_line()
-        per_thread = args.iters // args.cores
-
-        def prog(ctx, lock=lock, counter=counter, per_thread=per_thread):
-            for _ in range(per_thread):
-                yield from ctx.acquire(lock)
-                value = yield from ctx.load(counter)
-                yield from ctx.store(counter, value + 1)
-                yield from ctx.release(lock)
-
-        result = machine.run([prog] * args.cores)
-        n_cs = per_thread * args.cores
-        rows.append([kind, result.makespan / n_cs,
-                     result.total_traffic / n_cs])
+    per_thread = max(args.iters // args.cores, 1)
+    n_cs = per_thread * args.cores
+    specs = [
+        RunSpec(workload="synth", hc_kind=kind,
+                machine=MachineSpec.baseline(args.cores),
+                workload_params={"iterations_per_thread": per_thread})
+        for kind in LOCK_KINDS
+    ]
+    engine = _engine_from_args(args)
+    with use_engine(engine):
+        runs = engine.run_specs(specs)
+    rows = [[kind, bench.makespan / n_cs, bench.total_traffic / n_cs]
+            for kind, bench in zip(LOCK_KINDS, runs)]
     print(format_table(
         ["lock", "cycles/CS", "switch-bytes/CS"], rows,
         title=f"Lock shootout ({args.cores} cores)"))
+    print(engine.summary())
     return 0
 
 

@@ -28,7 +28,7 @@ from typing import Dict, Sequence
 
 from repro.analysis.report import format_table
 from repro.machine import Machine
-from repro.sim.config import CMPConfig
+from repro.runner import MachineSpec
 from repro.workloads.synth import SyntheticLockWorkload
 
 __all__ = ["run", "render", "POLICIES"]
@@ -38,11 +38,18 @@ POLICIES = ("round_robin", "fifo", "static")
 
 def run(n_cores: int = 16, window: int = 20_000,
         policies: Sequence[str] = POLICIES) -> Dict[str, Dict[str, float]]:
-    """Policy -> fairness metrics over a fixed simulated window."""
+    """Policy -> fairness metrics over a fixed simulated window.
+
+    Runs a *fixed-window* probe (``sim.run(until=window)``) rather than a
+    whole parallel phase, so it drives the machine directly from a
+    :class:`~repro.runner.MachineSpec` instead of going through the
+    engine (whose unit of work — and of caching — is a completed
+    ``Machine.run``).
+    """
     out: Dict[str, Dict[str, float]] = {}
     for policy in policies:
-        machine = Machine(CMPConfig.baseline(n_cores),
-                          glock_arbitration=policy)
+        machine = Machine.from_spec(
+            MachineSpec.baseline(n_cores, glock_arbitration=policy))
         # enough demand to stay saturated for the whole window
         wl = SyntheticLockWorkload(iterations_per_thread=10_000)
         inst = wl.instantiate(machine, hc_kind="glock")

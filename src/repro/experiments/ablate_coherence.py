@@ -22,37 +22,36 @@ from dataclasses import replace
 from typing import Dict
 
 from repro.analysis.report import format_table
-from repro.machine import Machine
+from repro.runner import MachineSpec, RunSpec, run_specs
 from repro.sim.config import CMPConfig
-from repro.workloads import make_workload
 
 __all__ = ["run", "render"]
 
 
-def _run_one(name: str, protocol: str, hc_kind: str, n_cores: int,
-             scale: float):
+def _spec(name: str, protocol: str, hc_kind: str, n_cores: int,
+          scale: float) -> RunSpec:
     cfg = replace(CMPConfig.baseline(n_cores), coherence=protocol)
-    machine = Machine(cfg)
-    inst = make_workload(name, scale=scale).instantiate(machine,
-                                                        hc_kind=hc_kind)
-    result = machine.run(inst.programs)
-    inst.validate(machine)
-    return result
+    return RunSpec(workload=name, scale=scale, hc_kind=hc_kind,
+                   machine=MachineSpec(config=cfg))
 
 
 def run(n_cores: int = 16, scale: float = 0.25) -> Dict[str, Dict[str, float]]:
     """Benchmark -> metrics under both protocols."""
+    names = ("ocean", "sctr")
+    matrix = [(protocol, kind)
+              for protocol in ("mesi", "msi") for kind in ("mcs", "glock")]
+    specs = [_spec(name, protocol, kind, n_cores, scale)
+             for name in names for protocol, kind in matrix]
+    runs = iter(run_specs(specs))
     out: Dict[str, Dict[str, float]] = {}
-    for name in ("ocean", "sctr"):
-        mesi = _run_one(name, "mesi", "mcs", n_cores, scale)
-        msi = _run_one(name, "msi", "mcs", n_cores, scale)
-        gl_mesi = _run_one(name, "mesi", "glock", n_cores, scale)
-        gl_msi = _run_one(name, "msi", "glock", n_cores, scale)
+    for name in names:
+        by = {pk: next(runs).result for pk in matrix}
+        mesi, msi = by[("mesi", "mcs")], by[("msi", "mcs")]
         out[name] = {
             "msi_time_overhead": msi.makespan / mesi.makespan,
             "msi_traffic_overhead": msi.total_traffic / max(mesi.total_traffic, 1),
-            "gl_ratio_mesi": gl_mesi.makespan / mesi.makespan,
-            "gl_ratio_msi": gl_msi.makespan / msi.makespan,
+            "gl_ratio_mesi": by[("mesi", "glock")].makespan / mesi.makespan,
+            "gl_ratio_msi": by[("msi", "glock")].makespan / msi.makespan,
         }
     return out
 

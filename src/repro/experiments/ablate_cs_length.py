@@ -15,9 +15,7 @@ from __future__ import annotations
 from typing import Dict, Sequence
 
 from repro.analysis.report import format_table
-from repro.machine import Machine
-from repro.sim.config import CMPConfig
-from repro.workloads.synth import SyntheticLockWorkload
+from repro.runner import MachineSpec, RunSpec, run_specs
 
 __all__ = ["run", "render", "CS_LENGTHS"]
 
@@ -27,17 +25,18 @@ CS_LENGTHS = (0, 50, 200, 800, 3200)
 def run(n_cores: int = 16, iterations: int = 20,
         cs_lengths: Sequence[int] = CS_LENGTHS) -> Dict[int, Dict[str, float]]:
     """CS length -> {lock kind: makespan} for MCS and GLocks."""
+    specs = [
+        RunSpec(workload="synth", hc_kind=kind,
+                machine=MachineSpec.baseline(n_cores),
+                workload_params={"iterations_per_thread": iterations,
+                                 "cs_compute": cs})
+        for cs in cs_lengths for kind in ("mcs", "glock")
+    ]
+    runs = iter(run_specs(specs))
     out: Dict[int, Dict[str, float]] = {}
     for cs in cs_lengths:
-        row: Dict[str, float] = {}
-        for kind in ("mcs", "glock"):
-            machine = Machine(CMPConfig.baseline(n_cores))
-            wl = SyntheticLockWorkload(iterations_per_thread=iterations,
-                                       cs_compute=cs)
-            inst = wl.instantiate(machine, hc_kind=kind)
-            result = machine.run(inst.programs)
-            inst.validate(machine)
-            row[kind] = result.makespan
+        row: Dict[str, float] = {kind: float(next(runs).makespan)
+                                 for kind in ("mcs", "glock")}
         row["gl_over_mcs"] = row["glock"] / row["mcs"]
         out[cs] = row
     return out

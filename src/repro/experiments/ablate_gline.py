@@ -21,36 +21,34 @@ from dataclasses import replace
 from typing import Dict, Sequence, Tuple
 
 from repro.analysis.report import format_table
-from repro.machine import Machine
+from repro.runner import MachineSpec, RunSpec, run_specs
 from repro.sim.config import CMPConfig
-from repro.workloads.synth import SyntheticLockWorkload
 
 __all__ = ["run", "render", "LATENCIES"]
 
 LATENCIES = (1, 2, 4)
 
+ITERATIONS = 12
 
-def _saturated_handoff(n_cores: int, latency: int, levels: int,
-                       iterations: int = 12) -> float:
-    """Cycles per critical section (handoff + CS) under saturation."""
+
+def _spec(n_cores: int, latency: int, levels: int) -> RunSpec:
+    """Saturated synthetic run on a chip with the given G-line geometry."""
     cfg = CMPConfig.baseline(n_cores)
     cfg = replace(cfg, gline=replace(cfg.gline, gline_latency=latency))
-    machine = Machine(cfg, glock_levels=levels)
-    wl = SyntheticLockWorkload(iterations_per_thread=iterations)
-    inst = wl.instantiate(machine, hc_kind="glock")
-    result = machine.run(inst.programs)
-    inst.validate(machine)
-    return result.makespan / (n_cores * iterations)
+    return RunSpec(workload="synth", hc_kind="glock",
+                   machine=MachineSpec(config=cfg, glock_levels=levels),
+                   workload_params={"iterations_per_thread": ITERATIONS})
 
 
 def run(n_cores: int = 16,
         latencies: Sequence[int] = LATENCIES) -> Dict[Tuple[int, int], float]:
     """(gline latency, tree levels) -> cycles per saturated critical section."""
-    out: Dict[Tuple[int, int], float] = {}
-    for latency in latencies:
-        out[(latency, 2)] = _saturated_handoff(n_cores, latency, levels=2)
-    out[(1, 3)] = _saturated_handoff(n_cores, 1, levels=3)
-    return out
+    points = [(latency, 2) for latency in latencies] + [(1, 3)]
+    specs = [_spec(n_cores, latency, levels) for latency, levels in points]
+    return {
+        point: bench.makespan / (n_cores * ITERATIONS)
+        for point, bench in zip(points, run_specs(specs))
+    }
 
 
 def render(results: Dict[Tuple[int, int], float]) -> str:

@@ -17,7 +17,7 @@ from dataclasses import replace
 from typing import Dict
 
 from repro.analysis.report import format_table
-from repro.machine import Machine
+from repro.runner import MachineSpec, RunSpec, run_specs
 from repro.sim.config import CMPConfig
 
 __all__ = ["run", "render", "N_LOCKS", "PROVISIONS"]
@@ -26,45 +26,29 @@ N_LOCKS = 4
 PROVISIONS = (1, 2, 4)
 
 
-def _build_and_run(machine: Machine, kind: str, n_cores: int,
-                   iterations: int) -> int:
-    locks = [machine.make_lock(kind, name=f"hot{i}") for i in range(N_LOCKS)]
-    counters = machine.mem.address_space.alloc_words_padded(N_LOCKS)
-
-    def make_program(core_id):
-        # each core works on one of the four independent locks
-        lock = locks[core_id % N_LOCKS]
-        counter = counters[core_id % N_LOCKS]
-
-        def program(ctx):
-            for _ in range(iterations):
-                yield from ctx.acquire(lock)
-                yield from ctx.rmw(counter, lambda v: v + 1)
-                yield from ctx.release(lock)
-                yield from ctx.compute(30)
-
-        return program
-
-    result = machine.run([make_program(c) for c in range(n_cores)])
-    expected = sum(iterations for c in range(n_cores))
-    got = sum(machine.mem.backing.read(a) for a in counters)
-    assert got == expected, f"lost updates: {got} != {expected}"
-    return result.makespan
-
-
 def run(n_cores: int = 16, iterations: int = 25) -> Dict[str, float]:
-    """Configuration label -> makespan."""
-    out: Dict[str, float] = {}
+    """Configuration label -> makespan.
+
+    The ``hotlocks`` workload (``repro.workloads.synth``) carries the
+    four independent hot locks and validates its counters; under-
+    provisioned chips get ``allow_glock_sharing`` so the GLock pool
+    multiplexes them onto the available token networks.
+    """
     base_cfg = CMPConfig.baseline(n_cores)
-    machine = Machine(base_cfg)
-    out["mcs"] = _build_and_run(machine, "mcs", n_cores, iterations)
+    params = {"n_locks": N_LOCKS, "iterations_per_thread": iterations,
+              "think_cycles": 30}
+    specs = {"mcs": RunSpec(workload="hotlocks", hc_kind="mcs",
+                            machine=MachineSpec(config=base_cfg),
+                            workload_params=params)}
     for provision in PROVISIONS:
         cfg = replace(base_cfg, gline=replace(base_cfg.gline,
                                               n_glocks=provision))
-        machine = Machine(cfg, allow_glock_sharing=True)
-        label = f"glock_x{provision}"
-        out[label] = _build_and_run(machine, "glock", n_cores, iterations)
-    return out
+        specs[f"glock_x{provision}"] = RunSpec(
+            workload="hotlocks", hc_kind="glock",
+            machine=MachineSpec(config=cfg, allow_glock_sharing=True),
+            workload_params=params)
+    return {label: float(bench.makespan)
+            for label, bench in zip(specs, run_specs(specs.values()))}
 
 
 def render(results: Dict[str, float]) -> str:

@@ -1,64 +1,40 @@
 """Shared experiment plumbing.
 
-:func:`run_benchmark` builds a fresh machine, instantiates a workload with
-the requested lock kinds, runs the parallel phase, validates the result and
-returns everything the figures need.  Results are memoized per process so
-Figures 8, 9 and 10 (which share the same 16 runs) pay for each run once.
+The heavy lifting now lives in :mod:`repro.runner`: harnesses describe
+runs as :class:`~repro.runner.RunSpec` batches and submit them to the
+active engine, which parallelizes across a process pool and caches
+results in-process and (optionally) on disk.
+
+:func:`run_benchmark` survives as a thin compatibility shim with the
+classic signature — it builds the equivalent spec and submits it, so old
+call sites transparently share the engine's caches.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+import math
+import warnings
+from typing import Dict, Mapping, Optional, Sequence
 
-from repro.energy import EnergyAccount, account_run, ed2p
-from repro.machine import Machine, RunResult
-from repro.sim.config import CMPConfig
-from repro.workloads import make_workload
+from repro.runner import BenchmarkRun, RunSpec, active_engine
 from repro.workloads.registry import APPLICATIONS, MICROBENCHMARKS
 
 __all__ = [
     "BenchmarkRun", "run_benchmark", "clear_cache",
+    "group_means", "geometric_means", "paper_averages",
     "MICROBENCHMARKS", "APPLICATIONS",
 ]
-
-
-@dataclass
-class BenchmarkRun:
-    """One benchmark execution and its derived metrics."""
-
-    name: str
-    hc_kinds: Tuple[str, ...]
-    n_cores: int
-    result: RunResult
-    energy: EnergyAccount
-    lock_labels: Dict[int, str]
-
-    @property
-    def makespan(self) -> int:
-        return self.result.makespan
-
-    @property
-    def total_traffic(self) -> int:
-        return self.result.total_traffic
-
-    @property
-    def ed2p(self) -> float:
-        return ed2p(self.energy, self.result.makespan)
-
-
-_cache: Dict[Tuple, BenchmarkRun] = {}
-
-
-def clear_cache() -> None:
-    """Drop memoized runs (tests use this for isolation)."""
-    _cache.clear()
 
 
 def run_benchmark(name: str, hc_kind: str = "mcs", *, n_cores: int = 32,
                   scale: float = 1.0, other_kind: str = "tatas",
                   hc_kinds: Optional[Sequence[str]] = None) -> BenchmarkRun:
-    """Run one benchmark once (memoized) and return its metrics.
+    """Run one benchmark once (engine-cached) and return its metrics.
+
+    Compatibility shim over ``active_engine().run_spec(...)``.  New code
+    should build :class:`~repro.runner.RunSpec` batches and submit them
+    with :func:`repro.runner.run_specs`, which lets the engine run them
+    in parallel.
 
     Args:
         name: a workload name (``sctr`` .. ``qsort``).
@@ -68,33 +44,47 @@ def run_benchmark(name: str, hc_kind: str = "mcs", *, n_cores: int = 32,
         other_kind: lock kind for non-contended locks (paper: TATAS).
         hc_kinds: per-HC-lock kinds, overriding ``hc_kind`` (Figure 1).
     """
-    kinds = tuple(hc_kinds) if hc_kinds is not None else None
-    key = (name, hc_kind, kinds, n_cores, scale, other_kind)
-    if key in _cache:
-        return _cache[key]
-    machine = Machine(CMPConfig.baseline(n_cores))
-    workload = make_workload(name, scale=scale)
-    instance = workload.instantiate(machine, hc_kind=hc_kind,
-                                    other_kind=other_kind, hc_kinds=kinds)
-    result = machine.run(instance.programs)
-    instance.validate(machine)
-    run = BenchmarkRun(
-        name=name,
-        hc_kinds=kinds or (hc_kind,) * workload.n_hc,
-        n_cores=n_cores,
-        result=result,
-        energy=account_run(result),
-        lock_labels=dict(instance.lock_labels),
-    )
-    _cache[key] = run
-    return run
+    spec = RunSpec.benchmark(name, hc_kind, n_cores=n_cores, scale=scale,
+                             other_kind=other_kind, hc_kinds=hc_kinds)
+    return active_engine().run_spec(spec)
 
 
-def geometric_means(ratios: Mapping[str, float],
-                    groups: Mapping[str, Sequence[str]]) -> Dict[str, float]:
-    """Arithmetic-mean group summaries (the paper reports plain averages)."""
+def clear_cache() -> None:
+    """Drop the active engine's in-process memo (tests use this for
+    isolation; any persistent disk cache is untouched)."""
+    active_engine().clear_memory_cache()
+
+
+def group_means(ratios: Mapping[str, float],
+                groups: Mapping[str, Sequence[str]]) -> Dict[str, float]:
+    """Arithmetic-mean group summaries (the paper reports plain averages).
+
+    Benchmarks missing from ``ratios`` are skipped; a group with no
+    member present maps to ``nan``.
+    """
     out = {}
     for label, names in groups.items():
         vals = [ratios[n] for n in names if n in ratios]
         out[label] = sum(vals) / len(vals) if vals else float("nan")
     return out
+
+
+def geometric_means(ratios: Mapping[str, float],
+                    groups: Mapping[str, Sequence[str]]) -> Dict[str, float]:
+    """Deprecated alias of :func:`group_means`.
+
+    Historically misnamed: it always computed *arithmetic* means.
+    """
+    warnings.warn("geometric_means computes arithmetic means and was "
+                  "renamed to group_means", DeprecationWarning, stacklevel=2)
+    return group_means(ratios, groups)
+
+
+def paper_averages(ratios: Mapping[str, float]) -> Dict[str, float]:
+    """The paper's AvgM / AvgA summary rows over per-benchmark ratios.
+
+    Groups with no benchmark present are omitted (partial sweeps).
+    """
+    means = group_means(ratios, {"AvgM": MICROBENCHMARKS,
+                                 "AvgA": APPLICATIONS})
+    return {label: m for label, m in means.items() if not math.isnan(m)}

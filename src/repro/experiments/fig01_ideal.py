@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.analysis.report import format_table
-from repro.experiments.common import run_benchmark
+from repro.runner import RunSpec, run_specs
 
 __all__ = ["run", "render", "CONFIGS"]
 
@@ -29,15 +29,14 @@ CONFIGS = ("TATAS", "TATAS-1", "TATAS-2", "IDEAL")
 def run(scale: float = 1.0, n_cores: int = 32) -> Dict[str, Dict[str, float]]:
     """Returns per-config normalized time and lock fraction."""
     settings = {
-        "TATAS": dict(hc_kinds=["tatas", "tatas"], other_kind="tatas"),
-        "TATAS-1": dict(hc_kinds=["ideal", "tatas"], other_kind="tatas"),
-        "TATAS-2": dict(hc_kinds=["ideal", "ideal"], other_kind="tatas"),
-        "IDEAL": dict(hc_kinds=["ideal", "ideal"], other_kind="ideal"),
+        "TATAS": dict(hc_kinds=("tatas", "tatas"), other_kind="tatas"),
+        "TATAS-1": dict(hc_kinds=("ideal", "tatas"), other_kind="tatas"),
+        "TATAS-2": dict(hc_kinds=("ideal", "ideal"), other_kind="tatas"),
+        "IDEAL": dict(hc_kinds=("ideal", "ideal"), other_kind="ideal"),
     }
-    runs = {
-        cfg: run_benchmark("raytr", scale=scale, n_cores=n_cores, **kw)
-        for cfg, kw in settings.items()
-    }
+    specs = [RunSpec.benchmark("raytr", scale=scale, n_cores=n_cores, **kw)
+             for kw in settings.values()]
+    runs = dict(zip(settings, run_specs(specs)))
     base = runs["TATAS"].makespan
     out: Dict[str, Dict[str, float]] = {}
     for cfg in CONFIGS:

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.analysis.contention import LockContention, analyze_contention
 from repro.analysis.report import format_table
-from repro.experiments.common import run_benchmark
+from repro.runner import RunSpec, run_specs
 from repro.workloads.registry import WORKLOADS
 
 __all__ = ["run", "render"]
@@ -26,12 +26,13 @@ __all__ = ["run", "render"]
 def run(scale: float = 1.0, n_cores: int = 32,
         benchmarks=WORKLOADS) -> Dict[str, Dict[str, LockContention]]:
     """Per-benchmark, per-lock-label contention profiles."""
-    out: Dict[str, Dict[str, LockContention]] = {}
-    for name in benchmarks:
-        bench = run_benchmark(name, hc_kind="tatas", other_kind="tatas",
-                              scale=scale, n_cores=n_cores)
-        out[name] = analyze_contention(bench.result, bench.lock_labels)
-    return out
+    specs = [RunSpec.benchmark(name, "tatas", other_kind="tatas",
+                               scale=scale, n_cores=n_cores)
+             for name in benchmarks]
+    return {
+        name: analyze_contention(bench.result, bench.lock_labels)
+        for name, bench in zip(benchmarks, run_specs(specs))
+    }
 
 
 def render(results: Dict[str, Dict[str, LockContention]],

@@ -18,8 +18,9 @@ from repro.analysis.breakdown import normalized_breakdown
 from repro.analysis.report import format_table
 from repro.cpu.core import CATEGORIES
 from repro.experiments.common import (
-    APPLICATIONS, MICROBENCHMARKS, run_benchmark,
+    APPLICATIONS, MICROBENCHMARKS, paper_averages,
 )
+from repro.runner import RunSpec, run_specs
 
 __all__ = ["run", "render"]
 
@@ -28,22 +29,19 @@ BENCHES = MICROBENCHMARKS + APPLICATIONS
 
 def run(scale: float = 1.0, n_cores: int = 32, benchmarks=BENCHES) -> Dict:
     """Per-benchmark normalized bars for MCS and GL, plus averages."""
+    specs = [RunSpec.benchmark(name, kind, scale=scale, n_cores=n_cores)
+             for name in benchmarks for kind in ("mcs", "glock")]
+    runs = iter(run_specs(specs))  # one batch -> embarrassingly parallel
     bars: Dict[str, Dict[str, Dict[str, float]]] = {}
     ratios: Dict[str, float] = {}
     for name in benchmarks:
-        mcs = run_benchmark(name, "mcs", scale=scale, n_cores=n_cores)
-        gl = run_benchmark(name, "glock", scale=scale, n_cores=n_cores)
+        mcs, gl = next(runs), next(runs)
         bars[name] = {
             "MCS": normalized_breakdown(mcs.result, mcs.result),
             "GL": normalized_breakdown(gl.result, mcs.result),
         }
         ratios[name] = gl.makespan / mcs.makespan
-    avg = {}
-    for label, group in (("AvgM", MICROBENCHMARKS), ("AvgA", APPLICATIONS)):
-        in_group = [ratios[n] for n in group if n in ratios]
-        if in_group:
-            avg[label] = sum(in_group) / len(in_group)
-    return {"bars": bars, "ratios": ratios, "averages": avg}
+    return {"bars": bars, "ratios": ratios, "averages": paper_averages(ratios)}
 
 
 def render(results: Dict) -> str:

@@ -16,9 +16,10 @@ from typing import Dict
 
 from repro.analysis.report import format_table
 from repro.experiments.common import (
-    APPLICATIONS, MICROBENCHMARKS, run_benchmark,
+    APPLICATIONS, MICROBENCHMARKS, paper_averages,
 )
 from repro.noc.messages import MsgCategory
+from repro.runner import RunSpec, run_specs
 
 __all__ = ["run", "render"]
 
@@ -28,23 +29,20 @@ CATS = [c.value for c in MsgCategory]
 
 def run(scale: float = 1.0, n_cores: int = 32, benchmarks=BENCHES) -> Dict:
     """Per-benchmark normalized traffic bars for MCS and GL, plus averages."""
+    specs = [RunSpec.benchmark(name, kind, scale=scale, n_cores=n_cores)
+             for name in benchmarks for kind in ("mcs", "glock")]
+    runs = iter(run_specs(specs))
     bars: Dict[str, Dict[str, Dict[str, float]]] = {}
     ratios: Dict[str, float] = {}
     for name in benchmarks:
-        mcs = run_benchmark(name, "mcs", scale=scale, n_cores=n_cores)
-        gl = run_benchmark(name, "glock", scale=scale, n_cores=n_cores)
+        mcs, gl = next(runs), next(runs)
         base = max(mcs.total_traffic, 1)
         bars[name] = {
             "MCS": {c: mcs.result.traffic[c] / base for c in CATS},
             "GL": {c: gl.result.traffic[c] / base for c in CATS},
         }
         ratios[name] = gl.total_traffic / base
-    avg = {}
-    for label, group in (("AvgM", MICROBENCHMARKS), ("AvgA", APPLICATIONS)):
-        in_group = [ratios[n] for n in group if n in ratios]
-        if in_group:
-            avg[label] = sum(in_group) / len(in_group)
-    return {"bars": bars, "ratios": ratios, "averages": avg}
+    return {"bars": bars, "ratios": ratios, "averages": paper_averages(ratios)}
 
 
 def render(results: Dict) -> str:

@@ -13,10 +13,11 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.analysis.report import format_table
 from repro.experiments.common import (
-    APPLICATIONS, MICROBENCHMARKS, run_benchmark,
+    APPLICATIONS, MICROBENCHMARKS, paper_averages,
 )
+from repro.analysis.report import format_table
+from repro.runner import RunSpec, run_specs
 
 __all__ = ["run", "render"]
 
@@ -25,22 +26,21 @@ BENCHES = MICROBENCHMARKS + APPLICATIONS
 
 def run(scale: float = 1.0, n_cores: int = 32, benchmarks=BENCHES) -> Dict:
     """Per-benchmark normalized ED²P plus component energies."""
+    specs = [RunSpec.benchmark(name, kind, scale=scale, n_cores=n_cores)
+             for name in benchmarks for kind in ("mcs", "glock")]
+    runs = iter(run_specs(specs))
     bars: Dict[str, Dict[str, float]] = {}
     components: Dict[str, Dict[str, Dict[str, float]]] = {}
     for name in benchmarks:
-        mcs = run_benchmark(name, "mcs", scale=scale, n_cores=n_cores)
-        gl = run_benchmark(name, "glock", scale=scale, n_cores=n_cores)
+        mcs, gl = next(runs), next(runs)
         bars[name] = {"MCS": 1.0, "GL": gl.ed2p / mcs.ed2p}
         components[name] = {
             "MCS": mcs.energy.breakdown(),
             "GL": gl.energy.breakdown(),
         }
-    avg = {}
-    for label, group in (("AvgM", MICROBENCHMARKS), ("AvgA", APPLICATIONS)):
-        in_group = [bars[n]["GL"] for n in group if n in bars]
-        if in_group:
-            avg[label] = sum(in_group) / len(in_group)
-    return {"bars": bars, "components": components, "averages": avg}
+    ratios = {name: kinds["GL"] for name, kinds in bars.items()}
+    return {"bars": bars, "components": components,
+            "averages": paper_averages(ratios)}
 
 
 def render(results: Dict) -> str:

@@ -15,23 +15,35 @@ from __future__ import annotations
 from typing import Dict, Sequence, Tuple
 
 from repro.analysis.report import format_table
-from repro.experiments.common import APPLICATIONS, run_benchmark
+from repro.experiments.common import APPLICATIONS
+from repro.runner import RunSpec, run_specs
 
 __all__ = ["run", "render", "CORE_COUNTS"]
 
 CORE_COUNTS = (4, 8, 16, 32)
 
+KINDS = (("mcs", "MCS"), ("glock", "GL"))
+
 
 def run(scale: float = 1.0, core_counts: Sequence[int] = CORE_COUNTS,
         benchmarks=APPLICATIONS) -> Dict[Tuple[str, str], Dict[int, float]]:
     """(app, lock-version) -> {cores: speedup}."""
+    # one batch: per-app 1-core baselines plus the full (kind, cores) matrix
+    specs = {}
+    for name in benchmarks:
+        specs[(name, "base")] = RunSpec.benchmark(name, "mcs", n_cores=1,
+                                                  scale=scale)
+        for kind, _ in KINDS:
+            for n in core_counts:
+                specs[(name, kind, n)] = RunSpec.benchmark(
+                    name, kind, n_cores=n, scale=scale)
+    runs = dict(zip(specs, run_specs(specs.values())))
     out: Dict[Tuple[str, str], Dict[int, float]] = {}
     for name in benchmarks:
-        base = run_benchmark(name, "mcs", n_cores=1, scale=scale).makespan
-        for kind, label in (("mcs", "MCS"), ("glock", "GL")):
+        base = runs[(name, "base")].makespan
+        for kind, label in KINDS:
             out[(name, label)] = {
-                n: base / run_benchmark(name, kind, n_cores=n, scale=scale).makespan
-                for n in core_counts
+                n: base / runs[(name, kind, n)].makespan for n in core_counts
             }
     return out
 

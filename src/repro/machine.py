@@ -55,7 +55,10 @@ class RunResult:
     counters: Dict[str, int]
     traffic: Dict[str, int]          # switch-bytes per Figure 9 category
     byte_hops: int
-    lock_intervals: IntervalRecorder = field(repr=False, default=None)
+    #: lock-wait intervals for the Figure 7 contention analysis; ``None``
+    #: when the result was produced without interval recording (consumers
+    #: must guard — see :func:`repro.analysis.contention.analyze_contention`)
+    lock_intervals: Optional[IntervalRecorder] = field(repr=False, default=None)
 
     @property
     def total_traffic(self) -> int:
@@ -99,6 +102,22 @@ class Machine:
     # ------------------------------------------------------------------ #
     # construction helpers
     # ------------------------------------------------------------------ #
+    @classmethod
+    def from_spec(cls, spec) -> "Machine":
+        """Build a machine fully described by a :class:`repro.runner.MachineSpec`.
+
+        The spec carries the :class:`CMPConfig` plus the GLock-network
+        kwargs (``glock_levels`` / ``allow_glock_sharing`` /
+        ``glock_arbitration``) that are otherwise only reachable through
+        ``Machine.__init__`` — making a machine constructible from pure
+        data, which is what lets the experiment engine hash, cache and
+        ship runs across worker processes.
+        """
+        return cls(spec.config,
+                   glock_levels=spec.glock_levels,
+                   allow_glock_sharing=spec.allow_glock_sharing,
+                   glock_arbitration=spec.glock_arbitration)
+
     def make_lock(self, kind: str, name: str = "") -> Lock:
         """Create a lock of ``kind`` (see :data:`repro.locks.LOCK_KINDS`)."""
         return _make_lock(kind, sim=self.sim, mem=self.mem,

@@ -1,0 +1,88 @@
+"""Declarative experiment engine.
+
+The three pieces (see ``docs/running-experiments.md``):
+
+- :class:`RunSpec` / :class:`MachineSpec` — one benchmark execution as
+  frozen, hashable data (``repro.runner.spec``);
+- :class:`Engine` — executes spec batches over a process pool with an
+  in-process memo and a persistent content-addressed result cache
+  (``repro.runner.engine`` / ``repro.runner.cache``);
+- the **active engine** — a process-wide engine that the experiment
+  harnesses and the ``run_benchmark`` compatibility shim submit to, so
+  the CLI can swap in a parallel/caching engine (``--jobs``,
+  ``--cache-dir``) without threading it through 13 call sites.
+
+Typical use::
+
+    from repro.runner import Engine, RunSpec, run_specs, use_engine
+
+    specs = [RunSpec.benchmark("sctr", kind, n_cores=32)
+             for kind in ("mcs", "glock")]
+    with use_engine(Engine(jobs=4, cache_dir="~/.cache/repro-sim")):
+        mcs, gl = run_specs(specs)
+    print(gl.makespan / mcs.makespan)
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterable, List, Optional
+
+from repro.runner.cache import CacheCorruption, ResultCache
+from repro.runner.engine import (BenchmarkRun, Engine, EngineStats,
+                                 RunFailure, execute_spec)
+from repro.runner.spec import MachineSpec, RunSpec, canonical_json
+
+__all__ = [
+    "BenchmarkRun", "CacheCorruption", "Engine", "EngineStats",
+    "MachineSpec", "ResultCache", "RunFailure", "RunSpec",
+    "active_engine", "canonical_json", "execute_spec", "run_spec",
+    "run_specs", "set_active_engine", "use_engine",
+]
+
+_active: Optional[Engine] = None
+_default: Optional[Engine] = None
+
+
+def active_engine() -> Engine:
+    """The engine harnesses submit to.
+
+    The installed engine if :func:`set_active_engine`/:func:`use_engine`
+    is in effect, else a lazily-created process-wide default (serial, no
+    disk cache) that reproduces the classic ``run_benchmark`` memo
+    semantics.
+    """
+    global _default
+    if _active is not None:
+        return _active
+    if _default is None:
+        _default = Engine()
+    return _default
+
+
+def set_active_engine(engine: Optional[Engine]) -> None:
+    """Install ``engine`` process-wide (``None`` restores the default)."""
+    global _active
+    _active = engine
+
+
+@contextmanager
+def use_engine(engine: Engine):
+    """Temporarily install ``engine`` as the active engine."""
+    global _active
+    previous = _active
+    _active = engine
+    try:
+        yield engine
+    finally:
+        _active = previous
+
+
+def run_spec(spec: RunSpec) -> BenchmarkRun:
+    """Run one spec on the active engine."""
+    return active_engine().run_spec(spec)
+
+
+def run_specs(specs: Iterable[RunSpec]) -> List[BenchmarkRun]:
+    """Run a batch on the active engine (order-preserving)."""
+    return active_engine().run_specs(specs)

@@ -1,0 +1,105 @@
+"""Content-addressed on-disk result cache.
+
+Layout (two-level fan-out to keep directories small)::
+
+    <cache_dir>/
+        ab/
+            abcdef....pkl        # sha256(RunSpec) -> pickled payload
+
+Each entry holds ``{"format": .., "digest": .., "spec": <spec dict>,
+"run": <BenchmarkRun>}`` — the spec dict rides along so entries stay
+inspectable without reverse-hashing.  Writes are atomic (temp file +
+``os.replace``), so a killed run never leaves a half-written entry.
+Corrupted or stale-format entries are deleted on load and reported as a
+:class:`CacheCorruption` so the engine can count and transparently
+re-execute them.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+__all__ = ["ResultCache", "CacheCorruption", "CACHE_FORMAT"]
+
+#: bump when the pickled payload layout changes
+CACHE_FORMAT = 1
+
+
+class CacheCorruption(Exception):
+    """A cache entry existed but could not be loaded (now deleted)."""
+
+
+class ResultCache:
+    """Spec-digest -> pickled result store under one root directory."""
+
+    def __init__(self, root: os.PathLike) -> None:
+        self.root = Path(root)
+
+    def path_for(self, digest: str) -> Path:
+        """On-disk location of ``digest``'s entry."""
+        return self.root / digest[:2] / f"{digest}.pkl"
+
+    def __contains__(self, digest: str) -> bool:
+        return self.path_for(digest).exists()
+
+    def load(self, digest: str) -> Optional[Any]:
+        """The cached run for ``digest``.
+
+        Returns ``None`` on a miss; raises :class:`CacheCorruption` (after
+        deleting the offending file) when the entry exists but cannot be
+        unpickled, fails its integrity checks, or predates the current
+        payload format.
+        """
+        path = self.path_for(digest)
+        if not path.exists():
+            return None
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+            if (payload["format"] != CACHE_FORMAT
+                    or payload["digest"] != digest):
+                raise ValueError("format or digest mismatch")
+            return payload["run"]
+        except Exception as exc:
+            path.unlink(missing_ok=True)
+            raise CacheCorruption(f"dropped unreadable cache entry "
+                                  f"{path.name}: {exc}") from exc
+
+    def store(self, digest: str, run: Any,
+              spec_dict: Optional[Dict] = None) -> Path:
+        """Atomically persist ``run`` under ``digest``."""
+        path = self.path_for(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"format": CACHE_FORMAT, "digest": digest,
+                   "spec": spec_dict, "run": run}
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        n = 0
+        if not self.root.exists():
+            return 0
+        for entry in self.root.glob("*/*.pkl"):
+            entry.unlink(missing_ok=True)
+            n += 1
+        return n
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.pkl"))

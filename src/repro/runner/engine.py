@@ -1,0 +1,282 @@
+"""The experiment engine: executes batches of :class:`RunSpec`.
+
+Replaces the old per-process memo dict in ``repro.experiments.common``
+with a three-tier story:
+
+1. an in-process **memo** (digest -> :class:`BenchmarkRun`), preserving
+   the classic ``run_benchmark`` is-identical semantics within a process;
+2. a persistent, content-addressed **disk cache**
+   (:class:`~repro.runner.cache.ResultCache`) keyed by the spec digest,
+   so a full figure suite is resumable across interpreter restarts;
+3. actual **execution**, inline or fanned out over a
+   :class:`~concurrent.futures.ProcessPoolExecutor` (``jobs > 1``) with
+   per-run timeout and retry.
+
+Simulations are deterministic pure functions of their spec (workloads
+draw only from RNGs seeded by the spec), so serial and parallel execution
+produce identical results and cached entries are safe to reuse.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.energy import EnergyAccount, account_run, ed2p
+from repro.machine import Machine, RunResult
+from repro.runner.cache import CacheCorruption, ResultCache
+from repro.runner.spec import RunSpec
+from repro.workloads import make_workload
+from repro.workloads.registry import PARAMETRIC_WORKLOADS
+
+__all__ = ["BenchmarkRun", "Engine", "EngineStats", "RunFailure",
+           "execute_spec"]
+
+
+@dataclass
+class BenchmarkRun:
+    """One benchmark execution and its derived metrics."""
+
+    name: str
+    hc_kinds: Tuple[str, ...]
+    n_cores: int
+    result: RunResult
+    energy: EnergyAccount
+    lock_labels: Dict[int, str]
+    #: the spec that produced this run (None for hand-built instances)
+    spec: Optional[RunSpec] = None
+
+    @property
+    def makespan(self) -> int:
+        return self.result.makespan
+
+    @property
+    def total_traffic(self) -> int:
+        return self.result.total_traffic
+
+    @property
+    def ed2p(self) -> float:
+        return ed2p(self.energy, self.result.makespan)
+
+
+class RunFailure(RuntimeError):
+    """A spec failed (or timed out) after exhausting its retry budget."""
+
+    def __init__(self, spec: RunSpec, cause: BaseException) -> None:
+        super().__init__(f"run failed for {spec.describe()}: {cause!r}")
+        self.spec = spec
+        self.cause = cause
+
+
+def _build_workload(spec: RunSpec):
+    if spec.workload in PARAMETRIC_WORKLOADS:
+        workload = PARAMETRIC_WORKLOADS[spec.workload](
+            **dict(spec.workload_params))
+    else:
+        if spec.workload_params:
+            raise ValueError(
+                f"workload {spec.workload!r} is scale-driven and takes no "
+                f"workload_params (got {spec.workload_params})")
+        workload = make_workload(spec.workload, scale=spec.scale)
+    if spec.seed and hasattr(workload, "seed"):
+        workload.seed = spec.seed  # deterministic function of the spec
+    return workload
+
+
+def execute_spec(spec: RunSpec) -> BenchmarkRun:
+    """Run one spec on a fresh machine (the pool-worker entry point)."""
+    machine = Machine.from_spec(spec.machine)
+    workload = _build_workload(spec)
+    instance = workload.instantiate(machine, hc_kind=spec.hc_kind,
+                                    other_kind=spec.other_kind,
+                                    hc_kinds=spec.hc_kinds)
+    result = machine.run(instance.programs, max_events=spec.max_events)
+    instance.validate(machine)
+    return BenchmarkRun(
+        name=spec.workload,
+        hc_kinds=spec.hc_kinds or (spec.hc_kind,) * workload.n_hc,
+        n_cores=machine.config.n_cores,
+        result=result,
+        energy=account_run(result),
+        lock_labels=dict(instance.lock_labels),
+        spec=spec,
+    )
+
+
+@dataclass
+class EngineStats:
+    """Counters for one engine's lifetime (reported in ``summary()``)."""
+
+    scheduled: int = 0      # specs submitted
+    executed: int = 0       # actual simulator runs performed
+    memo_hits: int = 0      # served from the in-process memo
+    disk_hits: int = 0      # served from the persistent cache
+    corrupt_dropped: int = 0  # unreadable cache entries deleted
+    retries: int = 0        # re-submissions after a failure/timeout
+    failures: int = 0       # specs that exhausted their retry budget
+
+
+class Engine:
+    """Executes RunSpecs with memoization, disk caching and parallelism.
+
+    Args:
+        jobs: worker processes; 1 runs inline in this process.
+        cache_dir: root of the persistent result cache; ``None`` disables
+            disk caching (the in-process memo always applies).
+        timeout: per-run wall-clock seconds (enforced in pool mode; a run
+            exceeding it counts as a failed attempt).
+        retries: extra attempts per spec after a failure or timeout.
+        execute_fn: run callable, overridable for tests; must be a
+            module-level (picklable) function in pool mode.
+    """
+
+    def __init__(self, jobs: int = 1, cache_dir: Optional[str] = None,
+                 timeout: Optional[float] = None, retries: int = 0,
+                 execute_fn: Callable[[RunSpec], BenchmarkRun] = execute_spec,
+                 ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.jobs = jobs
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        self.timeout = timeout
+        self.retries = retries
+        self.stats = EngineStats()
+        self._execute_fn = execute_fn
+        self._memo: Dict[str, BenchmarkRun] = {}
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def run_spec(self, spec: RunSpec) -> BenchmarkRun:
+        """Run (or recall) a single spec."""
+        return self.run_specs([spec])[0]
+
+    def run_specs(self, specs: Iterable[RunSpec]) -> List[BenchmarkRun]:
+        """Run a batch, preserving order; duplicates execute once.
+
+        Cache lookups happen up front; the remaining misses run inline
+        (``jobs == 1``) or across the process pool, and every fresh
+        result is committed to the memo and the disk cache.
+        """
+        specs = list(specs)
+        out: List[Optional[BenchmarkRun]] = [None] * len(specs)
+        todo_specs: Dict[str, RunSpec] = {}
+        todo_slots: Dict[str, List[int]] = {}
+        for i, spec in enumerate(specs):
+            digest = spec.digest()
+            self.stats.scheduled += 1
+            cached = self._lookup(digest)
+            if cached is not None:
+                out[i] = cached
+            else:
+                todo_specs.setdefault(digest, spec)
+                todo_slots.setdefault(digest, []).append(i)
+        if todo_specs:
+            if self.jobs > 1 and len(todo_specs) > 1:
+                fresh = self._execute_parallel(todo_specs)
+            else:
+                fresh = {digest: self._execute_with_retry(spec)
+                         for digest, spec in todo_specs.items()}
+            for digest, run in fresh.items():
+                self._commit(digest, run)
+                for i in todo_slots[digest]:
+                    out[i] = run
+        return out  # type: ignore[return-value]
+
+    def clear_memory_cache(self) -> None:
+        """Drop the in-process memo (the disk cache is untouched)."""
+        self._memo.clear()
+
+    def reset_stats(self) -> None:
+        """Zero all counters."""
+        self.stats = EngineStats()
+
+    def summary(self) -> str:
+        """One grep-friendly line: what ran, what came from which cache."""
+        s = self.stats
+        cache = str(self.cache.root) if self.cache else "off"
+        return (f"[engine] specs={s.scheduled} executed={s.executed} "
+                f"memo_hits={s.memo_hits} disk_hits={s.disk_hits} "
+                f"corrupt={s.corrupt_dropped} retries={s.retries} "
+                f"jobs={self.jobs} cache={cache}")
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _lookup(self, digest: str) -> Optional[BenchmarkRun]:
+        if digest in self._memo:
+            self.stats.memo_hits += 1
+            return self._memo[digest]
+        if self.cache is not None:
+            try:
+                run = self.cache.load(digest)
+            except CacheCorruption:
+                self.stats.corrupt_dropped += 1
+                return None
+            if run is not None:
+                self.stats.disk_hits += 1
+                self._memo[digest] = run
+                return run
+        return None
+
+    def _commit(self, digest: str, run: BenchmarkRun) -> None:
+        self.stats.executed += 1
+        self._memo[digest] = run
+        if self.cache is not None:
+            spec_dict = run.spec.to_dict() if run.spec is not None else None
+            self.cache.store(digest, run, spec_dict)
+
+    def _execute_with_retry(self, spec: RunSpec) -> BenchmarkRun:
+        last: BaseException
+        for attempt in range(self.retries + 1):
+            try:
+                return self._execute_fn(spec)
+            except Exception as exc:
+                last = exc
+                if attempt < self.retries:
+                    self.stats.retries += 1
+        self.stats.failures += 1
+        raise RunFailure(spec, last) from last
+
+    def _execute_parallel(
+            self, todo: Dict[str, RunSpec]) -> Dict[str, BenchmarkRun]:
+        out: Dict[str, BenchmarkRun] = {}
+        pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(todo)))
+        try:
+            futures = {digest: pool.submit(self._execute_fn, spec)
+                       for digest, spec in todo.items()}
+            for digest, spec in todo.items():
+                future = futures[digest]
+                attempts_left = self.retries
+                while True:
+                    try:
+                        out[digest] = future.result(timeout=self.timeout)
+                        break
+                    except Exception as exc:
+                        timed_out = isinstance(exc, FuturesTimeout)
+                        if attempts_left > 0:
+                            attempts_left -= 1
+                            self.stats.retries += 1
+                            future = pool.submit(self._execute_fn, spec)
+                        else:
+                            self.stats.failures += 1
+                            if timed_out:
+                                self._kill_workers(pool)
+                            raise RunFailure(spec, exc) from exc
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+        return out
+
+    @staticmethod
+    def _kill_workers(pool: ProcessPoolExecutor) -> None:
+        """Terminate stuck workers so shutdown() cannot hang on a timeout."""
+        pool.shutdown(wait=False, cancel_futures=True)
+        for proc in list(getattr(pool, "_processes", {}).values()):
+            try:
+                proc.terminate()
+            except Exception:
+                pass

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Tuple
+from typing import Any, Dict, Tuple
 
 __all__ = ["CacheConfig", "NoCConfig", "GLineConfig", "CMPConfig"]
 
@@ -57,6 +57,21 @@ class CacheConfig:
         """Total line capacity."""
         return self.size_bytes // self.line_bytes
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Deterministic plain-dict form (stable key order, JSON-safe)."""
+        return {
+            "size_bytes": self.size_bytes,
+            "ways": self.ways,
+            "line_bytes": self.line_bytes,
+            "latency": self.latency,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CacheConfig":
+        """Inverse of :meth:`to_dict`."""
+        return cls(size_bytes=data["size_bytes"], ways=data["ways"],
+                   line_bytes=data["line_bytes"], latency=data["latency"])
+
 
 @dataclass(frozen=True)
 class NoCConfig:
@@ -74,6 +89,20 @@ class NoCConfig:
     control_msg_bytes: int = 8
     data_msg_bytes: int = 8 + 64  # header + one cache line
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Deterministic plain-dict form (stable key order, JSON-safe)."""
+        return {
+            "link_width_bytes": self.link_width_bytes,
+            "router_latency": self.router_latency,
+            "control_msg_bytes": self.control_msg_bytes,
+            "data_msg_bytes": self.data_msg_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "NoCConfig":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
+
 
 @dataclass(frozen=True)
 class GLineConfig:
@@ -83,6 +112,20 @@ class GLineConfig:
     gline_latency: int = 1  # cycles for a 1-bit signal to cross one G-line
     max_drops: int = 7  # transmitters+receiver supported per G-line
     hierarchical: bool = False  # enable the future-work multi-level tree
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Deterministic plain-dict form (stable key order, JSON-safe)."""
+        return {
+            "n_glocks": self.n_glocks,
+            "gline_latency": self.gline_latency,
+            "max_drops": self.max_drops,
+            "hierarchical": self.hierarchical,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "GLineConfig":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
 
 
 @dataclass(frozen=True)
@@ -141,6 +184,44 @@ class CMPConfig:
     def with_cores(self, n_cores: int) -> "CMPConfig":
         """Copy of this config with a different core count (Table IV sweeps)."""
         return replace(self, n_cores=n_cores)
+
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """Deterministic plain-dict form.
+
+        Stable key order, only JSON-native value types, and an exact
+        :meth:`from_dict` round-trip — the properties the experiment
+        engine's content-addressed result cache relies on for spec
+        hashing (``repro.runner``).
+        """
+        return {
+            "n_cores": self.n_cores,
+            "clock_ghz": self.clock_ghz,
+            "line_bytes": self.line_bytes,
+            "l1": self.l1.to_dict(),
+            "l2": self.l2.to_dict(),
+            "memory_latency": self.memory_latency,
+            "noc": self.noc.to_dict(),
+            "gline": self.gline.to_dict(),
+            "coherence": self.coherence,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CMPConfig":
+        """Inverse of :meth:`to_dict` (validates like the constructor)."""
+        return cls(
+            n_cores=data["n_cores"],
+            clock_ghz=data["clock_ghz"],
+            line_bytes=data["line_bytes"],
+            l1=CacheConfig.from_dict(data["l1"]),
+            l2=CacheConfig.from_dict(data["l2"]),
+            memory_latency=data["memory_latency"],
+            noc=NoCConfig.from_dict(data["noc"]),
+            gline=GLineConfig.from_dict(data["gline"]),
+            coherence=data["coherence"],
+        )
 
     @classmethod
     def baseline(cls, n_cores: int = 32) -> "CMPConfig":

@@ -20,8 +20,10 @@ from repro.workloads.microbench import (
 from repro.workloads.ocean import OceanProxy
 from repro.workloads.qsort import ParallelQuicksort
 from repro.workloads.raytrace import RaytraceProxy
+from repro.workloads.synth import MultiHotLockWorkload, SyntheticLockWorkload
 
-__all__ = ["WORKLOADS", "MICROBENCHMARKS", "APPLICATIONS", "make_workload"]
+__all__ = ["WORKLOADS", "MICROBENCHMARKS", "APPLICATIONS",
+           "PARAMETRIC_WORKLOADS", "make_workload"]
 
 MICROBENCHMARKS = ("sctr", "mctr", "dbll", "prco", "actr")
 APPLICATIONS = ("raytr", "ocean", "qsort")
@@ -36,6 +38,14 @@ _CLASSES: Dict[str, Type[Workload]] = {
     "raytr": RaytraceProxy,
     "ocean": OceanProxy,
     "qsort": ParallelQuicksort,
+}
+
+#: workloads configured by explicit keyword parameters instead of the
+#: Table III ``scale`` knob — the ablation/sensitivity studies.  The
+#: experiment engine builds these from ``RunSpec.workload_params``.
+PARAMETRIC_WORKLOADS: Dict[str, Type[Workload]] = {
+    "synth": SyntheticLockWorkload,
+    "hotlocks": MultiHotLockWorkload,
 }
 
 

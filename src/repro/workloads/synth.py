@@ -18,7 +18,7 @@ from typing import Sequence
 from repro.machine import Machine
 from repro.workloads.base import Workload, WorkloadInstance
 
-__all__ = ["SyntheticLockWorkload"]
+__all__ = ["SyntheticLockWorkload", "MultiHotLockWorkload"]
 
 
 class SyntheticLockWorkload(Workload):
@@ -82,3 +82,63 @@ class SyntheticLockWorkload(Workload):
         )
         instance.entries = entries  # per-thread CS counts (fairness studies)
         return instance
+
+
+class MultiHotLockWorkload(Workload):
+    """``n_locks`` *independent* hot locks, cores striped across them.
+
+    The GLock-provisioning ablation's workload: each core loops over
+    {acquire its lock — bump its counter — release — think}, so a chip
+    with fewer physical GLocks than hot locks must multiplex (sharing)
+    and serializes unrelated critical sections.
+    """
+
+    name = "hotlocks"
+
+    def __init__(self, n_locks: int = 4, iterations_per_thread: int = 25,
+                 think_cycles: int = 30) -> None:
+        if n_locks < 1 or iterations_per_thread < 1:
+            raise ValueError("need at least one lock and one iteration")
+        if think_cycles < 0:
+            raise ValueError("negative workload parameter")
+        self.n_locks = n_locks
+        self.n_hc = n_locks
+        self.iterations_per_thread = iterations_per_thread
+        self.think_cycles = think_cycles
+
+    def build(self, machine: Machine, hc_kinds: Sequence[str],
+              other_kind: str = "tatas") -> WorkloadInstance:
+        n = machine.config.n_cores
+        locks = [machine.make_lock(kind, name=f"hot{i}")
+                 for i, kind in enumerate(hc_kinds)]
+        counters = machine.mem.address_space.alloc_words_padded(self.n_locks)
+        iters = self.iterations_per_thread
+        think = self.think_cycles
+
+        def make_program(core_id):
+            lock = locks[core_id % self.n_locks]
+            counter = counters[core_id % self.n_locks]
+
+            def program(ctx):
+                for _ in range(iters):
+                    yield from ctx.acquire(lock)
+                    yield from ctx.rmw(counter, lambda v: v + 1)
+                    yield from ctx.release(lock)
+                    if think:
+                        yield from ctx.compute(think)
+            return program
+
+        def validate(m: Machine) -> None:
+            expected = n * iters
+            got = sum(m.mem.backing.read(a) for a in counters)
+            assert got == expected, f"lost updates: {got} != {expected}"
+
+        return WorkloadInstance(
+            name=self.name,
+            programs=[make_program(c) for c in range(n)],
+            locks=list(locks),
+            hc_locks=list(locks),
+            lock_labels={lock.uid: f"HOT-L{i + 1}"
+                         for i, lock in enumerate(locks)},
+            validate=validate,
+        )

@@ -1,0 +1,300 @@
+"""Tests for the experiment engine: RunSpec hashing, the result cache,
+parallel execution, retry, and the CLI surface of ``repro.runner``."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.runner import (
+    Engine,
+    MachineSpec,
+    ResultCache,
+    RunFailure,
+    RunSpec,
+    active_engine,
+    use_engine,
+)
+from repro.runner.spec import canonical_json
+
+SMALL = dict(n_cores=4, scale=0.05)
+
+
+def small_spec(name="sctr", hc_kind="glock", **kwargs):
+    merged = dict(SMALL)
+    merged.update(kwargs)
+    return RunSpec.benchmark(name, hc_kind, **merged)
+
+
+# --------------------------------------------------------------------- #
+# spec layer
+# --------------------------------------------------------------------- #
+def test_digest_is_stable_across_instances():
+    a, b = small_spec(), small_spec()
+    assert a == b
+    assert a.digest() == b.digest()
+    assert len(a.digest()) == 64  # sha256 hex
+
+
+def test_digest_changes_with_any_field():
+    base = small_spec()
+    assert small_spec(hc_kind="mcs").digest() != base.digest()
+    assert small_spec(scale=0.1).digest() != base.digest()
+    assert small_spec(n_cores=8).digest() != base.digest()
+    assert small_spec(seed=7).digest() != base.digest()
+
+
+def test_spec_round_trips_through_dict():
+    spec = RunSpec(workload="synth", hc_kind="clh",
+                   machine=MachineSpec.baseline(8, glock_levels=3),
+                   workload_params={"iterations_per_thread": 5}, seed=3)
+    again = RunSpec.from_dict(spec.to_dict())
+    assert again == spec
+    assert again.digest() == spec.digest()
+
+
+def test_workload_params_order_does_not_matter():
+    a = RunSpec(workload="synth",
+                workload_params={"cs_compute": 1, "iterations_per_thread": 5})
+    b = RunSpec(workload="synth",
+                workload_params={"iterations_per_thread": 5, "cs_compute": 1})
+    assert a.digest() == b.digest()
+
+
+def test_canonical_json_is_compact_and_sorted():
+    text = canonical_json({"b": 1, "a": [2, {"z": 3, "y": 4}]})
+    assert text == '{"a":[2,{"y":4,"z":3}],"b":1}'
+    assert json.loads(text) == {"b": 1, "a": [2, {"z": 3, "y": 4}]}
+
+
+def test_spec_is_hashable_and_usable_as_key():
+    assert {small_spec(): "x"}[small_spec()] == "x"
+
+
+# --------------------------------------------------------------------- #
+# engine: memo + disk cache
+# --------------------------------------------------------------------- #
+def test_memo_returns_identical_object():
+    engine = Engine()
+    first = engine.run_spec(small_spec())
+    second = engine.run_spec(small_spec())
+    assert first is second
+    assert engine.stats.executed == 1
+    assert engine.stats.memo_hits == 1
+
+
+def test_disk_cache_survives_engine_restart(tmp_path):
+    spec = small_spec()
+    hot = Engine(cache_dir=str(tmp_path))
+    baseline = hot.run_spec(spec)
+    assert hot.stats.executed == 1
+
+    cold = Engine(cache_dir=str(tmp_path))
+    recalled = cold.run_spec(spec)
+    assert cold.stats.executed == 0
+    assert cold.stats.disk_hits == 1
+    assert recalled.makespan == baseline.makespan
+    assert recalled.total_traffic == baseline.total_traffic
+    assert recalled.energy.total_pj == baseline.energy.total_pj
+    assert recalled.spec == spec
+
+
+def test_corrupted_cache_entry_is_dropped_and_rerun(tmp_path):
+    spec = small_spec()
+    warm = Engine(cache_dir=str(tmp_path))
+    baseline = warm.run_spec(spec)
+
+    path = warm.cache.path_for(spec.digest())
+    path.write_bytes(b"not a pickle")
+
+    engine = Engine(cache_dir=str(tmp_path))
+    recovered = engine.run_spec(spec)
+    assert engine.stats.corrupt_dropped == 1
+    assert engine.stats.executed == 1
+    assert recovered.makespan == baseline.makespan
+    # the bad entry was replaced by a good one
+    again = Engine(cache_dir=str(tmp_path))
+    assert again.run_spec(spec).makespan == baseline.makespan
+    assert again.stats.disk_hits == 1
+
+
+def test_wrong_digest_payload_is_treated_as_corruption(tmp_path):
+    spec = small_spec()
+    engine = Engine(cache_dir=str(tmp_path))
+    engine.run_spec(spec)
+    digest = spec.digest()
+    other = small_spec(hc_kind="mcs").digest()
+    # entry filed under the wrong key: digest mismatch must not be served
+    path = engine.cache.path_for(other)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(engine.cache.path_for(digest).read_bytes())
+
+    fresh = Engine(cache_dir=str(tmp_path))
+    fresh.run_spec(small_spec(hc_kind="mcs"))
+    assert fresh.stats.corrupt_dropped == 1
+    assert fresh.stats.executed == 1
+
+
+def test_result_cache_store_load_roundtrip(tmp_path):
+    cache = ResultCache(tmp_path)
+    digest = "ab" * 32
+    cache.store(digest, {"payload": 1}, {"workload": "sctr"})
+    assert digest in cache
+    assert len(cache) == 1
+    assert cache.load(digest) == {"payload": 1}
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.load(digest) is None
+
+
+def test_duplicate_specs_in_one_batch_execute_once():
+    engine = Engine()
+    runs = engine.run_specs([small_spec(), small_spec()])
+    assert runs[0] is runs[1]
+    assert engine.stats.executed == 1
+
+
+# --------------------------------------------------------------------- #
+# engine: parallel execution
+# --------------------------------------------------------------------- #
+def test_parallel_matches_serial():
+    specs = [small_spec("sctr", kind) for kind in ("mcs", "glock")]
+    specs += [small_spec("mctr", kind) for kind in ("mcs", "glock")]
+    serial = Engine(jobs=1).run_specs(specs)
+    parallel = Engine(jobs=4).run_specs(specs)
+    for s, p in zip(serial, parallel):
+        assert s.makespan == p.makespan
+        assert s.total_traffic == p.total_traffic
+        assert s.energy.total_pj == p.energy.total_pj
+        # lock uids are process-local counters, so only labels must agree
+        assert sorted(s.lock_labels.values()) == sorted(p.lock_labels.values())
+
+
+def test_parallel_fills_disk_cache(tmp_path):
+    specs = [small_spec("sctr", kind) for kind in ("mcs", "glock")]
+    hot = Engine(jobs=2, cache_dir=str(tmp_path))
+    hot.run_specs(specs)
+    assert hot.stats.executed == 2
+
+    warm = Engine(jobs=2, cache_dir=str(tmp_path))
+    warm.run_specs(specs)
+    assert warm.stats.executed == 0
+    assert warm.stats.disk_hits == 2
+    assert "executed=0" in warm.summary()
+
+
+class _FlakyRunner:
+    """Fails n times, then delegates to a canned value."""
+
+    def __init__(self, failures):
+        self.failures = failures
+        self.calls = 0
+
+    def __call__(self, spec):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise RuntimeError(f"injected failure #{self.calls}")
+        return f"ok:{spec.workload}"
+
+
+def test_retry_recovers_from_transient_failure():
+    flaky = _FlakyRunner(failures=2)
+    engine = Engine(retries=2, execute_fn=flaky)
+    assert engine.run_spec(small_spec()) == "ok:sctr"
+    assert engine.stats.retries == 2
+    assert engine.stats.failures == 0
+
+
+def test_retry_budget_exhaustion_raises_runfailure():
+    flaky = _FlakyRunner(failures=10)
+    engine = Engine(retries=1, execute_fn=flaky)
+    with pytest.raises(RunFailure) as excinfo:
+        engine.run_spec(small_spec())
+    assert engine.stats.failures == 1
+    assert excinfo.value.spec == small_spec()
+    assert isinstance(excinfo.value.cause, RuntimeError)
+
+
+def test_engine_rejects_bad_arguments():
+    with pytest.raises(ValueError):
+        Engine(jobs=0)
+    with pytest.raises(ValueError):
+        Engine(retries=-1)
+
+
+def test_benchmark_run_is_picklable():
+    run = Engine().run_spec(small_spec())
+    clone = pickle.loads(pickle.dumps(run))
+    assert clone.makespan == run.makespan
+    assert clone.spec == run.spec
+
+
+# --------------------------------------------------------------------- #
+# active-engine plumbing
+# --------------------------------------------------------------------- #
+def test_use_engine_scopes_the_active_engine():
+    inner = Engine()
+    with use_engine(inner):
+        assert active_engine() is inner
+    assert active_engine() is not inner
+
+
+def test_run_benchmark_shim_goes_through_active_engine():
+    from repro.experiments.common import run_benchmark
+
+    engine = Engine()
+    with use_engine(engine):
+        bench = run_benchmark("sctr", "glock", **SMALL)
+    assert engine.stats.executed == 1
+    assert bench.spec == small_spec()
+
+
+# --------------------------------------------------------------------- #
+# CLI end-to-end
+# --------------------------------------------------------------------- #
+def _fig08_cli(capsys, tmp_path, *extra):
+    from repro.cli import main
+
+    argv = ["experiment", "fig08", "--scale", "0.05", "--cores", "4",
+            "--cache-dir", str(tmp_path)] + list(extra)
+    assert main(argv) == 0
+    return capsys.readouterr().out
+
+
+def test_cli_second_pass_served_entirely_from_cache(capsys, tmp_path):
+    cold = _fig08_cli(capsys, tmp_path, "--jobs", "2")
+    assert "executed=16" in cold
+    warm = _fig08_cli(capsys, tmp_path, "--jobs", "2")
+    assert "executed=0" in warm
+    assert "disk_hits=16" in warm
+
+
+def test_cli_parallel_output_byte_identical_to_serial(capsys, tmp_path):
+    serial = _fig08_cli(capsys, tmp_path / "s", "--jobs", "1")
+    parallel = _fig08_cli(capsys, tmp_path / "p", "--jobs", "4")
+
+    def table(out):
+        # strip the [engine] line (jobs/cache differ by construction)
+        return [ln for ln in out.splitlines()
+                if not ln.startswith("[engine]")]
+
+    assert table(serial) == table(parallel)
+
+
+def test_cli_no_cache_leaves_no_files(capsys, tmp_path, monkeypatch):
+    from repro.cli import main
+
+    monkeypatch.setenv("REPRO_SIM_CACHE_DIR", str(tmp_path / "env-cache"))
+    assert main(["shootout", "--cores", "4", "--iters", "16",
+                 "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "cache=off" in out
+    assert not (tmp_path / "env-cache").exists()
+
+
+def test_cli_cache_dir_env_var(capsys, tmp_path, monkeypatch):
+    from repro.cli import main
+
+    monkeypatch.setenv("REPRO_SIM_CACHE_DIR", str(tmp_path / "env-cache"))
+    assert main(["shootout", "--cores", "4", "--iters", "16"]) == 0
+    assert (tmp_path / "env-cache").exists()

@@ -77,3 +77,25 @@ def test_line_size_mismatch_rejected():
 def test_describe_mentions_key_params():
     text = CMPConfig.baseline().describe()
     assert "32" in text and "2D-mesh" in text and "400 cycles" in text
+
+
+def test_to_dict_round_trips():
+    from dataclasses import replace
+
+    cfg = CMPConfig.baseline(16)
+    cfg = replace(cfg, coherence="msi",
+                  gline=replace(cfg.gline, gline_latency=2, n_glocks=4))
+    again = CMPConfig.from_dict(cfg.to_dict())
+    assert again == cfg
+    assert again.to_dict() == cfg.to_dict()
+
+
+def test_to_dict_is_deterministic_and_json_stable():
+    import json
+
+    cfg = CMPConfig.baseline(32)
+    a = json.dumps(cfg.to_dict(), sort_keys=True)
+    b = json.dumps(CMPConfig.baseline(32).to_dict(), sort_keys=True)
+    assert a == b
+    # every leaf is JSON-native, so the dict survives a JSON round-trip
+    assert CMPConfig.from_dict(json.loads(a)) == cfg
