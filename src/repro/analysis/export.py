@@ -13,7 +13,7 @@ import csv
 import os
 from typing import Dict, Iterable, List, Sequence
 
-__all__ = ["write_csv", "export_bars", "export_series"]
+__all__ = ["write_csv", "export_bars", "export_series", "export_counters"]
 
 
 def write_csv(path: str, headers: Sequence[str],
@@ -51,3 +51,16 @@ def export_series(path: str, series: Dict[object, float],
     """Export a flat {key: value} mapping."""
     rows = [[k, v] for k, v in series.items()]
     return write_csv(path, [key_name, value_name], rows)
+
+
+def export_counters(path: str, counters: Dict[str, int],
+                    prefixes: Sequence[str] = ()) -> int:
+    """Export a run's counter set as sorted ``counter,value`` rows.
+
+    ``prefixes`` filters to matching counter families (e.g.
+    ``("vglock.", "faults.")`` for the virtualization and fault-injection
+    statistics); empty means everything.
+    """
+    rows = [[k, v] for k, v in sorted(counters.items())
+            if not prefixes or any(k.startswith(p) for p in prefixes)]
+    return write_csv(path, ["counter", "value"], rows)

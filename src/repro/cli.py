@@ -54,6 +54,8 @@ EXPERIMENTS = {
     "ablate-arbitration": "repro.experiments.ablate_arbitration",
     "ablate-sharing": "repro.experiments.ablate_sharing",
     "ablate-coherence": "repro.experiments.ablate_coherence",
+    "ablate-faults": "repro.experiments.ablate_faults",
+    "ablate_faults": "repro.experiments.ablate_faults",  # CI-friendly alias
     "validate": "repro.experiments.validate",
 }
 
@@ -101,6 +103,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("name", choices=sorted(EXPERIMENTS))
     p.add_argument("--scale", type=float, default=1.0)
     p.add_argument("--cores", type=int, default=32)
+    p.add_argument("--smoke", action="store_true",
+                   help="shrunk CI-sized sweep (experiments that support "
+                        "it, e.g. ablate-faults)")
     add_engine_flags(p)
 
     p = sub.add_parser("shootout", help="compare all lock kinds quickly")
@@ -205,6 +210,11 @@ def _cmd_experiment(args) -> int:
         kwargs["scale"] = args.scale
     if "n_cores" in signature.parameters:
         kwargs["n_cores"] = args.cores
+    if "smoke" in signature.parameters:
+        kwargs["smoke"] = args.smoke
+    elif args.smoke:
+        print(f"note: experiment {args.name!r} has no smoke mode; "
+              "running the full sweep")
     engine = _engine_from_args(args)
     with use_engine(engine):
         print(module.render(module.run(**kwargs)))

@@ -53,7 +53,8 @@ class TokenManager:
 
     def __init__(self, sim: Simulator, counters: CounterSet, name: str,
                  gline_latency: int = 1,
-                 arbitration: str = "round_robin") -> None:
+                 arbitration: str = "round_robin",
+                 fault_port=None) -> None:
         if arbitration not in self.POLICIES:
             raise ValueError(
                 f"unknown arbitration {arbitration!r}; choose from {self.POLICIES}"
@@ -63,6 +64,10 @@ class TokenManager:
         self.name = name
         self.gline_latency = gline_latency
         self.arbitration = arbitration
+        #: fault-injection port shared by this network (None when healthy)
+        self.fault_port = fault_port
+        #: permanently failed (controller-death fault): ignores all signals
+        self.dead = False
         self.children: List[Child] = []
         self._child_lines: List[GLine] = []  # manager -> child (TOKEN)
         self._up_lines: List[GLine] = []     # child -> manager (REQ/REL)
@@ -85,11 +90,11 @@ class TokenManager:
         self.flags.append(False)
         self._child_lines.append(
             GLine(self.sim, self.counters, self.gline_latency,
-                  name=f"{self.name}->child{idx}")
+                  name=f"{self.name}->child{idx}", port=self.fault_port)
         )
         self._up_lines.append(
             GLine(self.sim, self.counters, self.gline_latency,
-                  name=f"child{idx}->{self.name}")
+                  name=f"child{idx}->{self.name}", port=self.fault_port)
         )
         if isinstance(child, TokenManager):
             child.parent = self
@@ -114,6 +119,8 @@ class TokenManager:
         self._up_lines[child_idx].transmit(self._on_release, child_idx)
 
     def _on_request(self, child_idx: int) -> None:
+        if self.dead:
+            return
         if not self.flags[child_idx]:
             self.flags[child_idx] = True
             if self.arbitration == "fifo":
@@ -124,7 +131,14 @@ class TokenManager:
             self._request_parent()
 
     def _on_release(self, child_idx: int) -> None:
+        if self.dead:
+            return
         if child_idx != self.busy_child:
+            if self.fault_port is not None:
+                # a fault-delayed REL can straddle a token regeneration and
+                # arrive after this manager's state was reset: discard it
+                self.counters.add("faults.stale_rel")
+                return
             raise RuntimeError(
                 f"{self.name}: REL from child {child_idx} but token is at "
                 f"{self.busy_child}"
@@ -137,6 +151,8 @@ class TokenManager:
     # signals from above
     # ------------------------------------------------------------------ #
     def _receive_token(self) -> None:
+        if self.dead:
+            return
         self.has_token = True
         self.busy_child = None
         self._requested_parent = False
@@ -152,7 +168,7 @@ class TokenManager:
     # arbitration (the Scheduling state of Figure 6)
     # ------------------------------------------------------------------ #
     def _decide(self) -> None:
-        if not self.has_token or self.busy_child is not None:
+        if self.dead or not self.has_token or self.busy_child is not None:
             return
         nxt = self._next_child()
         if nxt is not None:
@@ -212,6 +228,23 @@ class TokenManager:
             # leaf: TOKEN consumes the request flag (lock_req is reset)
             self.flags[child_idx] = False
             self._child_lines[child_idx].transmit(child.receive_token)
+
+    # ------------------------------------------------------------------ #
+    # recovery support (token regeneration, repro.faults)
+    # ------------------------------------------------------------------ #
+    def reset_state(self) -> None:
+        """Forget all protocol state; the recovery controller re-seeds it.
+
+        Does not clear :attr:`dead` — a dead controller stays dead; the
+        network routes around it or the device trips to software.
+        """
+        for i in range(len(self.flags)):
+            self.flags[i] = False
+        self._fifo_order.clear()
+        self.has_token = False
+        self.busy_child = None
+        self.rr_pos = 0
+        self._requested_parent = False
 
     # ------------------------------------------------------------------ #
     # introspection (tests)

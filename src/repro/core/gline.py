@@ -21,10 +21,10 @@ __all__ = ["GLine"]
 class GLine:
     """A dedicated 1-bit wire from one controller to another."""
 
-    __slots__ = ("sim", "latency", "counters", "name", "signals_sent")
+    __slots__ = ("sim", "latency", "counters", "name", "signals_sent", "port")
 
     def __init__(self, sim: Simulator, counters: CounterSet,
-                 latency: int = 1, name: str = "") -> None:
+                 latency: int = 1, name: str = "", port: Any = None) -> None:
         if latency < 1:
             raise ValueError("G-line latency is at least one cycle")
         self.sim = sim
@@ -32,6 +32,8 @@ class GLine:
         self.counters = counters
         self.name = name
         self.signals_sent = 0
+        #: fault-injection port (``repro.faults``); None on healthy wire
+        self.port = port
 
     def transmit(self, receiver: Callable[..., None], *args: Any) -> None:
         """Send a 1-bit signal: ``receiver(*args)`` runs ``latency`` cycles on."""
@@ -40,6 +42,9 @@ class GLine:
         if self.sim.tracer is not None:
             self.sim.tracer.record(self.sim.now, "gline", self.name,
                                    f"signal (arrives cycle {self.sim.now + self.latency})")
+        if self.port is not None:
+            self.port.transmit(self, receiver, args)
+            return
         self.sim.schedule(self.latency, receiver, *args)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

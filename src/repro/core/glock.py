@@ -26,33 +26,70 @@ __all__ = ["GLockDevice", "GLockPool"]
 class GLockDevice:
     """One hardware GLock (one dedicated G-line network)."""
 
+    # class-level defaults so stripped-down test doubles that bypass
+    # __init__ still present a healthy, recovery-less device
+    healthy = True
+    _recovery = None
+
     def __init__(self, sim: Simulator, config: CMPConfig, counters: CounterSet,
                  lock_id: int = 0, levels: int = 2,
-                 arbitration: str = "round_robin") -> None:
+                 arbitration: str = "round_robin", faults=None) -> None:
         self.sim = sim
         self.counters = counters
         self.lock_id = lock_id
         self.network = GLineNetwork(sim, config, counters, lock_id, levels,
-                                    arbitration)
+                                    arbitration, faults=faults)
         self._holder: Optional[int] = None
+        #: False once the recovery controller trips the device; unhealthy
+        #: devices refuse acquires and callers use their software fallback
+        self.healthy = True
+        if self.network.fault_port is not None:
+            from repro.faults.recovery import RecoveryController
+            self._recovery = RecoveryController(
+                self, self.network.fault_port, faults.plan)
+        else:
+            self._recovery = None
 
     # ------------------------------------------------------------------ #
     # the GL_Lock / GL_Unlock primitives
     # ------------------------------------------------------------------ #
     def acquire(self, core_id: int):
-        """Coroutine: ``GL_Lock`` — returns once TOKEN is granted."""
+        """Coroutine: ``GL_Lock`` — returns True once TOKEN is granted.
+
+        Returns False (without blocking) when the device is unhealthy or
+        trips while this core is waiting; the caller must then take its
+        software fallback path.  On a fault-free machine the result is
+        always True and callers may ignore it.
+        """
+        if not self.healthy:
+            return False
         token = self.sim.signal(f"glock{self.lock_id}-token-{core_id}")
+
+        def on_grant(value=None) -> None:
+            # runs synchronously inside the TOKEN delivery event, so
+            # ``holder`` is never None while a grant is in flight to the
+            # process — the recovery quiesce check relies on this
+            if value is False:  # device tripped: abort, do not take the lock
+                token.fire(False)
+                return
+            if self._holder is not None:
+                raise RuntimeError(
+                    f"GLock {self.lock_id}: token granted to {core_id} while "
+                    f"held by {self._holder}"
+                )
+            self._holder = core_id
+            token.fire(value)
+
         # "mov 1, lock_req": the store and the REQ signal overlap in the
         # same cycle (Figure 4 labels REQ as cycle 1 after a cycle-0 try)
-        self.network.request(core_id, token.fire)
+        self.network.request(core_id, on_grant)
         self.counters.add("glock.acquires")
-        yield token  # the bnz spin on lock_req, locally in the core
-        if self._holder is not None:
-            raise RuntimeError(
-                f"GLock {self.lock_id}: token granted to {core_id} while "
-                f"held by {self._holder}"
-            )
-        self._holder = core_id
+        if self._recovery is not None:
+            self._recovery.arm_watchdog(core_id, token)
+        granted = yield token  # the bnz spin on lock_req, locally in the core
+        if granted is False:
+            return False  # device tripped while we waited
+        return True
 
     def release(self, core_id: int):
         """Coroutine: ``GL_Unlock`` — a single 1-cycle register store."""
@@ -85,10 +122,12 @@ class GLockPool:
 
     def __init__(self, sim: Simulator, config: CMPConfig, counters: CounterSet,
                  levels: int = 2, allow_sharing: bool = False,
-                 arbitration: str = "round_robin") -> None:
+                 arbitration: str = "round_robin", faults=None) -> None:
+        self.counters = counters
+        self.faults = faults
         self.devices = [
             GLockDevice(sim, config, counters, lock_id=i, levels=levels,
-                        arbitration=arbitration)
+                        arbitration=arbitration, faults=faults)
             for i in range(config.gline.n_glocks)
         ]
         self.allow_sharing = allow_sharing
@@ -111,6 +150,13 @@ class GLockPool:
         self._shared_devices[device.lock_id] = \
             self._shared_devices.get(device.lock_id, 0) + 1
         return device
+
+    @property
+    def fallback_kind(self) -> str:
+        """Software lock flavour tripped devices degrade to (FaultPlan)."""
+        if self.faults is not None:
+            return self.faults.plan.fallback_kind
+        return "tatas"
 
     @property
     def n_assigned(self) -> int:

@@ -34,7 +34,7 @@ class GLineNetwork:
 
     def __init__(self, sim: Simulator, config: CMPConfig, counters: CounterSet,
                  lock_id: int = 0, levels: int = 2,
-                 arbitration: str = "round_robin") -> None:
+                 arbitration: str = "round_robin", faults=None) -> None:
         if levels not in (2, 3):
             raise ValueError("supported tree depths: 2 (paper) or 3 (hierarchical)")
         self.sim = sim
@@ -43,6 +43,8 @@ class GLineNetwork:
         self.lock_id = lock_id
         self.levels = levels
         self.arbitration = arbitration
+        #: per-network fault-injection port (None on a fault-free machine)
+        self.fault_port = faults.port_for(self) if faults is not None else None
         latency = config.gline.gline_latency
         max_drops = config.gline.max_drops
 
@@ -61,7 +63,8 @@ class GLineNetwork:
                     "smaller mesh"
                 )
 
-        self.root = TokenManager(sim, counters, f"R{lock_id}", latency, arbitration)
+        self.root = TokenManager(sim, counters, f"R{lock_id}", latency,
+                                 arbitration, fault_port=self.fault_port)
         self.root.make_root()
         self.secondaries: List[TokenManager] = []
         self._token_callbacks: Dict[int, Callable[[], None]] = {}
@@ -74,7 +77,8 @@ class GLineNetwork:
             # group rows under intermediate managers, max_drops-1 rows each
             n_groups = -(-len(rows) // (max_drops - 1))
             intermediates = [
-                TokenManager(sim, counters, f"I{lock_id}.{g}", latency, arbitration)
+                TokenManager(sim, counters, f"I{lock_id}.{g}", latency,
+                             arbitration, fault_port=self.fault_port)
                 for g in range(n_groups)
             ]
             for mgr in intermediates:
@@ -85,7 +89,8 @@ class GLineNetwork:
             self.intermediates = intermediates
 
         for (y, cores), parent in zip(sorted(rows.items()), parents):
-            mgr = TokenManager(sim, counters, f"S{lock_id}.{y}", latency, arbitration)
+            mgr = TokenManager(sim, counters, f"S{lock_id}.{y}", latency,
+                               arbitration, fault_port=self.fault_port)
             parent.attach_child(mgr)
             self.secondaries.append(mgr)
             for core in cores:
@@ -94,10 +99,19 @@ class GLineNetwork:
                 self._leaf_manager[core] = mgr
                 self._leaf_index[core] = idx
 
+        if self.fault_port is not None:
+            for mgr in self._all_managers():
+                self.fault_port.register_manager(mgr)
+
     def _make_token_cb(self, core: int) -> Callable[[], None]:
         def deliver() -> None:
             cb = self._token_callbacks.pop(core, None)
             if cb is None:
+                if self.fault_port is not None:
+                    # stale grant that survived a regeneration epoch or a
+                    # duplicated REQ path: count it, never double-grant
+                    self.counters.add("faults.spurious_token")
+                    return
                 raise RuntimeError(
                     f"GLock {self.lock_id}: TOKEN for core {core} "
                     "but it is not waiting"
@@ -105,6 +119,12 @@ class GLineNetwork:
             cb()
 
         return deliver
+
+    def _all_managers(self):
+        yield self.root
+        if self.levels == 3:
+            yield from self.intermediates
+        yield from self.secondaries
 
     # ------------------------------------------------------------------ #
     # local-controller interface (used by the GLock device)
@@ -121,6 +141,24 @@ class GLineNetwork:
     def release(self, core: int) -> None:
         """Core raises REL."""
         self._leaf_manager[core].signal_release(self._leaf_index[core])
+
+    # ------------------------------------------------------------------ #
+    # recovery (token regeneration, repro.faults.RecoveryController)
+    # ------------------------------------------------------------------ #
+    def reset_for_recovery(self) -> None:
+        """Regenerate the token: reset every manager, re-seed the primary.
+
+        Only safe while no core holds the device and the fault port's
+        epoch has been bumped (voiding every in-flight pulse) — the
+        recovery controller's quiesce handshake establishes both before
+        calling.  Waiting cores keep their registered callbacks; their
+        REQs are simply raised again.
+        """
+        for mgr in self._all_managers():
+            mgr.reset_state()
+        self.root.has_token = True
+        for core in sorted(self._token_callbacks):
+            self._leaf_manager[core].signal_request(self._leaf_index[core])
 
     # ------------------------------------------------------------------ #
     # Table I resource counts for this concrete network

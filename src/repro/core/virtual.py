@@ -41,6 +41,7 @@ class DynamicGLockManager:
     def __init__(self, pool: GLockPool, mem: MemorySystem) -> None:
         self.devices: List[GLockDevice] = list(pool.devices)
         self.mem = mem
+        self.counters = pool.counters
         self._bound: Dict[int, "VirtualGLock"] = {}  # device lock_id -> lock
         self.binds = 0
         self.steals = 0
@@ -54,22 +55,38 @@ class DynamicGLockManager:
     # binding (called synchronously from VirtualGLock.acquire)
     # ------------------------------------------------------------------ #
     def try_bind(self, lock: "VirtualGLock") -> Optional[GLockDevice]:
-        """Bind ``lock`` to a free or stealable device, or return None."""
+        """Bind ``lock`` to a free or stealable device, or return None.
+
+        Tripped (unhealthy) devices are never bound or stolen: a lock
+        that loses its device to a trip rebinds to a surviving one, or
+        degrades to its embedded software fallback.
+        """
         for device in self.devices:
-            if device.lock_id not in self._bound:
+            if device.healthy and device.lock_id not in self._bound:
                 self._bound[device.lock_id] = lock
                 self.binds += 1
+                self.counters.add("vglock.binds")
                 return device
         for device in self.devices:
-            if self._quiescent(device):
+            if device.healthy and self._quiescent(device):
                 old = self._bound[device.lock_id]
                 old.device = None
                 self._bound[device.lock_id] = lock
                 self.binds += 1
                 self.steals += 1
+                self.counters.add("vglock.binds")
+                self.counters.add("vglock.steals")
                 return device
         self.fallbacks += 1
+        self.counters.add("vglock.fallbacks")
         return None
+
+    def unbind(self, lock: "VirtualGLock") -> None:
+        """Drop ``lock``'s binding (its device tripped)."""
+        device = lock.device
+        lock.device = None
+        if device is not None and self._bound.get(device.lock_id) is lock:
+            del self._bound[device.lock_id]
 
     @staticmethod
     def _quiescent(device: GLockDevice) -> bool:
@@ -100,6 +117,8 @@ class VirtualGLock(Lock):
         # of the event loop, so no other thread can interleave with it
         device = None
         if self._fallback_active == 0:
+            if self.device is not None and not self.device.healthy:
+                self.manager.unbind(self)  # device tripped: rebind or degrade
             device = self.device
             if device is None:
                 device = self.manager.try_bind(self)
@@ -107,11 +126,15 @@ class VirtualGLock(Lock):
                     self.device = device
         if device is not None:
             self._mode[ctx.core_id] = ("glock", device)
-            yield from device.acquire(ctx.core_id)
-        else:
-            self._mode[ctx.core_id] = ("fallback", None)
-            self._fallback_active += 1
-            yield from self._fallback.acquire(ctx)
+            ok = yield from device.acquire(ctx.core_id)
+            if ok is not False:
+                return
+            # the device tripped while we waited: fall through to the
+            # software path (safe — a tripped device grants no tokens)
+            self.manager.counters.add("faults.fallback_acquires")
+        self._mode[ctx.core_id] = ("fallback", None)
+        self._fallback_active += 1
+        yield from self._fallback.acquire(ctx)
 
     def release(self, ctx):
         mode, device = self._mode.pop(ctx.core_id)

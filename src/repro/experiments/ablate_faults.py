@@ -1,0 +1,144 @@
+"""Ablation: fault rate vs. execution time — what recovery costs.
+
+The paper's evaluation assumes perfect G-lines.  This harness breaks
+them (``repro.faults``): it sweeps per-signal drop/delay fault rates over
+the saturated synthetic workload and compares
+
+- **GLocks with recovery** (watchdog + token regeneration + software
+  fallback after ``trip_threshold`` failed recoveries), against
+- **pure MCS**, the strongest software baseline — which never touches a
+  G-line and is therefore immune to every fault this model injects.
+
+The interesting output is the crossover: at low fault rates the GLock
+still wins despite occasional regenerations; as the rate grows the
+watchdog/regeneration overhead mounts until devices trip and the GLock
+column converges to (slightly above) the software fallback's cost.
+
+Every point runs through the experiment engine, so sweeps are cached by
+spec digest and fan out across ``--jobs`` workers; each (rate, seed)
+point is one deterministic :class:`~repro.faults.FaultPlan`.
+
+Run standalone: ``python -m repro.experiments.ablate_faults``
+CI smoke:       ``repro-sim experiment ablate-faults --smoke --jobs 2``
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.report import format_table
+from repro.faults import FaultPlan, fault_summary
+from repro.runner import MachineSpec, RunSpec, run_specs
+
+__all__ = ["run", "render", "RATES", "SMOKE_RATES"]
+
+#: per-signal fault probabilities swept (applied to drop AND delay)
+RATES = (0.0, 2e-4, 1e-3, 5e-3)
+SMOKE_RATES = (0.0, 1e-3)
+
+SEEDS = (11, 12, 13)
+SMOKE_SEEDS = (11, 12)
+
+
+def _spec(n_cores: int, iterations: int, hc_kind: str,
+          plan: FaultPlan, sanitize: bool) -> RunSpec:
+    return RunSpec(
+        workload="synth",
+        hc_kind=hc_kind,
+        machine=MachineSpec.baseline(
+            n_cores, fault_plan=plan if plan.enabled else None),
+        workload_params={"iterations_per_thread": iterations},
+        sanitize=sanitize,
+        # liveness net: recovery must finish the run long before this
+        max_cycles=30_000_000,
+    )
+
+
+def run(n_cores: int = 16, smoke: bool = False,
+        rates: Sequence[float] = None,
+        seeds: Sequence[int] = None) -> Dict[float, Dict[str, float]]:
+    """Fault rate -> mean metrics over the seeds (plus the MCS baseline).
+
+    ``smoke`` shrinks the sweep for CI (two rates, two seeds, short
+    workload) and force-enables the invariant sanitizer on every run, so
+    the chaos job also proves mutual exclusion under injection.
+    """
+    if rates is None:
+        rates = SMOKE_RATES if smoke else RATES
+    if seeds is None:
+        seeds = SMOKE_SEEDS if smoke else SEEDS
+    iterations = 6 if smoke else 24
+    n_cs = iterations * n_cores
+    sanitize = True if smoke else False
+
+    gl_specs: List[RunSpec] = []
+    for rate in rates:
+        for seed in seeds:
+            plan = FaultPlan(seed=seed, drop_rate=rate, delay_rate=rate,
+                             delay_cycles=16, watchdog_budget=1_500,
+                             trip_threshold=6)
+            gl_specs.append(_spec(n_cores, iterations, "glock", plan,
+                                  sanitize))
+    mcs_spec = _spec(n_cores, iterations, "mcs", FaultPlan.none(), sanitize)
+
+    runs = run_specs(gl_specs + [mcs_spec])
+    mcs = runs[-1]
+    mcs_cpc = mcs.makespan / n_cs
+
+    out: Dict[float, Dict[str, float]] = {}
+    for r_idx, rate in enumerate(rates):
+        chunk = runs[r_idx * len(seeds):(r_idx + 1) * len(seeds)]
+        summaries = [fault_summary(b.result.counters) for b in chunk]
+        out[rate] = {
+            "cycles_per_cs": sum(b.makespan for b in chunk) / len(chunk) / n_cs,
+            "traffic_per_cs": (sum(b.total_traffic for b in chunk)
+                               / len(chunk) / n_cs),
+            "injected": sum(s["injected_faults"] for s in summaries) / len(chunk),
+            "recoveries": sum(s["recoveries"] for s in summaries) / len(chunk),
+            "trips": sum(s["trips"] for s in summaries) / len(chunk),
+            "fallbacks": sum(s["fallbacks"] for s in summaries) / len(chunk),
+        }
+    out["mcs"] = {  # type: ignore[index]  (baseline row, keyed by label)
+        "cycles_per_cs": mcs_cpc,
+        "traffic_per_cs": mcs.total_traffic / n_cs,
+        "injected": 0.0, "recoveries": 0.0, "trips": 0.0, "fallbacks": 0.0,
+    }
+    return out
+
+
+def render(results: Dict[float, Dict[str, float]]) -> str:
+    mcs_cpc = results["mcs"]["cycles_per_cs"]  # type: ignore[index]
+    rows = []
+    for key, r in results.items():
+        label = "mcs (no faults)" if key == "mcs" else f"glock @{key:g}"
+        rows.append([
+            label,
+            f"{r['cycles_per_cs']:.0f}",
+            f"{r['cycles_per_cs'] / mcs_cpc:.2f}x",
+            f"{r['traffic_per_cs']:.0f}",
+            f"{r['injected']:.1f}",
+            f"{r['recoveries']:.1f}",
+            f"{r['trips']:.1f}",
+            f"{r['fallbacks']:.1f}",
+        ])
+    return format_table(
+        ["variant @fault-rate", "cycles/CS", "vs MCS", "bytes/CS",
+         "injected", "recoveries", "trips", "fallbacks"],
+        rows,
+        title="Ablation: exec time and traffic vs G-line fault rate "
+              "(mean over seeds)",
+    )
+
+
+def export(results: Dict[float, Dict[str, float]], path: str) -> int:
+    """CSV of the sweep (one row per rate; plotting input)."""
+    from repro.analysis.export import write_csv
+    headers = ["rate", "cycles_per_cs", "traffic_per_cs", "injected",
+               "recoveries", "trips", "fallbacks"]
+    rows = [[key] + [r[h] for h in headers[1:]]
+            for key, r in results.items()]
+    return write_csv(path, headers, rows)
+
+
+if __name__ == "__main__":
+    print(render(run()))

@@ -1,0 +1,55 @@
+"""Fault injection and recovery for the G-line lock hardware.
+
+The paper assumes the dedicated G-line network is perfect wire; this
+package lets a simulation break that assumption deterministically and
+asks the question the paper cannot: what happens to a GLocks CMP when
+the hardware misbehaves?
+
+Three layers (see ``docs/fault-model.md``):
+
+- :class:`FaultPlan` — the fault *model*: a frozen, seed-driven value
+  object describing transient signal drops, stuck-at G-lines, delayed
+  TOKEN delivery and permanent controller death.  It serializes into
+  :class:`~repro.runner.MachineSpec`, so the experiment engine's content
+  hashing, disk cache and process-pool fan-out work unchanged.
+- :class:`FaultInjector` / :class:`NetworkFaultPort` — the runtime
+  injection points, consulted by every :meth:`repro.core.gline.GLine.
+  transmit` of a fault-armed machine (fault-free machines never touch
+  this package: the hot path is byte-identical to the seed simulator).
+- :class:`RecoveryController` — detection and recovery: an acquire-side
+  timeout watchdog, a quiesce-then-regenerate token protocol at the
+  device, and a per-device health trip that degrades the lock to its
+  embedded software fallback (see ``repro.locks.glock_api`` and
+  ``repro.core.virtual``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.faults.injector import FaultInjector, NetworkFaultPort
+from repro.faults.plan import FaultPlan
+from repro.faults.recovery import RecoveryController
+
+__all__ = ["FaultPlan", "FaultInjector", "NetworkFaultPort",
+           "RecoveryController", "fault_summary"]
+
+
+def fault_summary(counters: Mapping[str, int]) -> Dict[str, int]:
+    """Condense a run's ``faults.*`` counters into the headline numbers.
+
+    Works on any counter mapping (``RunResult.counters``,
+    ``CounterSet.as_dict()``); all keys are present even when zero, so
+    reports and CSV exports have a stable schema.
+    """
+    def total(prefix: str) -> int:
+        return sum(v for k, v in counters.items() if k.startswith(prefix))
+
+    return {
+        "injected_faults": total("faults.injected."),
+        "dropped_signals": total("faults.dropped."),
+        "timeouts": counters.get("faults.timeouts", 0),
+        "recoveries": counters.get("faults.recoveries", 0),
+        "trips": counters.get("faults.trips", 0),
+        "fallbacks": counters.get("faults.fallback_acquires", 0),
+    }

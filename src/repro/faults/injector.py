@@ -1,0 +1,150 @@
+"""Runtime fault injection: the machine-level injector and per-network ports.
+
+One :class:`FaultInjector` exists per fault-armed
+:class:`~repro.machine.Machine`; it owns the plan's seeded RNG (drawn in
+simulator event order, so injection is a deterministic function of the
+plan) and hands each :class:`~repro.core.network.GLineNetwork` a
+:class:`NetworkFaultPort`.  The port is the single choke point every
+G-line signal of that network passes through:
+
+- **transient drop** — the pulse is simply never delivered;
+- **stuck-at line** — the transmitting G-line joins a permanent dead
+  set; every later pulse on it is eaten;
+- **delayed delivery** — the pulse arrives 1..``delay_cycles`` late;
+- **controller death** — the receiving token manager is marked dead:
+  it never reacts to another signal and never initiates one.
+
+The port also carries the network's recovery *epoch*: every scheduled
+delivery is stamped with the epoch at transmit time, and the
+:class:`~repro.faults.recovery.RecoveryController` bumps the epoch
+before regenerating a token, voiding everything still in flight — the
+mechanism that makes token regeneration unable to violate mutual
+exclusion (see ``docs/fault-model.md``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, List, Tuple
+
+from repro.faults.plan import FaultPlan
+from repro.sim.kernel import Simulator
+from repro.sim.stats import CounterSet
+
+__all__ = ["FaultInjector", "NetworkFaultPort"]
+
+
+class FaultInjector:
+    """Machine-wide fault state: one RNG, one port per G-line network."""
+
+    def __init__(self, sim: Simulator, counters: CounterSet,
+                 plan: FaultPlan) -> None:
+        self.sim = sim
+        self.counters = counters
+        self.plan = plan
+        self.rng = random.Random(plan.seed)
+        self.ports: List[NetworkFaultPort] = []
+
+    def port_for(self, network) -> "NetworkFaultPort":
+        """Create (and arm) the fault port for one G-line network."""
+        port = NetworkFaultPort(self, network)
+        self.ports.append(port)
+        return port
+
+
+class NetworkFaultPort:
+    """Injection point and recovery epoch for one network's G-lines."""
+
+    def __init__(self, injector: FaultInjector, network) -> None:
+        self.injector = injector
+        self.sim = injector.sim
+        self.counters = injector.counters
+        self.plan = injector.plan
+        self.rng = injector.rng
+        self.lock_id = network.lock_id
+        #: bumped by the recovery controller; stale deliveries are voided
+        self.epoch = 0
+        #: names of G-lines that have gone permanently stuck-at
+        self.stuck: set = set()
+        #: every TokenManager of this network (kill targets)
+        self.managers: List[Any] = []
+        for cycle, name in self.plan.stuck_lines:
+            self.sim.schedule_at(cycle, self._stick, name)
+        for cycle, name in self.plan.dead_managers:
+            self.sim.schedule_at(cycle, self._kill, name)
+
+    # ------------------------------------------------------------------ #
+    # registration (network construction)
+    # ------------------------------------------------------------------ #
+    def register_manager(self, manager) -> None:
+        self.managers.append(manager)
+
+    # ------------------------------------------------------------------ #
+    # explicit (cycle, component) faults
+    # ------------------------------------------------------------------ #
+    def _stick(self, name: str) -> None:
+        if name not in self.stuck:
+            self.stuck.add(name)
+            self.counters.add("faults.injected.stuck")
+            self._trace("stuck", name)
+
+    def _kill(self, name: str) -> None:
+        for manager in self.managers:
+            if manager.name == name and not manager.dead:
+                manager.dead = True
+                self.counters.add("faults.injected.controller_death")
+                self._trace("controller-death", name)
+
+    # ------------------------------------------------------------------ #
+    # the transmit choke point (called by GLine.transmit)
+    # ------------------------------------------------------------------ #
+    def transmit(self, line, receiver: Callable[..., None],
+                 args: Tuple[Any, ...]) -> None:
+        """Deliver (or corrupt) one 1-bit pulse from ``line``."""
+        plan = self.plan
+        if line.name in self.stuck:
+            self.counters.add("faults.dropped.stuck")
+            self._trace("eaten by stuck line", line.name)
+            return
+        if plan.stuck_rate and self.rng.random() < plan.stuck_rate:
+            self.stuck.add(line.name)
+            self.counters.add("faults.injected.stuck")
+            self.counters.add("faults.dropped.stuck")
+            self._trace("line goes stuck-at", line.name)
+            return
+        if plan.drop_rate and self.rng.random() < plan.drop_rate:
+            self.counters.add("faults.injected.drop")
+            self._trace("signal dropped", line.name)
+            return
+        delay = line.latency
+        if plan.delay_rate and self.rng.random() < plan.delay_rate:
+            extra = self.rng.randint(1, plan.delay_cycles)
+            delay += extra
+            self.counters.add("faults.injected.delay")
+            self._trace(f"signal delayed +{extra}", line.name)
+        if plan.death_rate and self.rng.random() < plan.death_rate:
+            target = getattr(receiver, "__self__", None)
+            if target is not None and getattr(target, "dead", None) is False:
+                target.dead = True
+                self.counters.add("faults.injected.controller_death")
+                self._trace("controller-death", target.name)
+        self.sim.schedule(delay, self._deliver, self.epoch, receiver, args)
+
+    def _deliver(self, epoch: int, receiver: Callable[..., None],
+                 args: Tuple[Any, ...]) -> None:
+        if epoch != self.epoch:
+            # the recovery controller reset the network while this pulse
+            # was in flight; delivering it now could double-grant a token
+            self.counters.add("faults.recovery.signals_voided")
+            return
+        target = getattr(receiver, "__self__", None)
+        if target is not None and getattr(target, "dead", False):
+            self.counters.add("faults.dropped.dead_controller")
+            return
+        receiver(*args)
+
+    def _trace(self, what: str, component: str) -> None:
+        if self.sim.tracer is not None:
+            self.sim.tracer.record(self.sim.now, "fault",
+                                   f"glock{self.lock_id}",
+                                   f"{what} [{component}]")

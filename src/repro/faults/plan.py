@@ -1,0 +1,149 @@
+"""The fault model: a deterministic, serializable fault schedule.
+
+A :class:`FaultPlan` is pure data.  Probabilistic faults draw from one
+``random.Random(seed)`` consumed in simulator event order, so a plan
+replays identically across processes (serial and pool workers agree
+byte-for-byte); explicit faults fire at absolute ``(cycle, component)``
+points.  Because the plan round-trips through JSON it participates in
+:meth:`repro.runner.RunSpec.digest` — fault sweeps get result caching
+and parallel execution for free, while fault-free specs omit the plan
+entirely and keep their pre-existing cache digests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Sequence, Tuple
+
+__all__ = ["FaultPlan"]
+
+Points = Tuple[Tuple[int, str], ...]
+
+
+def _as_points(raw: Sequence) -> Points:
+    """Normalize ``[(cycle, name), ...]`` into a sorted tuple of tuples."""
+    return tuple(sorted((int(cycle), str(name)) for cycle, name in raw))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything the injector needs to break one machine's G-lines.
+
+    Rates are per-signal probabilities evaluated at each
+    :meth:`~repro.core.gline.GLine.transmit`; explicit points name a
+    component (a G-line or a token manager, by its diagnostic name, e.g.
+    ``"S0.1->child2"`` or ``"R0"``) and an absolute cycle.
+
+    Recovery knobs ride along because they only matter under faults:
+    ``watchdog_budget`` bounds the acquire-side spin before a timeout is
+    reported, and ``trip_threshold`` is the number of token
+    regenerations a device attempts before declaring itself unhealthy
+    and degrading to the software fallback (``fallback_kind``).
+    """
+
+    seed: int = 0
+    #: per-signal probability that a 1-bit pulse is silently lost
+    drop_rate: float = 0.0
+    #: per-signal probability of arriving ``1..delay_cycles`` cycles late
+    delay_rate: float = 0.0
+    delay_cycles: int = 8
+    #: per-signal probability that the transmitting G-line goes stuck-at
+    stuck_rate: float = 0.0
+    #: per-signal probability that the receiving manager dies permanently
+    death_rate: float = 0.0
+    #: explicit stuck-at points: (cycle, G-line name)
+    stuck_lines: Points = ()
+    #: explicit controller deaths: (cycle, manager name)
+    dead_managers: Points = ()
+    watchdog_budget: int = 20_000
+    trip_threshold: int = 10
+    fallback_kind: str = "tatas"
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "delay_rate", "stuck_rate", "death_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.delay_cycles < 1:
+            raise ValueError("delay_cycles must be at least one cycle")
+        if self.watchdog_budget < 1:
+            raise ValueError("watchdog_budget must be positive")
+        if self.trip_threshold < 0:
+            raise ValueError("trip_threshold must be non-negative")
+        if self.fallback_kind not in ("tatas", "mcs"):
+            raise ValueError(
+                f"fallback_kind must be 'tatas' or 'mcs', "
+                f"got {self.fallback_kind!r}")
+        object.__setattr__(self, "stuck_lines", _as_points(self.stuck_lines))
+        object.__setattr__(self, "dead_managers",
+                           _as_points(self.dead_managers))
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The null plan: nothing is ever injected.
+
+        A machine built with this plan is byte-identical to one built
+        with no plan at all — :attr:`enabled` is False, so no injector
+        is created and the plan is omitted from spec serialization.
+        """
+        return cls()
+
+    @property
+    def enabled(self) -> bool:
+        """True when the plan can actually inject something."""
+        return bool(self.drop_rate or self.delay_rate or self.stuck_rate
+                    or self.death_rate or self.stuck_lines
+                    or self.dead_managers)
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        """Copy of this plan with a different RNG seed (sweep helper)."""
+        return replace(self, seed=seed)
+
+    # ------------------------------------------------------------------ #
+    # serialization (spec hashing)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """Deterministic plain-dict form (stable key order, JSON-safe)."""
+        return {
+            "seed": self.seed,
+            "drop_rate": self.drop_rate,
+            "delay_rate": self.delay_rate,
+            "delay_cycles": self.delay_cycles,
+            "stuck_rate": self.stuck_rate,
+            "death_rate": self.death_rate,
+            "stuck_lines": [[c, n] for c, n in self.stuck_lines],
+            "dead_managers": [[c, n] for c, n in self.dead_managers],
+            "watchdog_budget": self.watchdog_budget,
+            "trip_threshold": self.trip_threshold,
+            "fallback_kind": self.fallback_kind,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            seed=data["seed"],
+            drop_rate=data["drop_rate"],
+            delay_rate=data["delay_rate"],
+            delay_cycles=data["delay_cycles"],
+            stuck_rate=data["stuck_rate"],
+            death_rate=data["death_rate"],
+            stuck_lines=_as_points(data["stuck_lines"]),
+            dead_managers=_as_points(data["dead_managers"]),
+            watchdog_budget=data["watchdog_budget"],
+            trip_threshold=data["trip_threshold"],
+            fallback_kind=data["fallback_kind"],
+        )
+
+    def describe(self) -> str:
+        """Short human-readable label (experiment tables, logs)."""
+        parts = [f"seed={self.seed}"]
+        for name in ("drop_rate", "delay_rate", "stuck_rate", "death_rate"):
+            rate = getattr(self, name)
+            if rate:
+                parts.append(f"{name.replace('_rate', '')}={rate:g}")
+        if self.stuck_lines:
+            parts.append(f"stuck={len(self.stuck_lines)}pt")
+        if self.dead_managers:
+            parts.append(f"dead={len(self.dead_managers)}pt")
+        return " ".join(parts) if self.enabled else "none"

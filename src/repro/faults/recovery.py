@@ -1,0 +1,138 @@
+"""Detection and recovery: watchdog, token regeneration, health trip.
+
+One :class:`RecoveryController` guards one :class:`~repro.core.glock.
+GLockDevice`.  The protocol (fully specified in ``docs/fault-model.md``):
+
+1. **Detect** — every ``GL_Lock`` arms a timeout watchdog; if the TOKEN
+   has not arrived after ``watchdog_budget`` cycles the core reports a
+   timeout (and keeps spinning — detection never aborts the wait).
+2. **Quiesce** — the controller bumps the network's recovery epoch
+   (voiding every in-flight REQ/REL/TOKEN pulse), then waits until no
+   core holds the device and a settle window of more than one G-line
+   flight time has passed.  If a holder appears during the window, an
+   in-flight grant landed: the network is making progress, so the
+   recovery attempt aborts without touching anything.
+3. **Regenerate** — with the network provably token-less, every
+   manager's FSM is reset, the primary manager R is re-seeded with a
+   fresh token, and a REQ is re-raised for every core still waiting.
+4. **Trip** — after ``trip_threshold`` regenerations the device declares
+   itself permanently unhealthy: waiting cores are aborted (their
+   acquire returns ``False``) and, together with all future acquirers,
+   they fall back to the lock's embedded software path
+   (:class:`~repro.locks.glock_api.GLockHandle` /
+   :class:`~repro.core.virtual.VirtualGLock`).
+
+Mutual exclusion is never violated: a token is only ever regenerated
+while no core holds the device and the epoch bump guarantees no stale
+grant can still be delivered.  The runtime invariant sanitizer
+(:mod:`repro.verify.invariants`) asserts this under every chaos test.
+"""
+
+from __future__ import annotations
+
+from repro.faults.injector import NetworkFaultPort
+from repro.faults.plan import FaultPlan
+from repro.sim.kernel import Signal
+
+__all__ = ["RecoveryController"]
+
+
+class RecoveryController:
+    """Watchdog + token-regeneration + health state for one GLock device."""
+
+    def __init__(self, device, port: NetworkFaultPort,
+                 plan: FaultPlan) -> None:
+        self.device = device
+        self.port = port
+        self.plan = plan
+        self.sim = device.sim
+        self.counters = device.counters
+        #: completed token regenerations (trips at ``trip_threshold``)
+        self.recoveries = 0
+        self._recovering = False
+        latency = device.network.config.gline.gline_latency
+        # strictly longer than any single G-line flight, so by the end of
+        # the window every pre-bump zero-delay cascade has resolved
+        self._settle = 2 * latency + 2
+        self._poll = max(4 * latency, 8)
+
+    # ------------------------------------------------------------------ #
+    # detection (armed by GLockDevice.acquire)
+    # ------------------------------------------------------------------ #
+    def arm_watchdog(self, core_id: int, token: Signal) -> None:
+        """Bound the acquire-side spin: report if TOKEN misses the budget."""
+        self.sim.schedule(self.plan.watchdog_budget, self._check,
+                          core_id, token, token.fire_count)
+
+    def _check(self, core_id: int, token: Signal, baseline: int) -> None:
+        if token.fire_count != baseline or not self.device.healthy:
+            return  # granted (or aborted by a trip) — watchdog retires
+        self.counters.add("faults.timeouts")
+        if self.sim.tracer is not None:
+            self.sim.tracer.record(self.sim.now, "fault",
+                                   f"glock{self.device.lock_id}",
+                                   f"core {core_id} TOKEN timeout "
+                                   f"({self.plan.watchdog_budget} cycles)")
+        self._begin_recovery()
+        self.sim.schedule(self.plan.watchdog_budget, self._check,
+                          core_id, token, baseline)
+
+    # ------------------------------------------------------------------ #
+    # quiesce handshake
+    # ------------------------------------------------------------------ #
+    def _begin_recovery(self) -> None:
+        if self._recovering or not self.device.healthy:
+            return
+        self._recovering = True
+        # void every in-flight pulse: nothing sent before this instant can
+        # be delivered, so no stale TOKEN can grant after the reset below
+        self.port.epoch += 1
+        self._quiesce()
+
+    def _quiesce(self) -> None:
+        if self.device.holder is not None:
+            self.sim.schedule(self._poll, self._quiesce)
+            return
+        self.sim.schedule(self._settle, self._after_settle)
+
+    def _after_settle(self) -> None:
+        if self.device.holder is not None:
+            # a pre-bump grant landed during the window: the network made
+            # progress on its own, so this was a false alarm
+            self.counters.add("faults.recoveries_aborted")
+            self._recovering = False
+            return
+        if self.recoveries >= self.plan.trip_threshold:
+            self._trip()
+            return
+        # second bump: void pulses transmitted *during* the settle window
+        # (e.g. a grant chain racing the check at this very cycle) — only
+        # the re-REQs raised by the reset below carry the new epoch
+        self.port.epoch += 1
+        self.recoveries += 1
+        self.counters.add("faults.recoveries")
+        if self.sim.tracer is not None:
+            self.sim.tracer.record(self.sim.now, "fault",
+                                   f"glock{self.device.lock_id}",
+                                   f"token regenerated (recovery "
+                                   f"#{self.recoveries})")
+        self.device.network.reset_for_recovery()
+        self._recovering = False
+
+    # ------------------------------------------------------------------ #
+    # graceful degradation
+    # ------------------------------------------------------------------ #
+    def _trip(self) -> None:
+        self.counters.add("faults.trips")
+        if self.sim.tracer is not None:
+            self.sim.tracer.record(self.sim.now, "fault",
+                                   f"glock{self.device.lock_id}",
+                                   "device tripped -> software fallback")
+        self.device.healthy = False
+        self._recovering = False
+        self.port.epoch += 1  # nothing in flight may land after the trip
+        network = self.device.network
+        waiters = sorted(network._token_callbacks.items())
+        network._token_callbacks.clear()
+        for _core, callback in waiters:
+            callback(False)  # acquire observes the abort and falls back

@@ -3,12 +3,24 @@
 This is the programmer-facing wrapper of Figure 5: it satisfies the common
 :class:`~repro.locks.base.Lock` interface so workloads can swap MCS for
 GLocks with a one-line change, exactly the paper's methodology.
+
+Under fault injection (``repro.faults``) the handle also owns the lock's
+*graceful degradation* path: when the backing device trips — or aborts an
+in-flight acquire by returning False — the handle permanently routes this
+program lock through an embedded software lock (TATAS or MCS, per
+``FaultPlan.fallback_kind``) allocated in shared memory on first use.
+Lazy allocation matters: a fault-free run never touches the fallback, so
+its memory layout (and therefore its results) stays byte-identical to a
+build without this module's fault support.
 """
 
 from __future__ import annotations
 
+from typing import Dict, Optional
+
 from repro.core.glock import GLockDevice
 from repro.locks.base import Lock
+from repro.mem.hierarchy import MemorySystem
 
 __all__ = ["GLockHandle"]
 
@@ -16,14 +28,53 @@ __all__ = ["GLockHandle"]
 class GLockHandle(Lock):
     """A program-level lock backed by a hardware GLock."""
 
-    def __init__(self, device: GLockDevice, name: str = "") -> None:
+    def __init__(self, device: GLockDevice, name: str = "",
+                 mem: Optional[MemorySystem] = None,
+                 n_threads: Optional[int] = None,
+                 fallback_kind: str = "tatas") -> None:
         super().__init__(name)
         self.device = device
+        self._mem = mem
+        self._n_threads = n_threads
+        self._fallback_kind = fallback_kind
+        self._fallback: Optional[Lock] = None
+        # core_id -> "glock" | "fallback", recorded per holder at acquire
+        # time so release always undoes the path actually taken
+        self._mode: Dict[int, str] = {}
+
+    def _fallback_lock(self) -> Lock:
+        """The embedded software lock, allocated on first degradation."""
+        if self._fallback is None:
+            if self._mem is None:
+                raise RuntimeError(
+                    f"GLock {self.name!r} tripped but has no memory system "
+                    "for a software fallback"
+                )
+            if self._fallback_kind == "mcs":
+                from repro.locks.mcs import MCSLock
+                self._fallback = MCSLock(self._mem, self._n_threads or 1,
+                                         name=f"{self.name}-fallback")
+            else:
+                from repro.locks.tatas import TatasLock
+                self._fallback = TatasLock(self._mem,
+                                           name=f"{self.name}-fallback")
+        return self._fallback
 
     def acquire(self, ctx):
         ctx.core.instructions += 1  # mov 1, lock_req
-        yield from self.device.acquire(ctx.core_id)
+        if self.device.healthy:
+            ok = yield from self.device.acquire(ctx.core_id)
+            if ok is not False:
+                self._mode[ctx.core_id] = "glock"
+                return
+            # tripped while we waited (or raced the trip): degrade below
+        self._mode[ctx.core_id] = "fallback"
+        self.device.counters.add("faults.fallback_acquires")
+        yield from self._fallback_lock().acquire(ctx)
 
     def release(self, ctx):
         ctx.core.instructions += 1  # mov 1, lock_rel
-        yield from self.device.release(ctx.core_id)
+        if self._mode.pop(ctx.core_id, "glock") == "glock":
+            yield from self.device.release(ctx.core_id)
+        else:
+            yield from self._fallback_lock().release(ctx)

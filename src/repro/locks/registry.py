@@ -72,5 +72,7 @@ def make_lock(
     if kind == "glock":
         if glock_pool is None:
             raise ValueError("kind='glock' needs a GLockPool")
-        return GLockHandle(glock_pool.assign(), name)
+        return GLockHandle(glock_pool.assign(), name, mem=mem,
+                           n_threads=n_threads,
+                           fallback_kind=glock_pool.fallback_kind)
     raise ValueError(f"unknown lock kind {kind!r}; choose from {LOCK_KINDS}")

@@ -79,15 +79,23 @@ class Machine:
     def __init__(self, config: Optional[CMPConfig] = None, *,
                  glock_levels: int = 2,
                  allow_glock_sharing: bool = False,
-                 glock_arbitration: str = "round_robin") -> None:
+                 glock_arbitration: str = "round_robin",
+                 fault_plan=None) -> None:
         self.config = config or CMPConfig.baseline()
         self.sim = Simulator()
         self.mem = MemorySystem(self.sim, self.config)
         self.counters = self.mem.counters  # machine-global counter set
+        #: the repro.faults.FaultInjector, or None — a machine without an
+        #: enabled FaultPlan never imports or consults the faults package
+        self.faults = None
+        if fault_plan is not None and fault_plan.enabled:
+            from repro.faults import FaultInjector
+            self.faults = FaultInjector(self.sim, self.counters, fault_plan)
         self.glocks = GLockPool(self.sim, self.config, self.counters,
                                 levels=glock_levels,
                                 allow_sharing=allow_glock_sharing,
-                                arbitration=glock_arbitration)
+                                arbitration=glock_arbitration,
+                                faults=self.faults)
         self.cores: List[Core] = [
             Core(self.sim, i, self.mem.l1(i), self.counters)
             for i in range(self.config.n_cores)
@@ -116,7 +124,8 @@ class Machine:
         return cls(spec.config,
                    glock_levels=spec.glock_levels,
                    allow_glock_sharing=spec.allow_glock_sharing,
-                   glock_arbitration=spec.glock_arbitration)
+                   glock_arbitration=spec.glock_arbitration,
+                   fault_plan=getattr(spec, "fault_plan", None))
 
     def make_lock(self, kind: str, name: str = "") -> Lock:
         """Create a lock of ``kind`` (see :data:`repro.locks.LOCK_KINDS`)."""

@@ -28,6 +28,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterable, List, Optional
 
+from repro.faults.plan import FaultPlan
 from repro.runner.cache import CacheCorruption, ResultCache
 from repro.runner.engine import (BenchmarkRun, Engine, EngineStats,
                                  RunFailure, execute_spec)
@@ -35,7 +36,7 @@ from repro.runner.spec import MachineSpec, RunSpec, canonical_json
 
 __all__ = [
     "BenchmarkRun", "CacheCorruption", "Engine", "EngineStats",
-    "MachineSpec", "ResultCache", "RunFailure", "RunSpec",
+    "FaultPlan", "MachineSpec", "ResultCache", "RunFailure", "RunSpec",
     "active_engine", "canonical_json", "execute_spec", "run_spec",
     "run_specs", "set_active_engine", "use_engine",
 ]

@@ -19,6 +19,7 @@ produce identical results and cached entries are safe to reuse.
 
 from __future__ import annotations
 
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import dataclass, field
@@ -88,11 +89,15 @@ def _build_workload(spec: RunSpec):
 def execute_spec(spec: RunSpec) -> BenchmarkRun:
     """Run one spec on a fresh machine (the pool-worker entry point)."""
     machine = Machine.from_spec(spec.machine)
+    if spec.sanitize:
+        from repro.verify.invariants import attach_sanitizer
+        attach_sanitizer(machine)
     workload = _build_workload(spec)
     instance = workload.instantiate(machine, hc_kind=spec.hc_kind,
                                     other_kind=spec.other_kind,
                                     hc_kinds=spec.hc_kinds)
-    result = machine.run(instance.programs, max_events=spec.max_events)
+    result = machine.run(instance.programs, max_events=spec.max_events,
+                         max_cycles=spec.max_cycles)
     instance.validate(machine)
     return BenchmarkRun(
         name=spec.workload,
@@ -147,6 +152,7 @@ class Engine:
         self.stats = EngineStats()
         self._execute_fn = execute_fn
         self._memo: Dict[str, BenchmarkRun] = {}
+        self._warned_inline_timeout = False
 
     # ------------------------------------------------------------------ #
     # public API
@@ -179,6 +185,15 @@ class Engine:
             if self.jobs > 1 and len(todo_specs) > 1:
                 fresh = self._execute_parallel(todo_specs)
             else:
+                if self.timeout is not None and not self._warned_inline_timeout:
+                    self._warned_inline_timeout = True
+                    warnings.warn(
+                        "Engine timeout= is only enforced in pool mode "
+                        "(jobs > 1 with more than one spec to run); this "
+                        "batch executes inline and cannot be interrupted — "
+                        "see docs/running-experiments.md",
+                        RuntimeWarning, stacklevel=3,
+                    )
                 fresh = {digest: self._execute_with_retry(spec)
                          for digest, spec in todo_specs.items()}
             for digest, run in fresh.items():

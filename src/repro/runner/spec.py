@@ -24,6 +24,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.faults.plan import FaultPlan
 from repro.sim.config import CMPConfig
 
 __all__ = ["MachineSpec", "RunSpec", "canonical_json"]
@@ -51,6 +52,10 @@ class MachineSpec:
     glock_levels: int = 2
     allow_glock_sharing: bool = False
     glock_arbitration: str = "round_robin"
+    #: fault-injection schedule (repro.faults); None or a non-enabled plan
+    #: builds a fault-free machine and is *omitted from serialization*, so
+    #: every pre-existing cache digest is unchanged
+    fault_plan: Optional[FaultPlan] = None
 
     @classmethod
     def baseline(cls, n_cores: int = 32, **kwargs) -> "MachineSpec":
@@ -63,21 +68,26 @@ class MachineSpec:
 
     def to_dict(self) -> Dict[str, Any]:
         """Deterministic plain-dict form (stable key order, JSON-safe)."""
-        return {
+        data = {
             "config": self.config.to_dict(),
             "glock_levels": self.glock_levels,
             "allow_glock_sharing": self.allow_glock_sharing,
             "glock_arbitration": self.glock_arbitration,
         }
+        if self.fault_plan is not None and self.fault_plan.enabled:
+            data["fault_plan"] = self.fault_plan.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "MachineSpec":
         """Inverse of :meth:`to_dict`."""
+        plan = data.get("fault_plan")
         return cls(
             config=CMPConfig.from_dict(data["config"]),
             glock_levels=data["glock_levels"],
             allow_glock_sharing=data["allow_glock_sharing"],
             glock_arbitration=data["glock_arbitration"],
+            fault_plan=FaultPlan.from_dict(plan) if plan is not None else None,
         )
 
 
@@ -105,6 +115,12 @@ class RunSpec:
     workload_params: Tuple[Tuple[str, Any], ...] = ()
     seed: int = 0
     max_events: int = 200_000_000
+    #: arm the kernel's deadlock watchdog (None = off, the default);
+    #: omitted from serialization when None so existing digests hold
+    max_cycles: Optional[int] = None
+    #: attach the runtime invariant sanitizer to the machine (chaos runs);
+    #: omitted from serialization when False so existing digests hold
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         # normalize the sequence-ish fields so equal specs hash equally
@@ -135,12 +151,23 @@ class RunSpec:
         """Per-HC-lock kinds if given, else a marker for 'all ``hc_kind``'."""
         return self.hc_kinds if self.hc_kinds is not None else (self.hc_kind,)
 
+    def with_fault_plan(self, plan: Optional[FaultPlan],
+                        **overrides: Any) -> "RunSpec":
+        """Copy of this spec whose machine carries ``plan`` (sweep helper).
+
+        Extra keyword overrides (e.g. ``sanitize=True``,
+        ``max_cycles=...``) are applied to the returned spec.
+        """
+        from dataclasses import replace
+        return replace(self, machine=replace(self.machine, fault_plan=plan),
+                       **overrides)
+
     # ------------------------------------------------------------------ #
     # serialization / hashing
     # ------------------------------------------------------------------ #
     def to_dict(self) -> Dict[str, Any]:
         """Deterministic plain-dict form (stable key order, JSON-safe)."""
-        return {
+        data = {
             "version": SPEC_VERSION,
             "workload": self.workload,
             "scale": self.scale,
@@ -152,6 +179,13 @@ class RunSpec:
             "seed": self.seed,
             "max_events": self.max_events,
         }
+        # new optional knobs are serialized only when set, so every spec
+        # that predates them keeps its exact digest (cache compatibility)
+        if self.max_cycles is not None:
+            data["max_cycles"] = self.max_cycles
+        if self.sanitize:
+            data["sanitize"] = True
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "RunSpec":
@@ -167,6 +201,8 @@ class RunSpec:
             workload_params=tuple((k, v) for k, v in data["workload_params"]),
             seed=data["seed"],
             max_events=data["max_events"],
+            max_cycles=data.get("max_cycles"),
+            sanitize=data.get("sanitize", False),
         )
 
     def digest(self) -> str:

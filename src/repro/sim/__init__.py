@@ -11,7 +11,8 @@ is built on:
   for traffic, energy and contention accounting.
 """
 
-from repro.sim.kernel import Process, Signal, Simulator, SimulationError
+from repro.sim.kernel import (Process, Signal, SimDeadlockError, Simulator,
+                              SimulationError)
 from repro.sim.trace import TraceEvent, Tracer
 from repro.sim.config import CacheConfig, CMPConfig, GLineConfig, NoCConfig
 
@@ -20,6 +21,7 @@ __all__ = [
     "Signal",
     "Simulator",
     "SimulationError",
+    "SimDeadlockError",
     "CacheConfig",
     "CMPConfig",
     "GLineConfig",

@@ -28,11 +28,30 @@ import heapq
 import weakref
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
-__all__ = ["Simulator", "Process", "Signal", "SimulationError"]
+__all__ = ["Simulator", "Process", "Signal", "SimulationError",
+           "SimDeadlockError"]
 
 
 class SimulationError(RuntimeError):
     """Raised for kernel misuse (negative delays, running a finished sim...)."""
+
+
+class SimDeadlockError(SimulationError):
+    """Processes can no longer make progress (watchdog or drained queue).
+
+    Besides the human-readable message, :attr:`blocked` carries a
+    structured ``[(process_name, signal_name_or_None), ...]`` snapshot —
+    one entry per unfinished process, with the name of the signal it was
+    suspended on (``None`` when it was delayed/ready instead) — so chaos
+    tests and tooling can diagnose a stall without parsing the string.
+    """
+
+    def __init__(self, message: str,
+                 blocked: Optional[List[Tuple[str, Optional[str]]]] = None
+                 ) -> None:
+        super().__init__(message)
+        #: ``(process name, awaited signal name or None)`` per stalled process
+        self.blocked: List[Tuple[str, Optional[str]]] = blocked or []
 
 
 class Signal:
@@ -271,8 +290,9 @@ class Simulator:
             max_events: safety valve against runaway simulations.
             max_cycles: deadlock watchdog — if simulated time passes this
                 cycle with processes still unfinished, raise a
-                :class:`SimulationError` naming the blocked processes and
-                the signals they wait on.
+                :class:`SimDeadlockError` naming the blocked processes and
+                the signals they wait on (also available structured on the
+                exception's ``blocked`` attribute).
         """
         procs = list(procs)
         queue = self._queue
@@ -281,9 +301,10 @@ class Simulator:
             time, _seq, fn, args = queue[0]
             if max_cycles is not None and time > max_cycles:
                 self.now = max_cycles
-                raise SimulationError(
+                raise SimDeadlockError(
                     f"deadlock watchdog: exceeded max_cycles={max_cycles} "
-                    f"with blocked processes: {self._blocked_report(procs)}"
+                    f"with blocked processes: {self._blocked_report(procs)}",
+                    blocked=self._blocked_snapshot(procs),
                 )
             heapq.heappop(queue)
             self.now = time
@@ -298,11 +319,22 @@ class Simulator:
         self._events_executed += executed
         unfinished = [p.name for p in procs if not p.finished]
         if unfinished:
-            raise SimulationError(
+            raise SimDeadlockError(
                 "event queue drained with unfinished processes: "
-                f"{self._blocked_report(procs)}"
+                f"{self._blocked_report(procs)}",
+                blocked=self._blocked_snapshot(procs),
             )
         return self.now
+
+    @staticmethod
+    def _blocked_snapshot(
+        procs: Iterable[Process],
+    ) -> List[Tuple[str, Optional[str]]]:
+        """Structured form of :meth:`_blocked_report` (SimDeadlockError)."""
+        return [
+            (p.name, p.waiting_on.name if p.waiting_on is not None else None)
+            for p in procs if not p.finished
+        ]
 
     @staticmethod
     def _blocked_report(procs: Iterable[Process]) -> str:

@@ -1,0 +1,266 @@
+"""Chaos tests: fault injection, recovery, and graceful degradation.
+
+The sweep drives hundreds of seeded fault schedules (drop / delay /
+stuck-at / controller-death / mixed) through the synthetic workload at a
+4x4 and an 8x8 mesh with the runtime invariant sanitizer attached, and
+asserts on every one:
+
+- **mutual exclusion** — the per-event sanitizer checks plus the
+  workload's data-level validation (every critical-section increment
+  lands exactly once);
+- **liveness** — the run finishes inside the kernel deadlock watchdog
+  (`SimDeadlockError` is never raised);
+- **degradation** — a tripped device always converges to the software
+  fallback (trips > 0 implies fallback acquires > 0) and the run still
+  completes.
+"""
+
+import pytest
+
+from repro import CMPConfig, Machine
+from repro.faults import FaultPlan, fault_summary
+from repro.runner import MachineSpec, RunSpec
+from repro.sim.kernel import SimDeadlockError, Simulator
+from repro.verify.invariants import attach_sanitizer
+from repro.workloads.synth import SyntheticLockWorkload
+
+# --------------------------------------------------------------------- #
+# sweep shape: (mesh cores, seeds per fault kind); 5 kinds
+#   4x4: 30 seeds x 5 kinds = 150 schedules
+#   8x8: 14 seeds x 5 kinds =  70 schedules   -> 220 total (>= 200)
+# --------------------------------------------------------------------- #
+MESH_SEEDS = ((16, 30), (64, 14))
+FAULT_KINDS = ("drop", "delay", "stuck", "death", "mixed")
+TOTAL_SCHEDULES = sum(seeds for _, seeds in MESH_SEEDS) * len(FAULT_KINDS)
+
+
+def chaos_plan(kind: str, seed: int) -> FaultPlan:
+    common = dict(seed=seed, watchdog_budget=400, trip_threshold=3)
+    if kind == "drop":
+        return FaultPlan(drop_rate=0.004, **common)
+    if kind == "delay":
+        return FaultPlan(delay_rate=0.03, delay_cycles=40, **common)
+    if kind == "stuck":
+        return FaultPlan(stuck_rate=0.0015, **common)
+    if kind == "death":
+        return FaultPlan(death_rate=0.0008, **common)
+    if kind == "mixed":
+        return FaultPlan(drop_rate=0.002, delay_rate=0.01, delay_cycles=24,
+                         stuck_rate=0.0005, death_rate=0.0002, **common)
+    raise ValueError(kind)
+
+
+def run_chaos(n_cores: int, plan: FaultPlan, iters: int = 2,
+              max_cycles: int = 2_000_000, hc_kind: str = "glock"):
+    """One seeded schedule under the sanitizer; returns (machine, result)."""
+    machine = Machine(CMPConfig.baseline(n_cores), fault_plan=plan,
+                      glock_levels=3 if n_cores > 49 else 2)
+    if machine.sanitizer is None:  # pytest --sanitize may have attached one
+        attach_sanitizer(machine)
+    workload = SyntheticLockWorkload(iterations_per_thread=iters)
+    instance = workload.instantiate(machine, hc_kind=hc_kind)
+    result = machine.run(instance.programs, max_cycles=max_cycles)
+    instance.validate(machine)  # data-level mutual-exclusion check
+    return machine, result
+
+
+# --------------------------------------------------------------------- #
+# the chaos sweep
+# --------------------------------------------------------------------- #
+def test_sweep_is_large_enough():
+    assert TOTAL_SCHEDULES >= 200
+    assert len(FAULT_KINDS) >= 3
+    assert {n for n, _ in MESH_SEEDS} == {16, 64}  # 4x4 and 8x8
+
+
+@pytest.mark.parametrize("n_cores,n_seeds", MESH_SEEDS,
+                         ids=["mesh4x4", "mesh8x8"])
+@pytest.mark.parametrize("kind", FAULT_KINDS)
+def test_chaos_sweep(n_cores, n_seeds, kind):
+    for seed in range(n_seeds):
+        plan = chaos_plan(kind, seed)
+        try:
+            machine, result = run_chaos(n_cores, plan)
+        except SimDeadlockError as exc:  # pragma: no cover - failure path
+            pytest.fail(f"{kind} seed {seed} on {n_cores} cores deadlocked: "
+                        f"{exc} (blocked={exc.blocked})")
+        summary = fault_summary(result.counters)
+        if summary["trips"]:
+            # degradation: a tripped device always lands on the software
+            # fallback (the tripping waiter takes it first)
+            assert summary["fallbacks"] > 0, (kind, seed, summary)
+        for device in machine.glocks.devices:
+            assert device.holder is None  # nothing left inside a CS
+
+
+# --------------------------------------------------------------------- #
+# targeted recovery / degradation behaviour
+# --------------------------------------------------------------------- #
+def test_token_regeneration_recovers_lost_tokens():
+    """A schedule with enough drops to need regeneration still finishes
+    with every CS served and the device (possibly) still healthy."""
+    plan = FaultPlan(seed=3, drop_rate=0.01, watchdog_budget=300,
+                     trip_threshold=50)  # never trips: recovery must win
+    machine, result = run_chaos(16, plan, iters=3)
+    summary = fault_summary(result.counters)
+    assert summary["trips"] == 0
+    assert machine.glocks.devices[0].healthy
+    assert result.counters.get("glock.acquires", 0) == 16 * 3
+
+
+def test_stuck_root_lines_trip_device_and_fall_back():
+    """Sticking every root downlink makes the network unrecoverable: the
+    device must trip and every remaining CS completes via the fallback."""
+    plan = FaultPlan(seed=7,
+                     stuck_lines=tuple((50 + 10 * i, f"R0->child{i}")
+                                       for i in range(4)),
+                     watchdog_budget=300, trip_threshold=2)
+    machine, result = run_chaos(16, plan, iters=3)
+    summary = fault_summary(result.counters)
+    assert not machine.glocks.devices[0].healthy
+    assert summary["trips"] == 1
+    assert summary["fallbacks"] > 0
+
+
+def test_dead_root_controller_trips_device():
+    """Killing the primary manager is unrecoverable by regeneration (the
+    reset never clears `dead`): repeated failures must trip the device."""
+    plan = FaultPlan(seed=1, dead_managers=((40, "R0"),),
+                     watchdog_budget=300, trip_threshold=2)
+    machine, result = run_chaos(16, plan, iters=2)
+    summary = fault_summary(result.counters)
+    assert not machine.glocks.devices[0].healthy
+    assert machine.glocks.devices[0].network.root.dead
+    assert summary["trips"] == 1
+    assert summary["fallbacks"] > 0
+
+
+def test_mcs_fallback_kind():
+    """fallback_kind='mcs' degrades onto an MCS queue lock."""
+    plan = FaultPlan(seed=2,
+                     stuck_lines=tuple((50 + 10 * i, f"R0->child{i}")
+                                       for i in range(4)),
+                     watchdog_budget=300, trip_threshold=1,
+                     fallback_kind="mcs")
+    machine, result = run_chaos(16, plan, iters=2)
+    assert not machine.glocks.devices[0].healthy
+    assert fault_summary(result.counters)["fallbacks"] > 0
+
+
+def test_fault_free_plan_builds_identical_machine():
+    """FaultPlan.none() must leave no trace: no injector, no port, no
+    fault counters, and byte-identical results to no plan at all."""
+    def run(plan):
+        machine = Machine(CMPConfig.baseline(16), fault_plan=plan)
+        workload = SyntheticLockWorkload(iterations_per_thread=3)
+        instance = workload.instantiate(machine, hc_kind="glock")
+        result = machine.run(instance.programs)
+        return machine, result
+
+    m_none, r_none = run(FaultPlan.none())
+    m_bare, r_bare = run(None)
+    assert m_none.faults is None
+    assert m_none.glocks.devices[0].network.fault_port is None
+    assert r_none.makespan == r_bare.makespan
+    assert r_none.counters == r_bare.counters
+    assert not any(k.startswith("faults.") for k in r_none.counters)
+
+
+def test_same_plan_same_results():
+    """A FaultPlan is a pure schedule: identical plans replay identically."""
+    plan = FaultPlan(seed=9, drop_rate=0.005, delay_rate=0.01,
+                     watchdog_budget=300, trip_threshold=3)
+    _, r1 = run_chaos(16, plan, iters=3)
+    _, r2 = run_chaos(16, plan, iters=3)
+    assert r1.makespan == r2.makespan
+    assert r1.counters == r2.counters
+    assert r1.traffic == r2.traffic
+
+
+# --------------------------------------------------------------------- #
+# FaultPlan value-object contract
+# --------------------------------------------------------------------- #
+def test_plan_validation():
+    with pytest.raises(ValueError):
+        FaultPlan(drop_rate=1.5)
+    with pytest.raises(ValueError):
+        FaultPlan(delay_cycles=0)
+    with pytest.raises(ValueError):
+        FaultPlan(watchdog_budget=0)
+    with pytest.raises(ValueError):
+        FaultPlan(trip_threshold=-1)
+    with pytest.raises(ValueError):
+        FaultPlan(fallback_kind="futex")
+
+
+def test_plan_round_trip_and_enabled():
+    plan = FaultPlan(seed=5, drop_rate=0.1, stuck_lines=[(9, "R0->child1")],
+                     dead_managers=[(3, "S0.2")])
+    assert plan.enabled
+    assert FaultPlan.from_dict(plan.to_dict()) == plan
+    assert not FaultPlan.none().enabled
+    assert plan.with_seed(6).seed == 6
+    assert "drop" in plan.describe()
+    assert FaultPlan.none().describe() == "none"
+
+
+def test_plan_points_normalized():
+    a = FaultPlan(stuck_lines=[(5, "x"), (1, "y")])
+    b = FaultPlan(stuck_lines=((1, "y"), (5, "x")))
+    assert a == b and a.stuck_lines == ((1, "y"), (5, "x"))
+
+
+def test_spec_digest_stable_without_faults():
+    """Fault-free specs keep their pre-fault-support cache digests."""
+    base = RunSpec(workload="synth", hc_kind="glock",
+                   workload_params={"iterations_per_thread": 2})
+    with_none = base.with_fault_plan(FaultPlan.none())
+    assert with_none.digest() == base.digest()
+    assert "fault_plan" not in base.to_dict()["machine"]
+    armed = base.with_fault_plan(FaultPlan(seed=1, drop_rate=0.1))
+    assert armed.digest() != base.digest()
+    round_trip = RunSpec.from_dict(armed.to_dict())
+    assert round_trip == armed and round_trip.digest() == armed.digest()
+
+
+def test_machine_spec_carries_plan():
+    plan = FaultPlan(seed=4, delay_rate=0.2)
+    spec = MachineSpec.baseline(16, fault_plan=plan)
+    again = MachineSpec.from_dict(spec.to_dict())
+    assert again.fault_plan == plan
+
+
+# --------------------------------------------------------------------- #
+# SimDeadlockError diagnostics (kernel watchdog satellite)
+# --------------------------------------------------------------------- #
+def test_deadlock_error_reports_waiting_on():
+    sim = Simulator()
+    stuck = sim.signal("never-fires")
+
+    def waiter():
+        yield stuck
+
+    def ticker():
+        for _ in range(100):
+            yield 10
+
+    procs = [sim.spawn(waiter(), name="blocked-core"),
+             sim.spawn(ticker(), name="ticker")]
+    with pytest.raises(SimDeadlockError) as info:
+        sim.run_until_processes_finish(procs, max_cycles=50)
+    assert "blocked-core" in str(info.value)
+    assert "never-fires" in str(info.value)
+    assert ("blocked-core", "never-fires") in info.value.blocked
+
+
+def test_drained_queue_raises_deadlock_error_with_blocked():
+    sim = Simulator()
+    stuck = sim.signal("orphan-signal")
+
+    def waiter():
+        yield stuck
+
+    procs = [sim.spawn(waiter(), name="orphan-proc")]
+    with pytest.raises(SimDeadlockError) as info:
+        sim.run_until_processes_finish(procs)
+    assert info.value.blocked == [("orphan-proc", "orphan-signal")]

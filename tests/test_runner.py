@@ -183,6 +183,43 @@ def test_parallel_fills_disk_cache(tmp_path):
     assert "executed=0" in warm.summary()
 
 
+def _result_bytes(result):
+    """Canonical byte serialization of everything a RunResult measured."""
+    return canonical_json({
+        "makespan": result.makespan,
+        "cycles_by_category": result.cycles_by_category,
+        "per_core_cycles": result.per_core_cycles,
+        "instructions": result.instructions,
+        "counters": result.counters,
+        "traffic": result.traffic,
+        "byte_hops": result.byte_hops,
+    }).encode()
+
+
+def test_fault_plan_replays_identically_serial_vs_parallel():
+    """A seeded FaultPlan is part of the spec: the same chaos schedule
+    must produce byte-identical results in-process and on a worker pool."""
+    from repro.runner import FaultPlan
+
+    specs = [
+        RunSpec(workload="synth", hc_kind="glock",
+                machine=MachineSpec.baseline(
+                    8,
+                    fault_plan=FaultPlan(seed=seed, drop_rate=0.005,
+                                         delay_rate=0.01,
+                                         watchdog_budget=500,
+                                         trip_threshold=3)),
+                workload_params={"iterations_per_thread": 3},
+                max_cycles=5_000_000)
+        for seed in (5, 6)
+    ]
+    serial = Engine(jobs=1).run_specs(specs)
+    parallel = Engine(jobs=2).run_specs(specs)
+    for s, p in zip(serial, parallel):
+        assert s.result.counters.get("faults.injected.drop", 0) > 0
+        assert _result_bytes(s.result) == _result_bytes(p.result)
+
+
 class _FlakyRunner:
     """Fails n times, then delegates to a canned value."""
 
@@ -213,6 +250,26 @@ def test_retry_budget_exhaustion_raises_runfailure():
     assert engine.stats.failures == 1
     assert excinfo.value.spec == small_spec()
     assert isinstance(excinfo.value.cause, RuntimeError)
+
+
+def test_inline_timeout_warns_exactly_once():
+    """timeout= is silently unenforced inline; the engine must say so."""
+    engine = Engine(timeout=5)
+    with pytest.warns(RuntimeWarning, match="pool mode"):
+        engine.run_spec(small_spec())
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # a second warning would raise
+        engine.run_spec(small_spec(hc_kind="mcs"))
+
+
+def test_inline_without_timeout_does_not_warn():
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        Engine().run_spec(small_spec())
 
 
 def test_engine_rejects_bad_arguments():
