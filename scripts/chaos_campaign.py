@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Self-asserting chaos campaign for CI.
+
+Runs a seeded crash/hang/poison shim through the campaign supervisor and
+checks the whole robustness story end to end:
+
+1. **collect pass** — every healthy spec completes, the crash-once and
+   hang-once specs recover (retry after a worker kill / timeout), and the
+   poison spec is quarantined after ``quarantine_threshold`` solo kills —
+   nothing escapes the supervisor;
+2. **resume pass** — re-running the campaign from its manifest executes
+   zero specs: done results come from the disk cache, the poison spec
+   stays parked.
+
+Exit code 0 and the final ``CHAOS CAMPAIGN OK`` line mean both passes
+held.  Usage::
+
+    PYTHONPATH=src python scripts/chaos_campaign.py
+"""
+
+import json
+import os
+import signal
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.runner import Engine, RunSpec, Supervisor  # noqa: E402
+from repro.runner.outcome import OK, QUARANTINED  # noqa: E402
+
+SCRATCH_ENV = "REPRO_CHAOS_SCRATCH"
+
+
+def chaos_execute(spec):
+    """Worker entry point: behavior is encoded in the spec itself."""
+    params = dict(spec.workload_params)
+    behavior = params.get("behavior", "ok")
+    marker = (Path(os.environ[SCRATCH_ENV])
+              / f"{behavior}-{params.get('idx', 0)}.marker")
+    if behavior == "poison":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif behavior == "crash_once" and not marker.exists():
+        marker.write_text("x")
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif behavior == "hang_once" and not marker.exists():
+        marker.write_text("x")
+        time.sleep(300)
+    return f"ok:{behavior}:{params.get('idx', 0)}"
+
+
+def spec_for(behavior, idx=0):
+    return RunSpec(workload="synth", hc_kind="tatas",
+                   workload_params={"behavior": behavior, "idx": idx})
+
+
+def main() -> int:
+    workdir = Path(tempfile.mkdtemp(prefix="chaos-campaign-"))
+    scratch = workdir / "scratch"
+    scratch.mkdir()
+    os.environ[SCRATCH_ENV] = str(scratch)
+    cache_dir = str(workdir / "cache")
+    manifest_path = workdir / "campaign.json"
+
+    specs = ([spec_for("ok", i) for i in range(4)]
+             + [spec_for("poison"), spec_for("crash_once"),
+                spec_for("hang_once")])
+
+    # ---- pass 1: seeded chaos under fail_policy="collect" -------------
+    engine = Engine(jobs=2, timeout=3.0, retries=1,
+                    execute_fn=chaos_execute, cache_dir=cache_dir)
+    supervisor = Supervisor(engine, fail_policy="collect",
+                            quarantine_threshold=2, backoff_base=0.05,
+                            backoff_cap=0.2, manifest_path=manifest_path)
+    result = supervisor.run_campaign(specs)
+    print(engine.summary())
+    print(supervisor.summary())
+
+    by_behavior = {dict(o.spec.workload_params)["behavior"]: o
+                   for o in result.outcomes}
+    assert len(result.outcomes) == len(specs), "an outcome per spec"
+    for i in range(4):
+        outcome = result.outcomes[i]
+        assert outcome.status == OK, f"healthy spec {i}: {outcome.describe()}"
+    assert by_behavior["crash_once"].status == OK, "crash-once must recover"
+    assert by_behavior["hang_once"].status == OK, "hang-once must recover"
+    assert by_behavior["poison"].status == QUARANTINED, \
+        f"poison must be quarantined: {by_behavior['poison'].describe()}"
+    assert by_behavior["poison"].kills >= 2
+    assert supervisor.pool_deaths >= 1, "the kills must be visible in stats"
+
+    quarantine_file = Path(str(manifest_path) + ".quarantine.json")
+    parked = json.loads(quarantine_file.read_text())
+    assert [e["digest"] for e in parked] == [by_behavior["poison"].digest]
+    print(f"pass 1 ok: {len(result.ok)} completed, "
+          f"{len(result.quarantined)} quarantined "
+          f"(pool_deaths={supervisor.pool_deaths}, "
+          f"timeout_kills={supervisor.timeout_kills})")
+
+    # ---- pass 2: --resume executes nothing ----------------------------
+    engine2 = Engine(jobs=2, timeout=3.0, retries=1,
+                     execute_fn=chaos_execute, cache_dir=cache_dir)
+    supervisor2 = Supervisor(engine2, resume_from=manifest_path)
+    resumed = supervisor2.run_campaign(specs)
+    print(engine2.summary())
+    print(supervisor2.summary())
+
+    assert engine2.stats.executed == 0, \
+        f"resume must execute nothing, ran {engine2.stats.executed}"
+    assert [o.status for o in resumed.outcomes] \
+        == [o.status for o in result.outcomes], "resume preserves outcomes"
+    assert resumed.outcomes[4].status == QUARANTINED, \
+        "quarantine must survive resume"
+    print(f"pass 2 ok: resume executed 0 specs, "
+          f"{engine2.stats.disk_hits} served from cache")
+
+    print("CHAOS CAMPAIGN OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -98,6 +98,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "$REPRO_SIM_CACHE_DIR or ~/.cache/repro-sim)")
         p.add_argument("--no-cache", action="store_true",
                        help="skip the on-disk result cache entirely")
+        p.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="per-run wall-clock budget in seconds "
+                            "(pool mode)")
+        p.add_argument("--retries", type=int, default=0, metavar="N",
+                       help="extra attempts per spec after a failure or "
+                            "timeout (default: 0)")
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument("name", choices=sorted(EXPERIMENTS))
@@ -107,6 +113,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="shrunk CI-sized sweep (experiments that support "
                         "it, e.g. ablate-faults)")
     add_engine_flags(p)
+    p.add_argument("--fail-policy", choices=("abort", "collect"),
+                   default="abort",
+                   help="abort: die on the first exhausted spec (classic); "
+                        "collect: run the campaign supervisor, record a "
+                        "per-spec outcome, and render the partial sweep")
+    p.add_argument("--manifest", default=None, metavar="PATH",
+                   help="checkpoint campaign progress to PATH (JSON, "
+                        "atomically rewritten as results land); implies "
+                        "the campaign supervisor")
+    p.add_argument("--resume", default=None, metavar="MANIFEST",
+                   help="resume a previous campaign: done specs are served "
+                        "from its result cache, quarantined specs are "
+                        "skipped; implies --fail-policy collect and the "
+                        "manifest's cache dir unless overridden")
+    p.add_argument("--quarantine-threshold", type=int, default=2,
+                   metavar="K",
+                   help="worker kills before a spec is quarantined "
+                        "(default: 2)")
 
     p = sub.add_parser("shootout", help="compare all lock kinds quickly")
     p.add_argument("--cores", type=int, default=8)
@@ -186,20 +210,36 @@ def _cmd_run(args) -> int:
     return 0
 
 
-def _engine_from_args(args) -> Engine:
+def _engine_from_args(args, fallback_cache_dir: Optional[str] = None
+                      ) -> Engine:
     """Build the experiment engine the CLI flags describe."""
     if args.no_cache:
         cache_dir = None
     else:
         cache_dir = (args.cache_dir
+                     or fallback_cache_dir
                      or os.environ.get("REPRO_SIM_CACHE_DIR")
                      or DEFAULT_CACHE_DIR)
         cache_dir = os.path.expanduser(cache_dir)
-    return Engine(jobs=args.jobs, cache_dir=cache_dir)
+    return Engine(jobs=args.jobs, cache_dir=cache_dir,
+                  timeout=getattr(args, "timeout", None),
+                  retries=getattr(args, "retries", 0))
+
+
+def _campaign_exit_code(outcomes) -> int:
+    """0 all ok; 3 when anything was quarantined; 2 on other failures."""
+    if any(o.status == "quarantined" for o in outcomes):
+        return 3
+    if any(not o.ok for o in outcomes):
+        return 2
+    return 0
 
 
 def _cmd_experiment(args) -> int:
     import importlib
+
+    from repro.runner import (CampaignInterrupted, RunFailure, Supervisor,
+                              use_supervisor)
 
     module = importlib.import_module(EXPERIMENTS[args.name])
     kwargs = {}
@@ -215,11 +255,46 @@ def _cmd_experiment(args) -> int:
     elif args.smoke:
         print(f"note: experiment {args.name!r} has no smoke mode; "
               "running the full sweep")
-    engine = _engine_from_args(args)
-    with use_engine(engine):
-        print(module.render(module.run(**kwargs)))
-    print(engine.summary())
-    return 0
+
+    supervised = (args.fail_policy == "collect" or args.manifest
+                  or args.resume)
+    fallback_cache_dir = None
+    if args.resume:
+        # a resumed campaign defaults to the cache its manifest recorded,
+        # so "done" specs are found instead of re-simulated
+        from repro.runner import CampaignManifest
+        fallback_cache_dir = (CampaignManifest.load(args.resume)
+                              .data.get("campaign", {}).get("cache_dir"))
+    engine = _engine_from_args(args, fallback_cache_dir)
+    try:
+        if supervised:
+            fail_policy = "collect" if args.resume else args.fail_policy
+            supervisor = Supervisor(
+                engine, fail_policy=fail_policy,
+                quarantine_threshold=args.quarantine_threshold,
+                manifest_path=args.manifest, resume_from=args.resume)
+            with use_engine(engine), use_supervisor(supervisor):
+                print(module.render(module.run(**kwargs)))
+            print(engine.summary())
+            print(supervisor.summary())
+            bad = [o for o in supervisor.outcomes if not o.ok]
+            for outcome in bad:
+                print(f"FAILED {outcome.describe()}")
+            return _campaign_exit_code(supervisor.outcomes)
+        with use_engine(engine):
+            print(module.render(module.run(**kwargs)))
+        print(engine.summary())
+        return 0
+    except RunFailure as failure:
+        print(engine.summary())
+        print(f"FAILED {failure.spec.digest()[:12]} "
+              f"{failure.spec.describe()}: {failure.cause!r}")
+        return 2
+    except CampaignInterrupted as interrupt:
+        print(engine.summary())
+        print(f"INTERRUPTED {interrupt} — resume with "
+              f"--resume {interrupt.manifest_path}")
+        return 130
 
 
 def _cmd_shootout(args) -> int:

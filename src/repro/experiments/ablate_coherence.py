@@ -22,7 +22,8 @@ from dataclasses import replace
 from typing import Dict
 
 from repro.analysis.report import format_table
-from repro.runner import MachineSpec, RunSpec, run_specs
+from repro.experiments.common import grouped_runs, skipped_note
+from repro.runner import MachineSpec, RunSpec
 from repro.sim.config import CMPConfig
 
 __all__ = ["run", "render"]
@@ -35,17 +36,21 @@ def _spec(name: str, protocol: str, hc_kind: str, n_cores: int,
                    machine=MachineSpec(config=cfg))
 
 
-def run(n_cores: int = 16, scale: float = 0.25) -> Dict[str, Dict[str, float]]:
-    """Benchmark -> metrics under both protocols."""
+def run(n_cores: int = 16, scale: float = 0.25) -> Dict:
+    """Benchmark -> metrics under both protocols.
+
+    All four cells of a benchmark's protocol x lock matrix feed its
+    ratios, so a collect-mode failure in any cell skips the benchmark.
+    """
     names = ("ocean", "sctr")
     matrix = [(protocol, kind)
               for protocol in ("mesi", "msi") for kind in ("mcs", "glock")]
     specs = [_spec(name, protocol, kind, n_cores, scale)
              for name in names for protocol, kind in matrix]
-    runs = iter(run_specs(specs))
-    out: Dict[str, Dict[str, float]] = {}
-    for name in names:
-        by = {pk: next(runs).result for pk in matrix}
+    groups, skipped = grouped_runs(names, specs, len(matrix))
+    out: Dict = {}
+    for name, chunk in groups.items():
+        by = {pk: bench.result for pk, bench in zip(matrix, chunk)}
         mesi, msi = by[("mesi", "mcs")], by[("msi", "mcs")]
         out[name] = {
             "msi_time_overhead": msi.makespan / mesi.makespan,
@@ -53,21 +58,22 @@ def run(n_cores: int = 16, scale: float = 0.25) -> Dict[str, Dict[str, float]]:
             "gl_ratio_mesi": by[("mesi", "glock")].makespan / mesi.makespan,
             "gl_ratio_msi": by[("msi", "glock")].makespan / msi.makespan,
         }
+    out["skipped"] = skipped
     return out
 
 
-def render(results: Dict[str, Dict[str, float]]) -> str:
+def render(results: Dict) -> str:
     rows = [
         [name, r["msi_time_overhead"], r["msi_traffic_overhead"],
          r["gl_ratio_mesi"], r["gl_ratio_msi"]]
-        for name, r in results.items()
+        for name, r in results.items() if name != "skipped"
     ]
     return format_table(
         ["benchmark", "MSI/MESI time", "MSI/MESI traffic",
          "GL/MCS (MESI)", "GL/MCS (MSI)"],
         rows,
         title="Ablation: value of the E state (MESI vs MSI)",
-    )
+    ) + skipped_note(results.get("skipped", ()))
 
 
 if __name__ == "__main__":

@@ -15,7 +15,8 @@ from __future__ import annotations
 from typing import Dict, Sequence
 
 from repro.analysis.report import format_table
-from repro.runner import MachineSpec, RunSpec, run_specs
+from repro.experiments.common import grouped_runs, skipped_note
+from repro.runner import MachineSpec, RunSpec
 
 __all__ = ["run", "render", "CS_LENGTHS"]
 
@@ -23,8 +24,11 @@ CS_LENGTHS = (0, 50, 200, 800, 3200)
 
 
 def run(n_cores: int = 16, iterations: int = 20,
-        cs_lengths: Sequence[int] = CS_LENGTHS) -> Dict[int, Dict[str, float]]:
-    """CS length -> {lock kind: makespan} for MCS and GLocks."""
+        cs_lengths: Sequence[int] = CS_LENGTHS) -> Dict:
+    """CS length -> {lock kind: makespan} for MCS and GLocks.
+
+    Sweep points dropped by a collect-mode campaign go to ``"skipped"``.
+    """
     specs = [
         RunSpec(workload="synth", hc_kind=kind,
                 machine=MachineSpec.baseline(n_cores),
@@ -32,26 +36,27 @@ def run(n_cores: int = 16, iterations: int = 20,
                                  "cs_compute": cs})
         for cs in cs_lengths for kind in ("mcs", "glock")
     ]
-    runs = iter(run_specs(specs))
-    out: Dict[int, Dict[str, float]] = {}
-    for cs in cs_lengths:
-        row: Dict[str, float] = {kind: float(next(runs).makespan)
-                                 for kind in ("mcs", "glock")}
+    groups, skipped = grouped_runs(cs_lengths, specs, 2)
+    out: Dict = {}
+    for cs, (mcs, gl) in groups.items():
+        row: Dict[str, float] = {"mcs": float(mcs.makespan),
+                                 "glock": float(gl.makespan)}
         row["gl_over_mcs"] = row["glock"] / row["mcs"]
         out[cs] = row
+    out["skipped"] = skipped
     return out
 
 
-def render(results: Dict[int, Dict[str, float]]) -> str:
+def render(results: Dict) -> str:
     rows = [
         [cs, int(r["mcs"]), int(r["glock"]), r["gl_over_mcs"]]
-        for cs, r in results.items()
+        for cs, r in results.items() if cs != "skipped"
     ]
     return format_table(
         ["CS compute (cycles)", "MCS makespan", "GL makespan", "GL/MCS"],
         rows,
         title="Ablation: GLocks advantage vs critical-section length",
-    )
+    ) + skipped_note(results.get("skipped", ()))
 
 
 if __name__ == "__main__":

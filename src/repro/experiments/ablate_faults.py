@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 from repro.analysis.report import format_table
+from repro.experiments.common import skipped_note
 from repro.faults import FaultPlan, fault_summary
 from repro.runner import MachineSpec, RunSpec, run_specs
 
@@ -62,6 +63,10 @@ def run(n_cores: int = 16, smoke: bool = False,
     ``smoke`` shrinks the sweep for CI (two rates, two seeds, short
     workload) and force-enables the invariant sanitizer on every run, so
     the chaos job also proves mutual exclusion under injection.
+
+    Collect-mode campaigns average each rate over its surviving seeds;
+    a rate losing every seed is skipped, and losing the MCS baseline
+    drops the "vs MCS" column (rendered as n/a).
     """
     if rates is None:
         rates = SMOKE_RATES if smoke else RATES
@@ -83,11 +88,15 @@ def run(n_cores: int = 16, smoke: bool = False,
 
     runs = run_specs(gl_specs + [mcs_spec])
     mcs = runs[-1]
-    mcs_cpc = mcs.makespan / n_cs
 
-    out: Dict[float, Dict[str, float]] = {}
+    out: Dict = {}
+    skipped: List = []
     for r_idx, rate in enumerate(rates):
-        chunk = runs[r_idx * len(seeds):(r_idx + 1) * len(seeds)]
+        chunk = [b for b in runs[r_idx * len(seeds):(r_idx + 1) * len(seeds)]
+                 if b is not None]
+        if not chunk:
+            skipped.append(rate)
+            continue
         summaries = [fault_summary(b.result.counters) for b in chunk]
         out[rate] = {
             "cycles_per_cs": sum(b.makespan for b in chunk) / len(chunk) / n_cs,
@@ -98,23 +107,30 @@ def run(n_cores: int = 16, smoke: bool = False,
             "trips": sum(s["trips"] for s in summaries) / len(chunk),
             "fallbacks": sum(s["fallbacks"] for s in summaries) / len(chunk),
         }
-    out["mcs"] = {  # type: ignore[index]  (baseline row, keyed by label)
-        "cycles_per_cs": mcs_cpc,
-        "traffic_per_cs": mcs.total_traffic / n_cs,
-        "injected": 0.0, "recoveries": 0.0, "trips": 0.0, "fallbacks": 0.0,
-    }
+    if mcs is not None:
+        out["mcs"] = {  # baseline row, keyed by label
+            "cycles_per_cs": mcs.makespan / n_cs,
+            "traffic_per_cs": mcs.total_traffic / n_cs,
+            "injected": 0.0, "recoveries": 0.0, "trips": 0.0,
+            "fallbacks": 0.0,
+        }
+    else:
+        skipped.append("mcs")
+    out["skipped"] = skipped
     return out
 
 
-def render(results: Dict[float, Dict[str, float]]) -> str:
-    mcs_cpc = results["mcs"]["cycles_per_cs"]  # type: ignore[index]
+def render(results: Dict) -> str:
+    mcs_cpc = results.get("mcs", {}).get("cycles_per_cs")
     rows = []
     for key, r in results.items():
+        if key == "skipped":
+            continue
         label = "mcs (no faults)" if key == "mcs" else f"glock @{key:g}"
         rows.append([
             label,
             f"{r['cycles_per_cs']:.0f}",
-            f"{r['cycles_per_cs'] / mcs_cpc:.2f}x",
+            f"{r['cycles_per_cs'] / mcs_cpc:.2f}x" if mcs_cpc else "n/a",
             f"{r['traffic_per_cs']:.0f}",
             f"{r['injected']:.1f}",
             f"{r['recoveries']:.1f}",
@@ -127,16 +143,16 @@ def render(results: Dict[float, Dict[str, float]]) -> str:
         rows,
         title="Ablation: exec time and traffic vs G-line fault rate "
               "(mean over seeds)",
-    )
+    ) + skipped_note(results.get("skipped", ()))
 
 
-def export(results: Dict[float, Dict[str, float]], path: str) -> int:
+def export(results: Dict, path: str) -> int:
     """CSV of the sweep (one row per rate; plotting input)."""
     from repro.analysis.export import write_csv
     headers = ["rate", "cycles_per_cs", "traffic_per_cs", "injected",
                "recoveries", "trips", "fallbacks"]
     rows = [[key] + [r[h] for h in headers[1:]]
-            for key, r in results.items()]
+            for key, r in results.items() if key != "skipped"]
     return write_csv(path, headers, rows)
 
 

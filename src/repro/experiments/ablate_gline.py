@@ -21,7 +21,8 @@ from dataclasses import replace
 from typing import Dict, Sequence, Tuple
 
 from repro.analysis.report import format_table
-from repro.runner import MachineSpec, RunSpec, run_specs
+from repro.experiments.common import grouped_runs, skipped_note
+from repro.runner import MachineSpec, RunSpec
 from repro.sim.config import CMPConfig
 
 __all__ = ["run", "render", "LATENCIES"]
@@ -41,26 +42,33 @@ def _spec(n_cores: int, latency: int, levels: int) -> RunSpec:
 
 
 def run(n_cores: int = 16,
-        latencies: Sequence[int] = LATENCIES) -> Dict[Tuple[int, int], float]:
-    """(gline latency, tree levels) -> cycles per saturated critical section."""
+        latencies: Sequence[int] = LATENCIES) -> Dict:
+    """(gline latency, tree levels) -> cycles per saturated critical section.
+
+    Points dropped by a collect-mode campaign land in ``"skipped"``.
+    """
     points = [(latency, 2) for latency in latencies] + [(1, 3)]
     specs = [_spec(n_cores, latency, levels) for latency, levels in points]
-    return {
+    groups, skipped = grouped_runs(points, specs, 1)
+    out: Dict = {
         point: bench.makespan / (n_cores * ITERATIONS)
-        for point, bench in zip(points, run_specs(specs))
+        for point, (bench,) in groups.items()
     }
+    out["skipped"] = skipped
+    return out
 
 
-def render(results: Dict[Tuple[int, int], float]) -> str:
+def render(results: Dict) -> str:
     rows = [
         [lat, lvl, per_handoff]
-        for (lat, lvl), per_handoff in sorted(results.items())
+        for (lat, lvl), per_handoff in sorted(
+            (k, v) for k, v in results.items() if k != "skipped")
     ]
     return format_table(
         ["G-line latency", "tree levels", "cycles per saturated CS"],
         rows,
         title="Ablation: GLocks scaling paths (longer G-lines, deeper trees)",
-    )
+    ) + skipped_note(results.get("skipped", ()))
 
 
 if __name__ == "__main__":

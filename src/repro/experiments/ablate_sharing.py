@@ -17,6 +17,7 @@ from dataclasses import replace
 from typing import Dict
 
 from repro.analysis.report import format_table
+from repro.experiments.common import skipped_note
 from repro.runner import MachineSpec, RunSpec, run_specs
 from repro.sim.config import CMPConfig
 
@@ -47,19 +48,25 @@ def run(n_cores: int = 16, iterations: int = 25) -> Dict[str, float]:
             workload="hotlocks", hc_kind="glock",
             machine=MachineSpec(config=cfg, allow_glock_sharing=True),
             workload_params=params)
-    return {label: float(bench.makespan)
-            for label, bench in zip(specs, run_specs(specs.values()))}
+    runs = dict(zip(specs, run_specs(list(specs.values()))))
+    out: Dict = {label: float(bench.makespan)
+                 for label, bench in runs.items() if bench is not None}
+    out["skipped"] = [label for label, bench in runs.items() if bench is None]
+    return out
 
 
-def render(results: Dict[str, float]) -> str:
-    base = results["mcs"]
-    rows = [[label, int(makespan), makespan / base]
-            for label, makespan in results.items()]
+def render(results: Dict) -> str:
+    makespans = {k: v for k, v in results.items() if k != "skipped"}
+    # without the MCS baseline (collect-mode failure) print raw makespans
+    base = makespans.get("mcs")
+    rows = [[label, int(makespan),
+             makespan / base if base else float("nan")]
+            for label, makespan in makespans.items()]
     return format_table(
         ["configuration", "makespan", "vs MCS"],
         rows,
         title=f"Ablation: {N_LOCKS} hot locks on 1/2/4 shared GLock networks",
-    )
+    ) + skipped_note(results.get("skipped", ()))
 
 
 if __name__ == "__main__":

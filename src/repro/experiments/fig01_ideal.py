@@ -19,15 +19,21 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.analysis.report import format_table
-from repro.runner import RunSpec, run_specs
+from repro.experiments.common import grouped_runs, skipped_note
+from repro.runner import RunSpec
 
 __all__ = ["run", "render", "CONFIGS"]
 
 CONFIGS = ("TATAS", "TATAS-1", "TATAS-2", "IDEAL")
 
 
-def run(scale: float = 1.0, n_cores: int = 32) -> Dict[str, Dict[str, float]]:
-    """Returns per-config normalized time and lock fraction."""
+def run(scale: float = 1.0, n_cores: int = 32) -> Dict:
+    """Returns per-config normalized time and lock fraction.
+
+    Everything is normalized to the TATAS bar, so under a collect-mode
+    campaign a failed TATAS run voids the whole figure — every config is
+    reported under ``"skipped"``.
+    """
     settings = {
         "TATAS": dict(hc_kinds=("tatas", "tatas"), other_kind="tatas"),
         "TATAS-1": dict(hc_kinds=("ideal", "tatas"), other_kind="tatas"),
@@ -36,30 +42,32 @@ def run(scale: float = 1.0, n_cores: int = 32) -> Dict[str, Dict[str, float]]:
     }
     specs = [RunSpec.benchmark("raytr", scale=scale, n_cores=n_cores, **kw)
              for kw in settings.values()]
-    runs = dict(zip(settings, run_specs(specs)))
-    base = runs["TATAS"].makespan
-    out: Dict[str, Dict[str, float]] = {}
-    for cfg in CONFIGS:
-        r = runs[cfg]
+    groups, skipped = grouped_runs(list(settings), specs, 1)
+    if "TATAS" not in groups:
+        groups, skipped = {}, list(CONFIGS)
+    out: Dict = {}
+    for cfg, (r,) in groups.items():
+        base = groups["TATAS"][0].makespan
         fractions = r.result.category_fractions()
         out[cfg] = {
             "normalized_time": r.makespan / base,
             "lock_fraction": fractions["lock"],
             "makespan": float(r.makespan),
         }
+    out["skipped"] = skipped
     return out
 
 
-def render(results: Dict[str, Dict[str, float]]) -> str:
+def render(results: Dict) -> str:
     """Figure 1 as a table."""
     rows: List[list] = [
         [cfg, results[cfg]["normalized_time"], results[cfg]["lock_fraction"]]
-        for cfg in CONFIGS
+        for cfg in CONFIGS if cfg in results
     ]
     return format_table(
         ["config", "normalized time", "lock fraction"], rows,
         title="Figure 1: Raytrace with ideal locks (normalized to TATAS)",
-    )
+    ) + skipped_note(results.get("skipped", ()))
 
 
 if __name__ == "__main__":

@@ -17,22 +17,29 @@ import numpy as np
 
 from repro.analysis.contention import LockContention, analyze_contention
 from repro.analysis.report import format_table
-from repro.runner import RunSpec, run_specs
+from repro.experiments.common import grouped_runs, skipped_note
+from repro.runner import RunSpec
 from repro.workloads.registry import WORKLOADS
 
 __all__ = ["run", "render"]
 
 
 def run(scale: float = 1.0, n_cores: int = 32,
-        benchmarks=WORKLOADS) -> Dict[str, Dict[str, LockContention]]:
-    """Per-benchmark, per-lock-label contention profiles."""
+        benchmarks=WORKLOADS) -> Dict:
+    """Per-benchmark, per-lock-label contention profiles.
+
+    Benchmarks dropped by a collect-mode campaign land in ``"skipped"``.
+    """
     specs = [RunSpec.benchmark(name, "tatas", other_kind="tatas",
                                scale=scale, n_cores=n_cores)
              for name in benchmarks]
-    return {
+    groups, skipped = grouped_runs(benchmarks, specs, 1)
+    out: Dict = {
         name: analyze_contention(bench.result, bench.lock_labels)
-        for name, bench in zip(benchmarks, run_specs(specs))
+        for name, (bench,) in groups.items()
     }
+    out["skipped"] = skipped
+    return out
 
 
 def render(results: Dict[str, Dict[str, LockContention]],
@@ -43,6 +50,8 @@ def render(results: Dict[str, Dict[str, LockContention]],
     """
     rows = []
     for name, profiles in results.items():
+        if name == "skipped":
+            continue
         for label in sorted(profiles):
             p = profiles[label]
             lcr = p.lcr()
@@ -56,7 +65,7 @@ def render(results: Dict[str, Dict[str, LockContention]],
         ["benchmark", "lock", "acquires", f"LCR[grAC>={high_grac}]", "peak grAC"],
         rows,
         title="Figure 7: locks' contention rate (TATAS post-mortem)",
-    )
+    ) + skipped_note(results.get("skipped", ()))
 
 
 if __name__ == "__main__":

@@ -18,9 +18,10 @@ from repro.analysis.breakdown import normalized_breakdown
 from repro.analysis.report import format_table
 from repro.cpu.core import CATEGORIES
 from repro.experiments.common import (
-    APPLICATIONS, MICROBENCHMARKS, paper_averages,
+    APPLICATIONS, MICROBENCHMARKS, grouped_runs, paper_averages,
+    skipped_note,
 )
-from repro.runner import RunSpec, run_specs
+from repro.runner import RunSpec
 
 __all__ = ["run", "render"]
 
@@ -28,20 +29,25 @@ BENCHES = MICROBENCHMARKS + APPLICATIONS
 
 
 def run(scale: float = 1.0, n_cores: int = 32, benchmarks=BENCHES) -> Dict:
-    """Per-benchmark normalized bars for MCS and GL, plus averages."""
+    """Per-benchmark normalized bars for MCS and GL, plus averages.
+
+    Collect-mode campaigns drop benchmarks whose MCS or GL run failed;
+    they are reported under ``"skipped"`` and the averages cover the
+    survivors (``paper_averages`` already handles partial sweeps).
+    """
     specs = [RunSpec.benchmark(name, kind, scale=scale, n_cores=n_cores)
              for name in benchmarks for kind in ("mcs", "glock")]
-    runs = iter(run_specs(specs))  # one batch -> embarrassingly parallel
+    groups, skipped = grouped_runs(benchmarks, specs, 2)
     bars: Dict[str, Dict[str, Dict[str, float]]] = {}
     ratios: Dict[str, float] = {}
-    for name in benchmarks:
-        mcs, gl = next(runs), next(runs)
+    for name, (mcs, gl) in groups.items():
         bars[name] = {
             "MCS": normalized_breakdown(mcs.result, mcs.result),
             "GL": normalized_breakdown(gl.result, mcs.result),
         }
         ratios[name] = gl.makespan / mcs.makespan
-    return {"bars": bars, "ratios": ratios, "averages": paper_averages(ratios)}
+    return {"bars": bars, "ratios": ratios,
+            "averages": paper_averages(ratios), "skipped": skipped}
 
 
 def render(results: Dict) -> str:
@@ -56,7 +62,7 @@ def render(results: Dict) -> str:
     return format_table(
         ["benchmark", "locks", "total"] + list(CATEGORIES), rows,
         title="Figure 8: normalized execution time (MCS = 1.0)",
-    )
+    ) + skipped_note(results.get("skipped", ()))
 
 
 if __name__ == "__main__":

@@ -16,10 +16,11 @@ from typing import Dict
 
 from repro.analysis.report import format_table
 from repro.experiments.common import (
-    APPLICATIONS, MICROBENCHMARKS, paper_averages,
+    APPLICATIONS, MICROBENCHMARKS, grouped_runs, paper_averages,
+    skipped_note,
 )
 from repro.noc.messages import MsgCategory
-from repro.runner import RunSpec, run_specs
+from repro.runner import RunSpec
 
 __all__ = ["run", "render"]
 
@@ -31,18 +32,18 @@ def run(scale: float = 1.0, n_cores: int = 32, benchmarks=BENCHES) -> Dict:
     """Per-benchmark normalized traffic bars for MCS and GL, plus averages."""
     specs = [RunSpec.benchmark(name, kind, scale=scale, n_cores=n_cores)
              for name in benchmarks for kind in ("mcs", "glock")]
-    runs = iter(run_specs(specs))
+    groups, skipped = grouped_runs(benchmarks, specs, 2)
     bars: Dict[str, Dict[str, Dict[str, float]]] = {}
     ratios: Dict[str, float] = {}
-    for name in benchmarks:
-        mcs, gl = next(runs), next(runs)
+    for name, (mcs, gl) in groups.items():
         base = max(mcs.total_traffic, 1)
         bars[name] = {
             "MCS": {c: mcs.result.traffic[c] / base for c in CATS},
             "GL": {c: gl.result.traffic[c] / base for c in CATS},
         }
         ratios[name] = gl.total_traffic / base
-    return {"bars": bars, "ratios": ratios, "averages": paper_averages(ratios)}
+    return {"bars": bars, "ratios": ratios,
+            "averages": paper_averages(ratios), "skipped": skipped}
 
 
 def render(results: Dict) -> str:
@@ -57,7 +58,7 @@ def render(results: Dict) -> str:
     return format_table(
         ["benchmark", "locks", "total"] + CATS, rows,
         title="Figure 9: normalized network traffic (MCS = 1.0)",
-    )
+    ) + skipped_note(results.get("skipped", ()))
 
 
 if __name__ == "__main__":

@@ -14,10 +14,11 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.experiments.common import (
-    APPLICATIONS, MICROBENCHMARKS, paper_averages,
+    APPLICATIONS, MICROBENCHMARKS, grouped_runs, paper_averages,
+    skipped_note,
 )
 from repro.analysis.report import format_table
-from repro.runner import RunSpec, run_specs
+from repro.runner import RunSpec
 
 __all__ = ["run", "render"]
 
@@ -28,11 +29,10 @@ def run(scale: float = 1.0, n_cores: int = 32, benchmarks=BENCHES) -> Dict:
     """Per-benchmark normalized ED²P plus component energies."""
     specs = [RunSpec.benchmark(name, kind, scale=scale, n_cores=n_cores)
              for name in benchmarks for kind in ("mcs", "glock")]
-    runs = iter(run_specs(specs))
+    groups, skipped = grouped_runs(benchmarks, specs, 2)
     bars: Dict[str, Dict[str, float]] = {}
     components: Dict[str, Dict[str, Dict[str, float]]] = {}
-    for name in benchmarks:
-        mcs, gl = next(runs), next(runs)
+    for name, (mcs, gl) in groups.items():
         bars[name] = {"MCS": 1.0, "GL": gl.ed2p / mcs.ed2p}
         components[name] = {
             "MCS": mcs.energy.breakdown(),
@@ -40,7 +40,7 @@ def run(scale: float = 1.0, n_cores: int = 32, benchmarks=BENCHES) -> Dict:
         }
     ratios = {name: kinds["GL"] for name, kinds in bars.items()}
     return {"bars": bars, "components": components,
-            "averages": paper_averages(ratios)}
+            "averages": paper_averages(ratios), "skipped": skipped}
 
 
 def render(results: Dict) -> str:
@@ -50,7 +50,7 @@ def render(results: Dict) -> str:
     return format_table(
         ["benchmark", "GL ED2P (MCS = 1.0)"], rows,
         title="Figure 10: normalized full-CMP energy-delay^2 product",
-    )
+    ) + skipped_note(results.get("skipped", ()))
 
 
 if __name__ == "__main__":

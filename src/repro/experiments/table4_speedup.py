@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Dict, Sequence, Tuple
 
 from repro.analysis.report import format_table
-from repro.experiments.common import APPLICATIONS
+from repro.experiments.common import APPLICATIONS, skipped_note
 from repro.runner import RunSpec, run_specs
 
 __all__ = ["run", "render", "CORE_COUNTS"]
@@ -26,8 +26,13 @@ KINDS = (("mcs", "MCS"), ("glock", "GL"))
 
 
 def run(scale: float = 1.0, core_counts: Sequence[int] = CORE_COUNTS,
-        benchmarks=APPLICATIONS) -> Dict[Tuple[str, str], Dict[int, float]]:
-    """(app, lock-version) -> {cores: speedup}."""
+        benchmarks=APPLICATIONS) -> Dict:
+    """(app, lock-version) -> {cores: speedup}.
+
+    Speedups are against the app's own 1-core baseline, so a collect-mode
+    failure anywhere in an app's chunk (baseline or any matrix cell)
+    drops the whole app into ``"skipped"``.
+    """
     # one batch: per-app 1-core baselines plus the full (kind, cores) matrix
     specs = {}
     for name in benchmarks:
@@ -37,27 +42,34 @@ def run(scale: float = 1.0, core_counts: Sequence[int] = CORE_COUNTS,
             for n in core_counts:
                 specs[(name, kind, n)] = RunSpec.benchmark(
                     name, kind, n_cores=n, scale=scale)
-    runs = dict(zip(specs, run_specs(specs.values())))
-    out: Dict[Tuple[str, str], Dict[int, float]] = {}
+    runs = dict(zip(specs, run_specs(list(specs.values()))))
+    out: Dict = {}
+    skipped = []
     for name in benchmarks:
+        chunk = [runs[k] for k in specs if k[0] == name]
+        if any(r is None for r in chunk):
+            skipped.append(name)
+            continue
         base = runs[(name, "base")].makespan
         for kind, label in KINDS:
             out[(name, label)] = {
                 n: base / runs[(name, kind, n)].makespan for n in core_counts
             }
+    out["skipped"] = skipped
     return out
 
 
-def render(results: Dict[Tuple[str, str], Dict[int, float]]) -> str:
+def render(results: Dict) -> str:
     """Table IV layout: one row per (application, lock version)."""
-    core_counts = sorted(next(iter(results.values())).keys())
+    table = {k: v for k, v in results.items() if k != "skipped"}
+    core_counts = (sorted(next(iter(table.values())).keys()) if table else [])
     rows = []
-    for (name, label), speedups in results.items():
+    for (name, label), speedups in table.items():
         rows.append([name.upper(), label] + [speedups[n] for n in core_counts])
     return format_table(
         ["Benchmark", "Lock Version"] + [str(n) for n in core_counts], rows,
         title="Table IV: speedups for the real applications",
-    )
+    ) + skipped_note(results.get("skipped", ()))
 
 
 if __name__ == "__main__":

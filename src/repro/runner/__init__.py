@@ -32,17 +32,26 @@ from repro.faults.plan import FaultPlan
 from repro.runner.cache import CacheCorruption, ResultCache
 from repro.runner.engine import (BenchmarkRun, Engine, EngineStats,
                                  RunFailure, execute_spec)
+from repro.runner.outcome import (FAILURE_STATUSES, RunOutcome,
+                                  classify_failure, summarize_outcomes)
 from repro.runner.spec import MachineSpec, RunSpec, canonical_json
+from repro.runner.supervisor import (CampaignInterrupted, CampaignManifest,
+                                     CampaignResult, Supervisor)
 
 __all__ = [
-    "BenchmarkRun", "CacheCorruption", "Engine", "EngineStats",
-    "FaultPlan", "MachineSpec", "ResultCache", "RunFailure", "RunSpec",
-    "active_engine", "canonical_json", "execute_spec", "run_spec",
-    "run_specs", "set_active_engine", "use_engine",
+    "BenchmarkRun", "CacheCorruption", "CampaignInterrupted",
+    "CampaignManifest", "CampaignResult", "Engine", "EngineStats",
+    "FAILURE_STATUSES", "FaultPlan", "MachineSpec", "ResultCache",
+    "RunFailure", "RunOutcome", "RunSpec", "Supervisor", "active_engine",
+    "active_supervisor", "canonical_json", "classify_failure",
+    "execute_spec", "run_spec", "run_specs", "set_active_engine",
+    "set_active_supervisor", "summarize_outcomes", "use_engine",
+    "use_supervisor",
 ]
 
 _active: Optional[Engine] = None
 _default: Optional[Engine] = None
+_active_supervisor: Optional[Supervisor] = None
 
 
 def active_engine() -> Engine:
@@ -79,11 +88,47 @@ def use_engine(engine: Engine):
         _active = previous
 
 
+def active_supervisor() -> Optional[Supervisor]:
+    """The installed campaign supervisor, if any (``None`` = engine only)."""
+    return _active_supervisor
+
+
+def set_active_supervisor(supervisor: Optional[Supervisor]) -> None:
+    """Install ``supervisor`` process-wide (``None`` removes it)."""
+    global _active_supervisor
+    _active_supervisor = supervisor
+
+
+@contextmanager
+def use_supervisor(supervisor: Supervisor):
+    """Route :func:`run_specs` through a campaign supervisor.
+
+    While in effect, harness batches gain failure isolation and crash
+    recovery: under ``fail_policy="collect"`` a failed or quarantined
+    spec yields ``None`` in the returned list instead of raising, and
+    harnesses render the partial sweep.
+    """
+    global _active_supervisor
+    previous = _active_supervisor
+    _active_supervisor = supervisor
+    try:
+        yield supervisor
+    finally:
+        _active_supervisor = previous
+
+
 def run_spec(spec: RunSpec) -> BenchmarkRun:
     """Run one spec on the active engine."""
     return active_engine().run_spec(spec)
 
 
-def run_specs(specs: Iterable[RunSpec]) -> List[BenchmarkRun]:
-    """Run a batch on the active engine (order-preserving)."""
+def run_specs(specs: Iterable[RunSpec]) -> List[Optional[BenchmarkRun]]:
+    """Run a batch (order-preserving) on the active supervisor or engine.
+
+    With a supervisor installed (:func:`use_supervisor`) and
+    ``fail_policy="collect"``, entries for failed or quarantined specs
+    are ``None``; otherwise every entry is a :class:`BenchmarkRun`.
+    """
+    if _active_supervisor is not None:
+        return _active_supervisor.run_specs(specs)
     return active_engine().run_specs(specs)

@@ -89,6 +89,13 @@ class ResultCache:
             raise
         return path
 
+    def digests(self):
+        """Iterate the digests currently stored (campaign resume audits)."""
+        if not self.root.exists():
+            return
+        for entry in sorted(self.root.glob("*/*.pkl")):
+            yield entry.stem
+
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""
         n = 0

@@ -19,11 +19,18 @@ produce identical results and cached entries are safe to reuse.
 
 from __future__ import annotations
 
+import logging
+import signal as _signal
+import time
 import warnings
-from concurrent.futures import ProcessPoolExecutor
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+log = logging.getLogger("repro.runner")
 
 from repro.energy import EnergyAccount, account_run, ed2p
 from repro.machine import Machine, RunResult
@@ -69,6 +76,20 @@ class RunFailure(RuntimeError):
         super().__init__(f"run failed for {spec.describe()}: {cause!r}")
         self.spec = spec
         self.cause = cause
+
+
+def _pool_worker_init() -> None:
+    """Restore default SIGINT/SIGTERM dispositions in pool workers.
+
+    Workers fork from a process that may have the campaign supervisor's
+    checkpoint handlers installed; inheriting those would make a worker
+    swallow ``terminate()`` and survive :meth:`Engine._kill_workers`.
+    """
+    for signum in (_signal.SIGINT, _signal.SIGTERM):
+        try:
+            _signal.signal(signum, _signal.SIG_DFL)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
 
 
 def _build_workload(spec: RunSpec):
@@ -194,10 +215,14 @@ class Engine:
                         "see docs/running-experiments.md",
                         RuntimeWarning, stacklevel=3,
                     )
-                fresh = {digest: self._execute_with_retry(spec)
-                         for digest, spec in todo_specs.items()}
+                fresh = {}
+                for digest, spec in todo_specs.items():
+                    run = self._execute_with_retry(spec)
+                    # commit as results land, so an abort later in the
+                    # batch never discards finished (cacheable) work
+                    self._commit(digest, run)
+                    fresh[digest] = run
             for digest, run in fresh.items():
-                self._commit(digest, run)
                 for i in todo_slots[digest]:
                     out[i] = run
         return out  # type: ignore[return-value]
@@ -242,8 +267,9 @@ class Engine:
         self.stats.executed += 1
         self._memo[digest] = run
         if self.cache is not None:
-            spec_dict = run.spec.to_dict() if run.spec is not None else None
-            self.cache.store(digest, run, spec_dict)
+            spec = getattr(run, "spec", None)  # test stubs may lack it
+            self.cache.store(digest, run,
+                             spec.to_dict() if spec is not None else None)
 
     def _execute_with_retry(self, spec: RunSpec) -> BenchmarkRun:
         last: BaseException
@@ -259,39 +285,167 @@ class Engine:
 
     def _execute_parallel(
             self, todo: Dict[str, RunSpec]) -> Dict[str, BenchmarkRun]:
+        """Fan ``todo`` over a process pool; results commit as they land.
+
+        Collection is ``wait()``-driven, so finished futures are drained
+        the moment they complete — one slow or hung spec can no longer
+        head-of-line-block the other N-1 results.  Each (re)submission
+        gets its own wall-clock deadline measured from submission; a
+        resubmission therefore starts a *fresh* budget, which is logged
+        as a ``[retries]`` warning rather than happening silently.  A
+        worker death (``BrokenProcessPool``) costs every in-flight spec
+        one attempt (the killer cannot be attributed) and the pool is
+        rebuilt; the campaign supervisor layers smarter blame, backoff
+        and quarantine on top of this.
+        """
         out: Dict[str, BenchmarkRun] = {}
-        pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(todo)))
+        max_workers = min(self.jobs, len(todo))
+        pool = Engine._new_pool(max_workers)
+        queue = deque(todo)                       # digests awaiting submission
+        inflight: Dict[object, str] = {}          # future -> digest
+        deadlines: Dict[object, Optional[float]] = {}
+        attempts: Dict[str, int] = {digest: 0 for digest in todo}
+
+        def submit(digest: str) -> None:
+            future = pool.submit(self._execute_fn, todo[digest])
+            inflight[future] = digest
+            deadlines[future] = (time.monotonic() + self.timeout
+                                 if self.timeout is not None else None)
+
+        def retry_or_fail(digest: str, exc: BaseException) -> None:
+            attempts[digest] += 1
+            if attempts[digest] <= self.retries:
+                self.stats.retries += 1
+                log.warning(
+                    "[retries] resubmitting %s (%s) attempt %d/%d with a "
+                    "fresh %ss budget after %r", digest[:12],
+                    todo[digest].describe(), attempts[digest] + 1,
+                    self.retries + 1, self.timeout, exc)
+                queue.append(digest)
+            else:
+                self.stats.failures += 1
+                raise RunFailure(todo[digest], exc) from exc
+
         try:
-            futures = {digest: pool.submit(self._execute_fn, spec)
-                       for digest, spec in todo.items()}
-            for digest, spec in todo.items():
-                future = futures[digest]
-                attempts_left = self.retries
-                while True:
+            while queue or inflight:
+                while queue and len(inflight) < max_workers:
+                    digest = queue.popleft()
                     try:
-                        out[digest] = future.result(timeout=self.timeout)
-                        break
-                    except Exception as exc:
-                        timed_out = isinstance(exc, FuturesTimeout)
-                        if attempts_left > 0:
-                            attempts_left -= 1
-                            self.stats.retries += 1
-                            future = pool.submit(self._execute_fn, spec)
+                        submit(digest)
+                    except BrokenProcessPool as exc:
+                        # a worker died between waits; charge everything
+                        # that was riding the pool and rebuild it
+                        victims = [digest] + list(inflight.values())
+                        inflight.clear()
+                        deadlines.clear()
+                        self._kill_workers(pool)
+                        for victim in victims:
+                            retry_or_fail(victim, exc)
+                        pool = Engine._new_pool(max_workers)
+                if not inflight:
+                    continue
+                wait_for = None
+                if self.timeout is not None:
+                    now = time.monotonic()
+                    wait_for = max(0.0, min(deadlines[f] for f in inflight)
+                                   - now)
+                done, _ = wait(set(inflight), timeout=wait_for,
+                               return_when=FIRST_COMPLETED)
+                # successes first: a concurrent crash must not discard
+                # finished work
+                broken: Optional[BaseException] = None
+                for future in sorted(done,
+                                     key=lambda f: f.exception() is not None):
+                    digest = inflight.pop(future)
+                    deadlines.pop(future, None)
+                    exc = future.exception()
+                    if exc is None:
+                        run = future.result()
+                        self._commit(digest, run)
+                        out[digest] = run
+                    elif isinstance(exc, BrokenProcessPool):
+                        broken = exc
+                        retry_or_fail(digest, exc)
+                    else:
+                        retry_or_fail(digest, exc)
+                if broken is not None:
+                    # the pool is dead: every in-flight spec is lost with
+                    # it; charge each an attempt and rebuild
+                    victims = list(inflight.values())
+                    inflight.clear()
+                    deadlines.clear()
+                    self._kill_workers(pool)
+                    for digest in victims:
+                        retry_or_fail(digest, broken)
+                    pool = Engine._new_pool(max_workers)
+                    continue
+                if self.timeout is not None and inflight:
+                    now = time.monotonic()
+                    expired = [f for f in list(inflight)
+                               if deadlines[f] is not None
+                               and now >= deadlines[f]]
+                    stuck: List[str] = []
+                    for future in expired:
+                        if future.done():
+                            continue  # finished in the race; next wait()
+                        digest = inflight.pop(future)
+                        deadlines.pop(future, None)
+                        cause = FuturesTimeout(
+                            f"exceeded {self.timeout}s budget")
+                        if future.cancel():
+                            # never started: the worker is unharmed
+                            retry_or_fail(digest, cause)
                         else:
-                            self.stats.failures += 1
-                            if timed_out:
-                                self._kill_workers(pool)
-                            raise RunFailure(spec, exc) from exc
+                            stuck.append(digest)
+                            retry_or_fail(digest, cause)
+                    if stuck:
+                        # stuck workers hold the pool hostage: kill it and
+                        # resubmit the innocent in-flight specs (a rebuild
+                        # casualty, not a retry — fresh deadline, no charge)
+                        innocents = list(inflight.values())
+                        inflight.clear()
+                        deadlines.clear()
+                        self._kill_workers(pool)
+                        if innocents:
+                            log.info(
+                                "[engine] resubmitting %d in-flight specs "
+                                "after killing workers stuck on %s",
+                                len(innocents),
+                                ",".join(d[:12] for d in stuck))
+                        queue.extendleft(innocents)
+                        pool = Engine._new_pool(max_workers)
         finally:
-            pool.shutdown(wait=True, cancel_futures=True)
+            # terminate rather than join: a stuck or half-dead worker must
+            # never be able to hang shutdown
+            self._kill_workers(pool)
         return out
 
     @staticmethod
+    def _new_pool(max_workers: int) -> ProcessPoolExecutor:
+        """A pool whose workers restore default signal dispositions.
+
+        Workers are forked from the campaign process, so they inherit any
+        SIGINT/SIGTERM checkpoint handlers the supervisor installed —
+        which would shield a hung worker from ``terminate()``.  The
+        initializer puts the defaults back.
+        """
+        return ProcessPoolExecutor(max_workers=max_workers,
+                                   initializer=_pool_worker_init)
+
+    @staticmethod
     def _kill_workers(pool: ProcessPoolExecutor) -> None:
-        """Terminate stuck workers so shutdown() cannot hang on a timeout."""
-        pool.shutdown(wait=False, cancel_futures=True)
-        for proc in list(getattr(pool, "_processes", {}).values()):
+        """Kill stuck workers so shutdown() cannot hang on a timeout.
+
+        SIGKILL, not SIGTERM: a worker that inherited (or installed) a
+        termination handler must still die.  Workers are killed *before*
+        ``shutdown()``: the kill trips the executor's broken-pool
+        detection (worker sentinels), whose cleanup path reaps
+        everything.  Shutting down first parks the manager thread on a
+        result that will never arrive, deadlocking interpreter exit.
+        """
+        for proc in list((getattr(pool, "_processes", None) or {}).values()):
             try:
-                proc.terminate()
+                proc.kill()
             except Exception:
                 pass
+        pool.shutdown(wait=False, cancel_futures=True)

@@ -1,0 +1,755 @@
+"""Campaign supervisor: failure isolation, crash recovery, resume.
+
+The :class:`~repro.runner.engine.Engine` is deliberately fail-fast: a
+spec that exhausts its retry budget raises
+:class:`~repro.runner.engine.RunFailure` and the batch dies.  That is
+the right default for unit tests, but a figure-suite campaign of
+hundreds of simulator runs must survive a single bad spec, a worker
+killed by the OS, or a Ctrl-C half-way through.  The
+:class:`Supervisor` wraps an engine with exactly that survivability:
+
+- **failure isolation** — ``fail_policy="collect"`` resolves *every*
+  spec to a :class:`~repro.runner.outcome.RunOutcome` (ok / timeout /
+  crash / deadlock / sanitizer / error / quarantined) instead of
+  aborting on the first failure; ``"abort"`` reproduces the engine's
+  classic die-on-first-failure contract.
+- **crash recovery** — a dead process pool (``BrokenProcessPool``) is
+  rebuilt and its in-flight specs are resubmitted, after an exponential
+  backoff with seeded jitter.  Repeated consecutive pool deaths shed
+  concurrency (the admission *window* halves, never below 1) in the
+  spirit of Dice & Kogan's *Avoiding Scalability Collapse by Restricting
+  Concurrency*; a sustained healthy streak restores it.
+- **poison quarantine** — specs that were in flight when a pool died are
+  re-run one at a time in an isolation pool, where blame is unambiguous.
+  A spec that kills its (solo) worker ``quarantine_threshold`` times is
+  parked: its outcome becomes ``quarantined``, it is recorded in the
+  manifest and the quarantine file with its digest and last failure, and
+  it is never resubmitted for the rest of the campaign (including
+  resumed passes).
+- **checkpoint / resume** — when given a ``manifest_path`` the
+  supervisor writes an atomically-replaced JSON manifest (pending /
+  done / failed / quarantined digests + engine stats) every time a
+  result lands.  Results themselves land in the engine's disk cache the
+  moment they complete, so ``--resume <manifest>`` re-executes only the
+  specs that were not yet done.  SIGINT/SIGTERM flush the manifest and
+  raise :class:`CampaignInterrupted` instead of tearing the process
+  down mid-write.
+
+The supervisor reaches into the engine's internal ``_lookup`` /
+``_commit`` / ``_execute_fn`` on purpose: they are the engine's caching
+contract, and the two classes live in the same package and release
+train.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import random
+import signal
+import tempfile
+import threading
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.runner.engine import BenchmarkRun, Engine, RunFailure
+from repro.runner.outcome import (OK, QUARANTINED, RunOutcome,
+                                  classify_failure, summarize_outcomes)
+from repro.runner.spec import RunSpec
+
+__all__ = ["CampaignInterrupted", "CampaignManifest", "CampaignResult",
+           "Supervisor", "MANIFEST_VERSION"]
+
+log = logging.getLogger("repro.runner")
+
+#: bump when the manifest JSON layout changes
+MANIFEST_VERSION = 1
+
+#: how often the execution loops poll for signals/deadlines (seconds)
+_POLL_INTERVAL = 0.1
+
+
+class CampaignInterrupted(RuntimeError):
+    """A signal stopped the campaign after a clean checkpoint flush."""
+
+    def __init__(self, signum: int, manifest_path: Optional[str]) -> None:
+        try:
+            name = signal.Signals(signum).name
+        except ValueError:  # pragma: no cover - exotic signal numbers
+            name = str(signum)
+        where = manifest_path or "no manifest configured"
+        super().__init__(f"campaign interrupted by {name} "
+                         f"(checkpoint: {where})")
+        self.signum = signum
+        self.manifest_path = manifest_path
+
+
+class CampaignManifest:
+    """Atomic JSON checkpoint of a campaign's progress.
+
+    Layout (``version`` = :data:`MANIFEST_VERSION`)::
+
+        {"version": 1,
+         "campaign":    {...engine/supervisor configuration...},
+         "specs":       {digest: human-readable label},
+         "pending":     [digest, ...],
+         "done":        [digest, ...],
+         "failed":      {digest: {status, error, attempts, spec}},
+         "quarantined": {digest: {kills, error, spec}},
+         "stats":       {...engine + supervisor counters...}}
+
+    Every :meth:`flush` writes a temp file and ``os.replace``\\ s it, so
+    a campaign killed mid-checkpoint never leaves a torn manifest.
+    """
+
+    def __init__(self, path: os.PathLike,
+                 data: Optional[Dict] = None) -> None:
+        self.path = Path(path)
+        self.data: Dict = data if data is not None else {
+            "version": MANIFEST_VERSION,
+            "campaign": {},
+            "specs": {},
+            "pending": [],
+            "done": [],
+            "failed": {},
+            "quarantined": {},
+            "stats": {},
+        }
+
+    @classmethod
+    def load(cls, path: os.PathLike) -> "CampaignManifest":
+        with open(path) as fh:
+            data = json.load(fh)
+        if data.get("version") != MANIFEST_VERSION:
+            raise ValueError(f"unsupported campaign manifest version "
+                             f"{data.get('version')!r} in {path}")
+        return cls(path, data)
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping
+    # ------------------------------------------------------------------ #
+    def note_spec(self, digest: str, label: str) -> None:
+        self.data["specs"][digest] = label
+
+    def mark_pending(self, digest: str) -> None:
+        if (digest not in self.data["pending"]
+                and digest not in self.data["done"]):
+            self.data["pending"].append(digest)
+
+    def _unpend(self, digest: str) -> None:
+        if digest in self.data["pending"]:
+            self.data["pending"].remove(digest)
+
+    def mark_done(self, digest: str) -> None:
+        self._unpend(digest)
+        self.data["failed"].pop(digest, None)
+        if digest not in self.data["done"]:
+            self.data["done"].append(digest)
+
+    def mark_failed(self, digest: str, status: str, error: str,
+                    attempts: int, spec_dict: Optional[Dict]) -> None:
+        self._unpend(digest)
+        self.data["failed"][digest] = {"status": status, "error": error,
+                                       "attempts": attempts,
+                                       "spec": spec_dict}
+
+    def mark_quarantined(self, digest: str, kills: int, error: str,
+                         spec_dict: Optional[Dict]) -> None:
+        self._unpend(digest)
+        self.data["quarantined"][digest] = {"kills": kills, "error": error,
+                                            "spec": spec_dict}
+
+    @property
+    def done(self) -> List[str]:
+        return list(self.data["done"])
+
+    @property
+    def quarantined(self) -> Dict[str, Dict]:
+        return dict(self.data["quarantined"])
+
+    def flush(self) -> None:
+        """Atomically persist the manifest (temp file + ``os.replace``)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(self.path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(self.data, fh, indent=1, sort_keys=True)
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+
+@dataclass
+class CampaignResult:
+    """Per-spec outcomes of one :meth:`Supervisor.run_campaign` call."""
+
+    outcomes: List[RunOutcome]
+
+    @property
+    def ok(self) -> List[RunOutcome]:
+        return [o for o in self.outcomes if o.ok]
+
+    @property
+    def failed(self) -> List[RunOutcome]:
+        return [o for o in self.outcomes
+                if not o.ok and o.status != QUARANTINED]
+
+    @property
+    def quarantined(self) -> List[RunOutcome]:
+        return [o for o in self.outcomes if o.status == QUARANTINED]
+
+    def runs(self) -> List[Optional[BenchmarkRun]]:
+        """Results aligned to the submitted specs (None where not ok)."""
+        return [o.run if o.ok else None for o in self.outcomes]
+
+
+@dataclass
+class _SpecState:
+    """Mutable per-digest campaign bookkeeping."""
+
+    spec: RunSpec
+    attempts: int = 0      # failed execution attempts (retry budget)
+    kills: int = 0         # unambiguous worker kills
+    last_error: Optional[BaseException] = None
+
+
+class Supervisor:
+    """Failure-isolating, crash-recovering campaign executor.
+
+    Args:
+        engine: the configured :class:`Engine` whose caches, timeout,
+            retry budget and ``jobs`` the campaign uses.  Unlike the
+            bare engine, the supervisor *always* executes on a process
+            pool (``jobs=1`` becomes a one-worker pool) so crashes and
+            hangs stay isolated from the campaign process.
+        fail_policy: ``"collect"`` (default) records failures as
+            outcomes and keeps going; ``"abort"`` raises
+            :class:`RunFailure` on the first exhausted spec.
+        quarantine_threshold: unambiguous worker kills after which a
+            spec is quarantined (>= 1).
+        backoff_base / backoff_cap / backoff_jitter / seed: the pool
+            rebuild delay is ``min(cap, base * 2**(deaths-1))`` scaled
+            by ``1 + jitter * U(0, 1)`` from a :class:`random.Random`
+            seeded with ``seed`` — deterministic for tests.
+        halve_after: consecutive pool deaths before the admission
+            window halves (concurrency shedding).
+        heal_after: consecutive clean landings before the window doubles
+            back toward ``engine.jobs``.
+        manifest_path: where to checkpoint campaign progress (JSON);
+            ``None`` disables checkpointing.
+        resume_from: path of a previous campaign's manifest; its
+            quarantined specs are skipped and its results are served
+            from the engine's disk cache.  Defaults ``manifest_path`` to
+            the same file so the resumed pass keeps checkpointing.
+        quarantine_path: where quarantined specs are parked (defaults to
+            ``<manifest_path>.quarantine.json`` when a manifest is set).
+        sleep_fn: injected for tests (receives the backoff seconds).
+        on_checkpoint: optional callable invoked with the supervisor
+            after every landed result (progress hooks, tests).
+        install_signal_handlers: install SIGINT/SIGTERM checkpoint
+            handlers for the duration of each campaign (main thread
+            only; no-op elsewhere).
+    """
+
+    def __init__(self, engine: Engine, *, fail_policy: str = "collect",
+                 quarantine_threshold: int = 2,
+                 backoff_base: float = 0.25, backoff_cap: float = 8.0,
+                 backoff_jitter: float = 0.5, seed: int = 0,
+                 halve_after: int = 2, heal_after: int = 8,
+                 manifest_path: Optional[os.PathLike] = None,
+                 resume_from: Optional[os.PathLike] = None,
+                 quarantine_path: Optional[os.PathLike] = None,
+                 sleep_fn: Callable[[float], None] = time.sleep,
+                 on_checkpoint: Optional[Callable[["Supervisor"], None]] = None,
+                 install_signal_handlers: bool = True) -> None:
+        if fail_policy not in ("abort", "collect"):
+            raise ValueError(f"unknown fail_policy {fail_policy!r}")
+        if quarantine_threshold < 1:
+            raise ValueError("quarantine_threshold must be >= 1")
+        self.engine = engine
+        self.fail_policy = fail_policy
+        self.quarantine_threshold = quarantine_threshold
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.backoff_jitter = backoff_jitter
+        self.halve_after = max(1, halve_after)
+        self.heal_after = max(1, heal_after)
+        self.sleep_fn = sleep_fn
+        self.on_checkpoint = on_checkpoint
+        self.install_signal_handlers = install_signal_handlers
+        self._rng = random.Random(seed)
+
+        # resume state --------------------------------------------------
+        self._resume_quarantined: Dict[str, Dict] = {}
+        if resume_from is not None:
+            loaded = CampaignManifest.load(resume_from)
+            self._resume_quarantined = loaded.quarantined
+            if manifest_path is None or Path(manifest_path) == loaded.path:
+                manifest_path, self.manifest = loaded.path, loaded
+            else:
+                self.manifest = CampaignManifest(manifest_path)
+        else:
+            self.manifest = (CampaignManifest(manifest_path)
+                             if manifest_path is not None else None)
+        if quarantine_path is None and manifest_path is not None:
+            quarantine_path = str(manifest_path) + ".quarantine.json"
+        self.quarantine_path = quarantine_path
+
+        # adaptive admission + health telemetry -------------------------
+        self.window = max(1, engine.jobs)       # current admission window
+        self.min_window = self.window           # lowest the campaign sank
+        self.pool_deaths = 0                    # workers lost to crashes
+        self.timeout_kills = 0                  # pools killed for hangs
+        self.rebuilds = 0
+        self.backoff_log: List[float] = []      # slept delays, in order
+        self._consecutive_deaths = 0
+        self._clean_streak = 0
+
+        #: every outcome across this supervisor's campaigns, in order
+        self.outcomes: List[RunOutcome] = []
+        self._interrupt: Optional[int] = None
+        self._old_handlers: Dict[int, object] = {}
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def run_specs(self, specs: Iterable[RunSpec]
+                  ) -> List[Optional[BenchmarkRun]]:
+        """Engine-compatible batch API: results aligned to ``specs``.
+
+        Under ``fail_policy="collect"`` failed/quarantined specs yield
+        ``None`` (harnesses skip them); under ``"abort"`` the first
+        exhausted spec raises :class:`RunFailure`, like the engine.
+        """
+        return self.run_campaign(specs).runs()
+
+    def run_campaign(self, specs: Iterable[RunSpec]) -> CampaignResult:
+        """Run a batch to completion, whatever happens to the workers."""
+        specs = list(specs)
+        self._install_handlers()
+        try:
+            by_digest: Dict[str, RunOutcome] = {}
+            order: List[str] = []
+            todo: Dict[str, RunSpec] = {}
+            for spec in specs:
+                digest = spec.digest()
+                order.append(digest)
+                self.engine.stats.scheduled += 1
+                if digest in by_digest or digest in todo:
+                    continue
+                if digest in self._resume_quarantined:
+                    info = self._resume_quarantined[digest]
+                    by_digest[digest] = RunOutcome(
+                        spec, digest, QUARANTINED,
+                        error=info.get("error"), kills=info.get("kills", 0))
+                    continue
+                run = self.engine._lookup(digest)
+                if run is not None:
+                    by_digest[digest] = RunOutcome(spec, digest, OK, run=run)
+                    if self.manifest is not None:
+                        self.manifest.note_spec(digest, spec.describe())
+                        self.manifest.mark_done(digest)
+                    continue
+                todo[digest] = spec
+            if self.manifest is not None:
+                for digest, spec in todo.items():
+                    self.manifest.note_spec(digest, spec.describe())
+                    self.manifest.mark_pending(digest)
+                self._flush_manifest()
+            if todo:
+                state = {digest: _SpecState(spec)
+                         for digest, spec in todo.items()}
+                suspects = self._herd_phase(todo, state, by_digest)
+                self._suspect_phase(todo, state, suspects, by_digest)
+            self._flush_manifest()
+            outcomes = [by_digest[digest] for digest in order]
+            self.outcomes.extend(outcomes)
+            return CampaignResult(outcomes=outcomes)
+        finally:
+            self._restore_handlers()
+
+    def summary(self) -> str:
+        """One grep-friendly line mirroring ``Engine.summary()``."""
+        counts = summarize_outcomes(self.outcomes)
+        failed = sum(n for status, n in counts.items()
+                     if status not in (OK, QUARANTINED))
+        return (f"[campaign] ok={counts.get(OK, 0)} failed={failed} "
+                f"quarantined={counts.get(QUARANTINED, 0)} "
+                f"pool_deaths={self.pool_deaths} "
+                f"timeout_kills={self.timeout_kills} "
+                f"rebuilds={self.rebuilds} "
+                f"window={self.window}/{max(1, self.engine.jobs)} "
+                f"backoffs={len(self.backoff_log)} "
+                f"policy={self.fail_policy}")
+
+    # ------------------------------------------------------------------ #
+    # herd phase: everything rides the shared pool
+    # ------------------------------------------------------------------ #
+    def _herd_phase(self, todo: Dict[str, RunSpec],
+                    state: Dict[str, _SpecState],
+                    by_digest: Dict[str, RunOutcome]) -> List[str]:
+        """Run ``todo`` over the shared pool; returns pool-death suspects.
+
+        Suspects — the specs that were in flight whenever the pool died
+        — are *not* retried here, because blame is ambiguous in a shared
+        pool; they graduate to :meth:`_suspect_phase` isolation instead.
+        """
+        max_workers = min(max(1, self.engine.jobs), len(todo))
+        timeout = self.engine.timeout
+        pool = Engine._new_pool(max_workers)
+        queue = deque(todo)
+        inflight: Dict[object, str] = {}
+        deadlines: Dict[object, Optional[float]] = {}
+        suspects: List[str] = []
+
+        def to_suspects(victims: List[str],
+                        cause: BaseException) -> None:
+            for digest in victims:
+                st = state[digest]
+                st.last_error = cause
+                if len(victims) == 1:
+                    st.kills += 1  # sole occupant: blame is unambiguous
+                if digest not in suspects:
+                    suspects.append(digest)
+
+        try:
+            while queue or inflight:
+                self._check_interrupt(pool)
+                window = min(self.window, max_workers)
+                try:
+                    while queue and len(inflight) < window:
+                        digest = queue.popleft()
+                        future = pool.submit(self.engine._execute_fn,
+                                             todo[digest])
+                        inflight[future] = digest
+                        deadlines[future] = (
+                            time.monotonic() + timeout
+                            if timeout is not None else None)
+                except BrokenProcessPool as exc:
+                    victims = [digest] + list(inflight.values())
+                    inflight.clear()
+                    deadlines.clear()
+                    to_suspects(victims, exc)
+                    pool = self._rebuild_pool(pool, max_workers)
+                    continue
+                if not inflight:
+                    continue
+                wait_for = _POLL_INTERVAL
+                if timeout is not None:
+                    now = time.monotonic()
+                    wait_for = min(wait_for,
+                                   max(0.0, min(deadlines[f]
+                                                for f in inflight) - now))
+                done, _ = wait(set(inflight), timeout=wait_for,
+                               return_when=FIRST_COMPLETED)
+                broken: Optional[BaseException] = None
+                for future in sorted(done,
+                                     key=lambda f: f.exception() is not None):
+                    digest = inflight.pop(future)
+                    deadlines.pop(future, None)
+                    exc = future.exception()
+                    if exc is None:
+                        self._land(digest, future.result(), state, by_digest)
+                    elif isinstance(exc, BrokenProcessPool):
+                        broken = exc
+                        to_suspects([digest] + list(inflight.values()), exc)
+                        inflight.clear()
+                        deadlines.clear()
+                        break
+                    else:
+                        self._ordinary_failure(digest, exc, state, by_digest,
+                                               requeue=queue)
+                if broken is not None:
+                    pool = self._rebuild_pool(pool, max_workers)
+                    continue
+                if timeout is not None and inflight:
+                    pool = self._enforce_deadlines(
+                        pool, max_workers, queue, inflight, deadlines,
+                        state, by_digest)
+        finally:
+            Engine._kill_workers(pool)
+        return suspects
+
+    def _enforce_deadlines(self, pool, max_workers, queue, inflight,
+                           deadlines, state, by_digest):
+        """Expire over-deadline futures; kill the pool if one is stuck."""
+        now = time.monotonic()
+        expired = [f for f in list(inflight)
+                   if deadlines[f] is not None and now >= deadlines[f]]
+        stuck = False
+        for future in expired:
+            if future.done():
+                continue  # finished in the race; collected next wait()
+            digest = inflight.pop(future)
+            deadlines.pop(future, None)
+            cause = FuturesTimeout(
+                f"exceeded {self.engine.timeout}s budget")
+            if not future.cancel():
+                stuck = True
+            self._ordinary_failure(digest, cause, state, by_digest,
+                                   requeue=queue)
+        if stuck:
+            # a hung worker poisons the whole pool: kill it, requeue the
+            # innocent in-flight specs (no attempt charged), and rebuild
+            self.timeout_kills += 1
+            innocents = list(inflight.values())
+            inflight.clear()
+            deadlines.clear()
+            Engine._kill_workers(pool)
+            queue.extendleft(innocents)
+            self.rebuilds += 1
+            pool = Engine._new_pool(max_workers)
+        return pool
+
+    # ------------------------------------------------------------------ #
+    # suspect phase: one spec at a time, blame is unambiguous
+    # ------------------------------------------------------------------ #
+    def _suspect_phase(self, todo: Dict[str, RunSpec],
+                       state: Dict[str, _SpecState], suspects: List[str],
+                       by_digest: Dict[str, RunOutcome]) -> None:
+        for digest in suspects:
+            if digest in by_digest:
+                continue
+            spec, st = todo[digest], state[digest]
+            while digest not in by_digest:
+                self._check_interrupt(None)
+                pool = Engine._new_pool(1)
+                future = pool.submit(self.engine._execute_fn, spec)
+                try:
+                    run = self._solo_result(future, pool)
+                except BrokenProcessPool as exc:
+                    st.kills += 1
+                    st.last_error = exc
+                    self.pool_deaths += 1
+                    self._consecutive_deaths += 1
+                    self._clean_streak = 0
+                    log.warning("[campaign] %s killed its isolated worker "
+                                "(%d/%d)", digest[:12], st.kills,
+                                self.quarantine_threshold)
+                    if st.kills >= self.quarantine_threshold:
+                        self._quarantine(digest, st, by_digest)
+                    else:
+                        self._backoff()
+                except FuturesTimeout as exc:
+                    self.timeout_kills += 1
+                    self._ordinary_failure(digest, exc, state, by_digest)
+                except Exception as exc:
+                    self._ordinary_failure(digest, exc, state, by_digest)
+                else:
+                    self._land(digest, run, state, by_digest)
+                finally:
+                    Engine._kill_workers(pool)
+
+    def _solo_result(self, future, pool):
+        """Wait for an isolated run, honouring signals and the timeout."""
+        deadline = (time.monotonic() + self.engine.timeout
+                    if self.engine.timeout is not None else None)
+        while True:
+            self._check_interrupt(pool)
+            try:
+                return future.result(timeout=_POLL_INTERVAL)
+            except FuturesTimeout:
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise FuturesTimeout(
+                        f"exceeded {self.engine.timeout}s budget") from None
+
+    # ------------------------------------------------------------------ #
+    # shared bookkeeping
+    # ------------------------------------------------------------------ #
+    def _land(self, digest: str, run: BenchmarkRun,
+              state: Dict[str, _SpecState],
+              by_digest: Dict[str, RunOutcome]) -> None:
+        """A result arrived: commit, checkpoint, heal the window."""
+        self.engine._commit(digest, run)
+        st = state[digest]
+        by_digest[digest] = RunOutcome(st.spec, digest, OK, run=run,
+                                       attempts=st.attempts + 1,
+                                       kills=st.kills)
+        self._consecutive_deaths = 0
+        self._clean_streak += 1
+        ceiling = max(1, self.engine.jobs)
+        if self._clean_streak >= self.heal_after and self.window < ceiling:
+            self.window = min(ceiling, self.window * 2)
+            self._clean_streak = 0
+            log.info("[campaign] sustained health: admission window "
+                     "restored to %d", self.window)
+        if self.manifest is not None:
+            self.manifest.mark_done(digest)
+            self._flush_manifest()
+        if self.on_checkpoint is not None:
+            self.on_checkpoint(self)
+
+    def _ordinary_failure(self, digest: str, exc: BaseException,
+                          state: Dict[str, _SpecState],
+                          by_digest: Dict[str, RunOutcome],
+                          requeue: Optional[deque] = None) -> None:
+        """Charge one attempt; requeue while budget remains, else settle."""
+        st = state[digest]
+        st.attempts += 1
+        st.last_error = exc
+        if st.attempts <= self.engine.retries:
+            self.engine.stats.retries += 1
+            log.warning("[retries] resubmitting %s (%s) attempt %d/%d with "
+                        "a fresh %ss budget after %r", digest[:12],
+                        st.spec.describe(), st.attempts + 1,
+                        self.engine.retries + 1, self.engine.timeout, exc)
+            if requeue is not None:
+                requeue.append(digest)
+            return
+        self.engine.stats.failures += 1
+        status = classify_failure(exc)
+        if self.fail_policy == "abort":
+            self._flush_manifest()
+            raise RunFailure(st.spec, exc) from exc
+        by_digest[digest] = RunOutcome(st.spec, digest, status,
+                                       error=repr(exc), attempts=st.attempts,
+                                       kills=st.kills)
+        log.warning("[campaign] %s", by_digest[digest].describe())
+        if self.manifest is not None:
+            self.manifest.mark_failed(digest, status, repr(exc), st.attempts,
+                                      st.spec.to_dict())
+            self._flush_manifest()
+
+    def _quarantine(self, digest: str, st: _SpecState,
+                    by_digest: Dict[str, RunOutcome]) -> None:
+        self.engine.stats.failures += 1
+        if self.fail_policy == "abort":
+            self._flush_manifest()
+            raise RunFailure(st.spec, st.last_error)
+        by_digest[digest] = RunOutcome(st.spec, digest, QUARANTINED,
+                                       error=repr(st.last_error),
+                                       attempts=st.attempts, kills=st.kills)
+        log.error("[quarantine] %s parked after %d worker kills: %r",
+                  digest[:12], st.kills, st.last_error)
+        if self.manifest is not None:
+            self.manifest.mark_quarantined(digest, st.kills,
+                                           repr(st.last_error),
+                                           st.spec.to_dict())
+            self._flush_manifest()
+        self._append_quarantine_file(digest, st)
+
+    def _append_quarantine_file(self, digest: str, st: _SpecState) -> None:
+        if self.quarantine_path is None:
+            return
+        path = Path(self.quarantine_path)
+        entries: List[Dict] = []
+        if path.exists():
+            try:
+                with open(path) as fh:
+                    entries = json.load(fh)
+            except (OSError, ValueError):
+                entries = []
+        entries = [e for e in entries if e.get("digest") != digest]
+        entries.append({"digest": digest, "spec": st.spec.to_dict(),
+                        "kills": st.kills,
+                        "last_failure": repr(st.last_error)})
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(entries, fh, indent=1)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------ #
+    # pool health: backoff, shedding, rebuild
+    # ------------------------------------------------------------------ #
+    def _rebuild_pool(self, dead_pool, max_workers: int):
+        """Backoff (exponential + jitter), shed concurrency, fresh pool."""
+        Engine._kill_workers(dead_pool)
+        self.pool_deaths += 1
+        self._consecutive_deaths += 1
+        self._clean_streak = 0
+        if self._consecutive_deaths >= self.halve_after and self.window > 1:
+            self.window = max(1, self.window // 2)
+            self.min_window = min(self.min_window, self.window)
+            log.warning("[campaign] %d consecutive pool deaths: admission "
+                        "window halved to %d", self._consecutive_deaths,
+                        self.window)
+        self._backoff()
+        self.rebuilds += 1
+        return Engine._new_pool(max_workers)
+
+    def _backoff(self) -> None:
+        exponent = min(max(0, self._consecutive_deaths - 1), 16)
+        delay = min(self.backoff_cap, self.backoff_base * (2 ** exponent))
+        delay *= 1.0 + self.backoff_jitter * self._rng.random()
+        self.backoff_log.append(delay)
+        self.sleep_fn(delay)
+
+    # ------------------------------------------------------------------ #
+    # checkpointing and signals
+    # ------------------------------------------------------------------ #
+    def _flush_manifest(self) -> None:
+        if self.manifest is None:
+            return
+        cache = self.engine.cache
+        self.manifest.data["campaign"] = {
+            "jobs": self.engine.jobs,
+            "fail_policy": self.fail_policy,
+            "timeout": self.engine.timeout,
+            "retries": self.engine.retries,
+            "quarantine_threshold": self.quarantine_threshold,
+            "cache_dir": str(cache.root) if cache is not None else None,
+        }
+        self.manifest.data["stats"] = {
+            **asdict(self.engine.stats),
+            "pool_deaths": self.pool_deaths,
+            "timeout_kills": self.timeout_kills,
+            "rebuilds": self.rebuilds,
+            "window": self.window,
+            "min_window": self.min_window,
+            "backoffs": len(self.backoff_log),
+        }
+        self.manifest.flush()
+
+    def _on_signal(self, signum, frame) -> None:
+        self._interrupt = signum
+
+    def _check_interrupt(self, pool) -> None:
+        """Raise :class:`CampaignInterrupted` after a checkpoint flush."""
+        if self._interrupt is None:
+            return
+        signum, self._interrupt = self._interrupt, None
+        self._flush_manifest()
+        if pool is not None:
+            Engine._kill_workers(pool)
+        raise CampaignInterrupted(
+            signum, str(self.manifest.path) if self.manifest else None)
+
+    def _install_handlers(self) -> None:
+        self._old_handlers = {}
+        if not self.install_signal_handlers:
+            return
+        if threading.current_thread() is not threading.main_thread():
+            return
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                self._old_handlers[signum] = signal.signal(signum,
+                                                           self._on_signal)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+
+    def _restore_handlers(self) -> None:
+        for signum, handler in self._old_handlers.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+        self._old_handlers = {}

@@ -355,3 +355,77 @@ def test_cli_cache_dir_env_var(capsys, tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_SIM_CACHE_DIR", str(tmp_path / "env-cache"))
     assert main(["shootout", "--cores", "4", "--iters", "16"]) == 0
     assert (tmp_path / "env-cache").exists()
+
+
+# --------------------------------------------------------------------- #
+# cache: concurrent writers
+# --------------------------------------------------------------------- #
+def _hammer_store(args):
+    """Pool worker: repeatedly store the same digest (atomicity probe)."""
+    root, digest, payload, iterations = args
+    cache = ResultCache(root)
+    for _ in range(iterations):
+        cache.store(digest, payload, spec_dict={"w": "contender"})
+    return True
+
+
+def test_cache_store_same_digest_concurrent_writers(tmp_path):
+    """Atomic rename: racing writers never expose a torn entry."""
+    from concurrent.futures import ProcessPoolExecutor
+
+    digest = small_spec().digest()
+    payload = {"makespan": 123, "blob": list(range(256))}
+    cache = ResultCache(tmp_path)
+    args = (str(tmp_path), digest, payload, 25)
+    with ProcessPoolExecutor(max_workers=4) as pool:
+        futures = [pool.submit(_hammer_store, args) for _ in range(4)]
+        # interleave reads while the writers are hammering: every load
+        # must be a complete entry or a miss, never CacheCorruption
+        for _ in range(50):
+            loaded = cache.load(digest)
+            assert loaded is None or loaded == payload
+        assert all(f.result() for f in futures)
+    assert cache.load(digest) == payload
+    assert len(cache) == 1
+    assert not list(tmp_path.glob("**/*.tmp"))  # no litter left behind
+
+
+# --------------------------------------------------------------------- #
+# engine: timeout path and worker teardown
+# --------------------------------------------------------------------- #
+def _sleepy_execute(spec):
+    """Pool worker: hangs when the spec says so, else returns quickly."""
+    import time as _time
+
+    params = dict(spec.workload_params)
+    if params.get("hang"):
+        _time.sleep(120)
+    return f"done:{params['idx']}"
+
+
+def test_timeout_kills_hung_worker_and_keeps_finished_results(tmp_path):
+    """A hanging execute_fn is terminated: the batch fails promptly,
+    the pool is torn down, and already-finished specs stay cached."""
+    import time as _time
+
+    def sleepy_spec(idx, hang=False):
+        params = {"idx": idx}
+        if hang:
+            params["hang"] = 1
+        return RunSpec(workload="synth", workload_params=params)
+
+    specs = [sleepy_spec(0, hang=True), sleepy_spec(1), sleepy_spec(2)]
+    engine = Engine(jobs=2, timeout=1.5, retries=0,
+                    execute_fn=_sleepy_execute, cache_dir=str(tmp_path))
+    start = _time.monotonic()
+    with pytest.raises(RunFailure) as excinfo:
+        engine.run_specs(specs)
+    elapsed = _time.monotonic() - start
+    assert elapsed < 30  # _kill_workers reaped the sleeper; no 120s hang
+    assert engine.stats.failures == 1
+    assert excinfo.value.spec == specs[0]
+    # commit-as-you-land: the fast specs survived the batch abort
+    cached = set(ResultCache(tmp_path).digests())
+    assert specs[1].digest() in cached
+    assert specs[2].digest() in cached
+    assert specs[0].digest() not in cached
