@@ -263,8 +263,12 @@ def _cmd_experiment(args) -> int:
         # a resumed campaign defaults to the cache its manifest recorded,
         # so "done" specs are found instead of re-simulated
         from repro.runner import CampaignManifest
-        fallback_cache_dir = (CampaignManifest.load(args.resume)
-                              .data.get("campaign", {}).get("cache_dir"))
+        try:
+            fallback_cache_dir = (CampaignManifest.load(args.resume)
+                                  .data.get("campaign", {}).get("cache_dir"))
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot resume from {args.resume}: {exc}")
+            return 2
     engine = _engine_from_args(args, fallback_cache_dir)
     try:
         if supervised:

@@ -312,6 +312,10 @@ class Engine:
             deadlines[future] = (time.monotonic() + self.timeout
                                  if self.timeout is not None else None)
 
+        def land(digest: str, run: BenchmarkRun) -> None:
+            self._commit(digest, run)
+            out[digest] = run
+
         def retry_or_fail(digest: str, exc: BaseException) -> None:
             attempts[digest] += 1
             if attempts[digest] <= self.retries:
@@ -333,11 +337,11 @@ class Engine:
                     try:
                         submit(digest)
                     except BrokenProcessPool as exc:
-                        # a worker died between waits; charge everything
-                        # that was riding the pool and rebuild it
-                        victims = [digest] + list(inflight.values())
-                        inflight.clear()
-                        deadlines.clear()
+                        # a worker died between waits; siblings that had
+                        # already finished keep their results, the rest
+                        # are charged and the pool is rebuilt
+                        victims = [digest] + Engine._drain_finished(
+                            inflight, deadlines, land)
                         self._kill_workers(pool)
                         for victim in victims:
                             retry_or_fail(victim, exc)
@@ -360,20 +364,18 @@ class Engine:
                     deadlines.pop(future, None)
                     exc = future.exception()
                     if exc is None:
-                        run = future.result()
-                        self._commit(digest, run)
-                        out[digest] = run
+                        land(digest, future.result())
                     elif isinstance(exc, BrokenProcessPool):
                         broken = exc
                         retry_or_fail(digest, exc)
                     else:
                         retry_or_fail(digest, exc)
                 if broken is not None:
-                    # the pool is dead: every in-flight spec is lost with
-                    # it; charge each an attempt and rebuild
-                    victims = list(inflight.values())
-                    inflight.clear()
-                    deadlines.clear()
+                    # the pool is dead: in-flight specs that had not yet
+                    # finished are lost with it; charge each an attempt
+                    # and rebuild (finished ones keep their results)
+                    victims = Engine._drain_finished(inflight, deadlines,
+                                                     land)
                     self._kill_workers(pool)
                     for digest in victims:
                         retry_or_fail(digest, broken)
@@ -388,14 +390,20 @@ class Engine:
                     for future in expired:
                         if future.done():
                             continue  # finished in the race; next wait()
-                        digest = inflight.pop(future)
-                        deadlines.pop(future, None)
                         cause = FuturesTimeout(
                             f"exceeded {self.timeout}s budget")
                         if future.cancel():
                             # never started: the worker is unharmed
+                            digest = inflight.pop(future)
+                            deadlines.pop(future, None)
                             retry_or_fail(digest, cause)
+                        elif future.done():
+                            # completed between the done() check and
+                            # cancel(); leave it for the next wait()
+                            continue
                         else:
+                            digest = inflight.pop(future)
+                            deadlines.pop(future, None)
                             stuck.append(digest)
                             retry_or_fail(digest, cause)
                     if stuck:
@@ -419,6 +427,29 @@ class Engine:
             # never be able to hang shutdown
             self._kill_workers(pool)
         return out
+
+    @staticmethod
+    def _drain_finished(inflight: Dict[object, str],
+                        deadlines: Dict[object, Optional[float]],
+                        land: Callable[[str, object], None]) -> List[str]:
+        """Split in-flight futures after a pool death: finished work lands.
+
+        A ``BrokenProcessPool`` poisons every *pending* future, but
+        futures that already completed successfully still hold their
+        results — discarding them would charge (and possibly fail) a
+        spec that actually succeeded.  ``land`` receives each finished
+        ``(digest, result)``; the digests genuinely lost with the pool
+        are returned.  Clears ``inflight``/``deadlines``.
+        """
+        victims: List[str] = []
+        for future, digest in list(inflight.items()):
+            if future.done() and future.exception() is None:
+                land(digest, future.result())
+            else:
+                victims.append(digest)
+        inflight.clear()
+        deadlines.clear()
+        return victims
 
     @staticmethod
     def _new_pool(max_workers: int) -> ProcessPoolExecutor:

@@ -423,6 +423,14 @@ class Supervisor:
                 if digest not in suspects:
                     suspects.append(digest)
 
+        def drain_survivors() -> List[str]:
+            """Land in-flight futures that finished before the pool died;
+            only the genuinely lost digests become suspects."""
+            return Engine._drain_finished(
+                inflight, deadlines,
+                lambda digest, run: self._land(digest, run, state,
+                                               by_digest))
+
         try:
             while queue or inflight:
                 self._check_interrupt(pool)
@@ -437,10 +445,7 @@ class Supervisor:
                             time.monotonic() + timeout
                             if timeout is not None else None)
                 except BrokenProcessPool as exc:
-                    victims = [digest] + list(inflight.values())
-                    inflight.clear()
-                    deadlines.clear()
-                    to_suspects(victims, exc)
+                    to_suspects([digest] + drain_survivors(), exc)
                     pool = self._rebuild_pool(pool, max_workers)
                     continue
                 if not inflight:
@@ -463,9 +468,7 @@ class Supervisor:
                         self._land(digest, future.result(), state, by_digest)
                     elif isinstance(exc, BrokenProcessPool):
                         broken = exc
-                        to_suspects([digest] + list(inflight.values()), exc)
-                        inflight.clear()
-                        deadlines.clear()
+                        to_suspects([digest] + drain_survivors(), exc)
                         break
                     else:
                         self._ordinary_failure(digest, exc, state, by_digest,
@@ -491,14 +494,23 @@ class Supervisor:
         for future in expired:
             if future.done():
                 continue  # finished in the race; collected next wait()
-            digest = inflight.pop(future)
-            deadlines.pop(future, None)
             cause = FuturesTimeout(
                 f"exceeded {self.engine.timeout}s budget")
-            if not future.cancel():
+            if future.cancel():
+                digest = inflight.pop(future)
+                deadlines.pop(future, None)
+                self._ordinary_failure(digest, cause, state, by_digest,
+                                       requeue=queue)
+            elif future.done():
+                # completed between the done() check and cancel();
+                # leave it in flight for the next wait() to collect
+                continue
+            else:
+                digest = inflight.pop(future)
+                deadlines.pop(future, None)
                 stuck = True
-            self._ordinary_failure(digest, cause, state, by_digest,
-                                   requeue=queue)
+                self._ordinary_failure(digest, cause, state, by_digest,
+                                       requeue=queue)
         if stuck:
             # a hung worker poisons the whole pool: kill it, requeue the
             # innocent in-flight specs (no attempt charged), and rebuild
@@ -544,6 +556,11 @@ class Supervisor:
                 except FuturesTimeout as exc:
                     self.timeout_kills += 1
                     self._ordinary_failure(digest, exc, state, by_digest)
+                except CampaignInterrupted:
+                    # a signal must stop the campaign, not be misfiled as
+                    # this spec's failure (it is a RuntimeError, so the
+                    # generic handler below would otherwise swallow it)
+                    raise
                 except Exception as exc:
                     self._ordinary_failure(digest, exc, state, by_digest)
                 else:

@@ -362,6 +362,119 @@ def test_cli_run_failure_exits_2_with_one_line_summary(capsys, monkeypatch,
     assert "ValueError('synthetic')" in out
 
 
+def test_cli_resume_bad_manifest_is_clean_error(capsys, tmp_path):
+    """A missing or version-mismatched --resume manifest exits 2 with a
+    one-line error, not a raw traceback."""
+    from repro.cli import main
+    code = main(["experiment", "fig08",
+                 "--resume", str(tmp_path / "nope.json")])
+    out = capsys.readouterr().out
+    assert code == 2
+    assert "cannot resume" in out
+
+    stale = tmp_path / "stale.json"
+    stale.write_text(json.dumps({"version": 999}))
+    code = main(["experiment", "fig08", "--resume", str(stale)])
+    out = capsys.readouterr().out
+    assert code == 2
+    assert "cannot resume" in out
+
+
+# --------------------------------------------------------------------- #
+# review regressions: interrupts, pool-death drains, cancel races
+# --------------------------------------------------------------------- #
+class _StubFuture:
+    """Just enough Future surface for drain/deadline unit tests."""
+
+    def __init__(self, result=None, exc=None, done=True):
+        self._result, self._exc, self._done = result, exc, done
+
+    def done(self):
+        return self._done
+
+    def exception(self):
+        return self._exc
+
+    def result(self):
+        if self._exc is not None:
+            raise self._exc
+        return self._result
+
+    def cancel(self):
+        return False
+
+
+def test_interrupt_during_suspect_phase_propagates(tmp_path, monkeypatch):
+    """CampaignInterrupted (a RuntimeError) raised while waiting on a
+    solo run must abort the campaign, not be misfiled as the suspect
+    spec's 'error' failure."""
+    monkeypatch.setenv(CHAOS_DIR_ENV, str(tmp_path))
+    engine = Engine(jobs=2, retries=0, execute_fn=chaos_execute)
+    sup = _fast_supervisor(engine, manifest_path=tmp_path / "m.json")
+
+    def interrupted_solo(self, future, pool):
+        raise CampaignInterrupted(signal.SIGTERM, str(tmp_path / "m.json"))
+
+    monkeypatch.setattr(Supervisor, "_solo_result", interrupted_solo)
+    spec = chaos_spec("ok", 0)
+    digest = spec.digest()
+    by_digest = {}
+    with pytest.raises(CampaignInterrupted):
+        sup._suspect_phase({digest: spec}, {digest: _SpecState(spec)},
+                           [digest], by_digest)
+    assert by_digest == {}             # no bogus failure outcome
+    assert engine.stats.failures == 0  # no retry budget charged
+
+
+def test_pool_death_does_not_discard_finished_sibling():
+    """_drain_finished lands completed-successful futures; only truly
+    lost specs are charged as victims/suspects."""
+    landed = {}
+    finished = _StubFuture(result="run-a")
+    pending = _StubFuture(done=False)
+    errored = _StubFuture(exc=ValueError("boom"))
+    inflight = {finished: "a", pending: "b", errored: "c"}
+    deadlines = {finished: None, pending: None, errored: None}
+    victims = Engine._drain_finished(inflight, deadlines,
+                                     lambda d, r: landed.__setitem__(d, r))
+    assert landed == {"a": "run-a"}
+    assert sorted(victims) == ["b", "c"]
+    assert inflight == {} and deadlines == {}
+
+
+def test_deadline_cancel_race_leaves_completed_future_in_flight(tmp_path):
+    """A future that completes between the done() check and cancel()
+    must not be classified stuck (which would SIGKILL the pool and
+    discard its result); it stays in flight for the next wait()."""
+    from collections import deque
+
+    engine = Engine(jobs=2, timeout=0.01, cache_dir=str(tmp_path / "cache"))
+    sup = _fast_supervisor(engine)
+
+    class _RacyFuture(_StubFuture):
+        def __init__(self):
+            super().__init__(result="late", done=False)
+            self.done_calls = 0
+
+        def done(self):
+            self.done_calls += 1
+            return self.done_calls > 1  # completes right after the check
+
+    future = _RacyFuture()
+    spec = small_spec()
+    digest = spec.digest()
+    inflight = {future: digest}
+    deadlines = {future: time.monotonic() - 1.0}
+    by_digest = {}
+    pool = object()  # must come back untouched: no kill, no rebuild
+    out_pool = sup._enforce_deadlines(pool, 2, deque(), inflight, deadlines,
+                                      {digest: _SpecState(spec)}, by_digest)
+    assert out_pool is pool       # pool not killed or rebuilt
+    assert future in inflight     # collected by the next wait()
+    assert by_digest == {}        # no timeout charged
+    assert sup.timeout_kills == 0
+
+
 def test_cli_collect_campaign_smoke(capsys, tmp_path, monkeypatch):
     """--fail-policy collect runs a real harness under the supervisor."""
     from repro.cli import main
