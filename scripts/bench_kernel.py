@@ -1,0 +1,275 @@
+#!/usr/bin/env python
+"""Kernel/simulator benchmark harness with a committed baseline.
+
+Runs a fixed suite — two pure-kernel microbenches that stress the event
+queue (timer-heavy and signal/zero-delay-heavy) plus the paper's
+Table III workloads at smoke scale — and writes ``BENCH_kernel.json``
+with wall-time, events/sec, peak RSS and the git SHA, so the
+simulator's performance trajectory is recorded instead of anecdotal.
+
+Usage::
+
+    python scripts/bench_kernel.py                  # full Table III suite
+    python scripts/bench_kernel.py --smoke          # CI-sized subset
+    python scripts/bench_kernel.py --check benchmarks/baselines/bench_kernel.json
+    python scripts/bench_kernel.py --save-baseline  # refresh the committed baseline
+
+``--check`` compares against a committed baseline and exits 1 when
+total wall-time regressed by more than ``--tolerance`` (default 25%) —
+the CI ``perf-smoke`` job gates on this.  When the baseline file exists
+the report always includes the speedup relative to it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import resource
+import subprocess
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.machine import Machine  # noqa: E402
+from repro.sim.config import CMPConfig  # noqa: E402
+from repro.sim.kernel import Simulator  # noqa: E402
+from repro.workloads import WORKLOADS, make_workload  # noqa: E402
+
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(__file__), "..", "benchmarks", "baselines",
+    "bench_kernel.json")
+DEFAULT_OUT = os.path.join(os.path.dirname(__file__), "..",
+                           "BENCH_kernel.json")
+
+#: Table III smoke suite: every paper workload at smoke scale, under the
+#: hardware lock and the strongest software baseline.
+SMOKE_SCALE = 0.25
+SMOKE_CORES = 32
+SMOKE_LOCKS = ("glock", "mcs")
+
+#: the --smoke subset: kernel microbenches + two paper workloads
+SMOKE_WORKLOADS = ("sctr", "qsort")
+
+
+# --------------------------------------------------------------------- #
+# pure-kernel microbenches
+# --------------------------------------------------------------------- #
+def bench_kernel_timers(n_procs: int = 64, steps: int = 2000) -> Tuple[int, int]:
+    """Timer-heavy stress: every event is a future-time heap event."""
+    sim = Simulator()
+
+    def ticker(period: int):
+        for _ in range(steps):
+            yield period
+
+    for i in range(n_procs):
+        sim.spawn(ticker(1 + (i % 7)), name=f"t{i}")
+    sim.run()
+    return sim.events_executed, sim.now
+
+
+def bench_kernel_signals(n_pairs: int = 32, rounds: int = 2000) -> Tuple[int, int]:
+    """Signal ping-pong: dominated by zero-delay wakeup events."""
+    sim = Simulator()
+
+    def ping(a, b):
+        for _ in range(rounds):
+            b.fire(1)
+            yield a
+
+    def pong(a, b):
+        for _ in range(rounds):
+            yield b
+            a.fire(1)
+
+    for i in range(n_pairs):
+        a = sim.signal(f"a{i}")
+        b = sim.signal(f"b{i}")
+        # pong first, so it is registered on b before ping's first fire
+        sim.spawn(pong(a, b), name=f"pong{i}")
+        sim.spawn(ping(a, b), name=f"ping{i}")
+    sim.run()
+    return sim.events_executed, sim.now
+
+
+def run_workload(name: str, lock: str) -> Tuple[int, int]:
+    """One Table III workload at smoke scale; returns (events, makespan)."""
+    machine = Machine(CMPConfig.baseline(SMOKE_CORES))
+    workload = make_workload(name, scale=SMOKE_SCALE)
+    instance = workload.instantiate(machine, hc_kind=lock,
+                                    other_kind="tatas")
+    result = machine.run(instance.programs)
+    instance.validate(machine)
+    return machine.sim.events_executed, result.makespan
+
+
+def suite(smoke: bool) -> List[Tuple[str, object]]:
+    """The ordered bench list: ``(name, zero-arg callable)``."""
+    benches: List[Tuple[str, object]] = [
+        ("kernel.timers", bench_kernel_timers),
+        ("kernel.signals", bench_kernel_signals),
+    ]
+    workloads = SMOKE_WORKLOADS if smoke else WORKLOADS
+    for wl in workloads:
+        for lock in SMOKE_LOCKS:
+            benches.append((f"{wl}.{lock}",
+                            lambda wl=wl, lock=lock: run_workload(wl, lock)))
+    return benches
+
+
+# --------------------------------------------------------------------- #
+# measurement / reporting
+# --------------------------------------------------------------------- #
+def git_sha() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            cwd=os.path.dirname(os.path.abspath(__file__)), timeout=10,
+        ).stdout.strip() or "unknown"
+    except Exception:
+        return "unknown"
+
+
+def peak_rss_bytes() -> int:
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux, bytes on macOS
+    return rss * 1024 if sys.platform != "darwin" else rss
+
+
+def run_suite(smoke: bool, repeat: int) -> Dict:
+    benches: Dict[str, Dict] = {}
+    total = 0.0
+    for name, fn in suite(smoke):
+        best = None
+        events = cycles = 0
+        for _ in range(repeat):
+            t0 = time.perf_counter()
+            events, cycles = fn()
+            dt = time.perf_counter() - t0
+            best = dt if best is None else min(best, dt)
+        total += best
+        benches[name] = {
+            "wall_s": round(best, 4),
+            "events": events,
+            "events_per_s": round(events / best),
+            "sim_cycles": cycles,
+        }
+        print(f"  {name:16s} {best:7.3f}s  {events:9d} events  "
+              f"{events / best:10.0f} ev/s")
+    return {
+        "schema": 1,
+        "suite": "smoke" if smoke else "table3",
+        "git_sha": git_sha(),
+        "python": platform.python_version(),
+        "repeat": repeat,
+        "benches": benches,
+        "total_wall_s": round(total, 4),
+        "total_events": sum(b["events"] for b in benches.values()),
+        "peak_rss_bytes": peak_rss_bytes(),
+    }
+
+
+def load_baseline(path: str) -> Optional[Dict]:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError):
+        return None
+
+
+def compare(report: Dict, baseline: Dict) -> Dict:
+    """Per-bench and total speedup of ``report`` over ``baseline``."""
+    per_bench = {}
+    base_total = 0.0
+    cur_total = 0.0
+    for name, cur in report["benches"].items():
+        base = baseline.get("benches", {}).get(name)
+        if base is None:
+            continue
+        base_total += base["wall_s"]
+        cur_total += cur["wall_s"]
+        per_bench[name] = round(base["wall_s"] / max(cur["wall_s"], 1e-9), 3)
+    speedup = base_total / cur_total if cur_total else float("nan")
+    return {
+        "baseline_git_sha": baseline.get("git_sha", "unknown"),
+        "baseline_total_wall_s": round(base_total, 4),
+        "total_wall_s": round(cur_total, 4),
+        "speedup": round(speedup, 3),
+        "per_bench_speedup": per_bench,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized subset: kernel microbenches + "
+                             f"{'/'.join(SMOKE_WORKLOADS)}")
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="runs per bench; best-of-N is reported "
+                             "(default: 1)")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help="report path (default: BENCH_kernel.json)")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="committed baseline to report speedup against")
+    parser.add_argument("--check", metavar="BASELINE", default=None,
+                        help="compare against BASELINE and exit 1 on a "
+                             "wall-time regression beyond --tolerance")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional total wall-time regression "
+                             "for --check (default: 0.25)")
+    parser.add_argument("--save-baseline", action="store_true",
+                        help="also write the report to --baseline "
+                             "(refreshing the committed numbers)")
+    args = parser.parse_args(argv)
+
+    print(f"bench_kernel: {'smoke' if args.smoke else 'full Table III'} "
+          f"suite, repeat={args.repeat}")
+    report = run_suite(args.smoke, max(args.repeat, 1))
+
+    baseline = load_baseline(args.check or args.baseline)
+    if baseline is not None:
+        report["baseline"] = compare(report, baseline)
+        print(f"vs baseline {report['baseline']['baseline_git_sha'][:12]}: "
+              f"{report['baseline']['speedup']}x "
+              f"({report['baseline']['baseline_total_wall_s']}s -> "
+              f"{report['baseline']['total_wall_s']}s on shared benches)")
+
+    out = os.path.abspath(args.out)
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {out} (total {report['total_wall_s']}s, "
+          f"peak RSS {report['peak_rss_bytes'] // (1 << 20)} MiB)")
+
+    if args.save_baseline:
+        base_path = os.path.abspath(args.baseline)
+        os.makedirs(os.path.dirname(base_path), exist_ok=True)
+        with open(base_path, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote baseline {base_path}")
+
+    if args.check:
+        if baseline is None:
+            print(f"error: --check baseline {args.check} is missing or "
+                  "unreadable", file=sys.stderr)
+            return 2
+        cmp = report["baseline"]
+        limit = cmp["baseline_total_wall_s"] * (1.0 + args.tolerance)
+        if cmp["total_wall_s"] > limit:
+            print(f"REGRESSION: total wall {cmp['total_wall_s']}s exceeds "
+                  f"baseline {cmp['baseline_total_wall_s']}s "
+                  f"+{args.tolerance:.0%} ({limit:.3f}s)", file=sys.stderr)
+            return 1
+        print(f"perf check OK: {cmp['total_wall_s']}s within "
+              f"+{args.tolerance:.0%} of baseline "
+              f"{cmp['baseline_total_wall_s']}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -88,6 +88,9 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="CYCLES",
                    help="max cycles a core may wait for a TOKEN under "
                         "--sanitize (default: 1e6)")
+    p.add_argument("--profile", action="store_true",
+                   help="per-component cycle/event attribution "
+                        "(repro.sim.profile); results are unchanged")
 
     def add_engine_flags(p):
         p.add_argument("--jobs", type=int, default=1, metavar="J",
@@ -112,6 +115,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--smoke", action="store_true",
                    help="shrunk CI-sized sweep (experiments that support "
                         "it, e.g. ablate-faults)")
+    p.add_argument("--profile", action="store_true",
+                   help="per-component cycle/event attribution; forces "
+                        "--jobs 1 --no-cache so every run executes "
+                        "in-process (spec digests are unaffected)")
     add_engine_flags(p)
     p.add_argument("--fail-policy", choices=("abort", "collect"),
                    default="abort",
@@ -178,6 +185,18 @@ def _cmd_cost(args) -> int:
 
 
 def _cmd_run(args) -> int:
+    if args.profile:
+        from repro.sim.profile import profiling
+
+        with profiling() as prof:
+            code = _run_once(args)
+        print()
+        print(prof.format_table())
+        return code
+    return _run_once(args)
+
+
+def _run_once(args) -> int:
     machine = Machine(CMPConfig.baseline(args.cores))
     if args.sanitize:
         from repro.verify.invariants import attach_sanitizer
@@ -240,6 +259,24 @@ def _cmd_experiment(args) -> int:
 
     from repro.runner import (CampaignInterrupted, RunFailure, Supervisor,
                               use_supervisor)
+
+    if args.profile:
+        # profiling lives in this process: cached results would skip the
+        # simulation entirely and pool workers would profile into their
+        # own (discarded) interpreters, so force inline, uncached runs
+        from repro.sim.profile import profiling
+
+        if args.jobs != 1 or not args.no_cache:
+            print("profile: forcing --jobs 1 --no-cache (profiled runs "
+                  "must execute in-process)")
+        args.jobs = 1
+        args.no_cache = True
+        args.profile = False  # run the plain path below, instrumented
+        with profiling() as prof:
+            code = _cmd_experiment(args)
+        print()
+        print(prof.format_table())
+        return code
 
     module = importlib.import_module(EXPERIMENTS[args.name])
     kwargs = {}

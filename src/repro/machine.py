@@ -35,6 +35,7 @@ from repro.locks.registry import make_lock as _make_lock
 from repro.mem.hierarchy import MemorySystem
 from repro.sim.config import CMPConfig
 from repro.sim.kernel import Simulator
+from repro.sim.profile import active_profiler
 from repro.sim.stats import IntervalRecorder
 from repro.sync.barrier import TreeBarrier
 
@@ -82,7 +83,10 @@ class Machine:
                  glock_arbitration: str = "round_robin",
                  fault_plan=None) -> None:
         self.config = config or CMPConfig.baseline()
-        self.sim = Simulator()
+        # a profiler is ambient state (repro.sim.profile.profiling), never
+        # part of any spec — machines built under `with profiling()` are
+        # instrumented without their digests knowing
+        self.sim = Simulator(profile=active_profiler())
         self.mem = MemorySystem(self.sim, self.config)
         self.counters = self.mem.counters  # machine-global counter set
         #: the repro.faults.FaultInjector, or None — a machine without an

@@ -20,11 +20,16 @@ class TagArray:
 
     def __init__(self, config: CacheConfig) -> None:
         self.config = config
+        # geometry is immutable; resolve it once instead of re-deriving
+        # n_sets (a division) on every lookup
+        self._line_bytes = config.line_bytes
+        self._n_sets = config.n_sets
+        self._ways = config.ways
         # set index -> {line_addr: state}; dict order == LRU order (first = LRU)
         self._sets: Dict[int, Dict[int, object]] = {}
 
     def _set_index(self, line_addr: int) -> int:
-        return (line_addr // self.config.line_bytes) % self.config.n_sets
+        return (line_addr // self._line_bytes) % self._n_sets
 
     def lookup(self, line_addr: int) -> Optional[object]:
         """State of ``line_addr`` or None; does not touch LRU order."""
@@ -61,7 +66,7 @@ class TagArray:
         if line_addr in s:
             raise KeyError(f"line {line_addr:#x} already resident")
         victim = None
-        if len(s) >= self.config.ways:
+        if len(s) >= self._ways:
             for cand in s:  # iteration order = LRU first
                 if may_evict is None or may_evict(cand):
                     victim = (cand, s.pop(cand))

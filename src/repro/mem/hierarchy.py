@@ -50,16 +50,17 @@ class MemorySystem:
             self.mesh.register(tile, self._make_dispatcher(tile))
 
     def _make_dispatcher(self, tile: int):
-        l1 = self.l1s[tile]
-        l2 = self.l2s[tile]
+        # kind -> bound handler, resolved once per tile: routing a message
+        # is then a single dict probe instead of two frozenset membership
+        # tests on the hot delivery path
+        route = {kind: self.l2s[tile].handle for kind in P.HOME_BOUND_KINDS}
+        route.update({kind: self.l1s[tile].handle for kind in P.L1_BOUND_KINDS})
 
         def dispatch(msg: Message) -> None:
-            if msg.kind in P.HOME_BOUND_KINDS:
-                l2.handle(msg)
-            elif msg.kind in P.L1_BOUND_KINDS:
-                l1.handle(msg)
-            else:
+            handler = route.get(msg.kind)
+            if handler is None:
                 raise RuntimeError(f"tile {tile}: unroutable message {msg!r}")
+            handler(msg)
 
         return dispatch
 

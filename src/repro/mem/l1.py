@@ -23,7 +23,7 @@ and energy match the naive cycle-by-cycle loop (DESIGN.md substitution 3).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Optional
 
 from repro.mem import protocol as P
 from repro.mem.address import home_of, line_of
@@ -61,11 +61,19 @@ class L1Cache:
         self.counters = counters
         self.tags = TagArray(config.l1)
         self.hit_latency = config.l1.latency
-        # line -> signal fired when the protocol reply for an outstanding
-        # transaction arrives.  In-order cores have one op in flight.
-        self._pending: Optional[Tuple[int, Signal]] = None
-        # line -> watch signal for spin_until sleepers
+        # the line of the outstanding transaction, if any; its reply is
+        # always delivered through the (reused) _fill_sig because in-order
+        # cores have exactly one op in flight
+        self._pending: Optional[int] = None
+        self._fill_sig = sim.signal(f"l1-{core_id}-fill")
+        # line -> watch signal for spin_until sleepers; signals persist
+        # across fires so the spin-wakeup path allocates nothing
         self._watches: Dict[int, Signal] = {}
+        # hot counters, resolved once (these are bumped per memory access)
+        self._c_accesses = counters.bind("l1.accesses")
+        self._c_misses = counters.bind("l1.misses")
+        self._c_rmw = counters.bind("l1.rmw")
+        self._c_spin_cycles = counters.bind("l1.spin_cycles")
 
     # ------------------------------------------------------------------ #
     # public coroutine API (driven by the core with `yield from`)
@@ -93,7 +101,7 @@ class L1Cache:
         line = line_of(addr, self.config.line_bytes)
         old = yield from self._access(line, want_m=True,
                                       apply=lambda: self.backing.apply(addr, fn))
-        self.counters.add("l1.rmw")
+        self._c_rmw.value += 1
         return old
 
     def spin_until(self, addr: int, predicate: Callable[[int], bool]):
@@ -117,8 +125,8 @@ class L1Cache:
             yield watch
             waited = self.sim.now - started
             # replay the cache hits a real spin loop would have performed
-            self.counters.add("l1.accesses", waited // max(self.hit_latency, 1))
-            self.counters.add("l1.spin_cycles", waited)
+            self._c_accesses.value += waited // max(self.hit_latency, 1)
+            self._c_spin_cycles.value += waited
 
     # ------------------------------------------------------------------ #
     # core access path
@@ -130,18 +138,17 @@ class L1Cache:
                 self.tags.set_state(line, M)  # silent E->M upgrade
             self.tags.touch(line)
             result = apply()
-            self.counters.add("l1.accesses")
+            self._c_accesses.value += 1
             yield self.hit_latency
             return result
         # miss (or S->M upgrade): one transaction through the directory
-        self.counters.add("l1.misses")
+        self._c_misses.value += 1
         if self._pending is not None:
             raise RuntimeError(
                 f"L1 {self.core_id}: second outstanding miss on "
                 f"line {line:#x} (cores are in-order)"
             )
-        reply_sig = self.sim.signal(f"l1-{self.core_id}-fill")
-        self._pending = (line, reply_sig)
+        self._pending = line
         home = home_of(line, self.config.line_bytes, self.config.n_cores)
         if not want_m:
             kind = P.GETS
@@ -150,11 +157,11 @@ class L1Cache:
         else:
             kind = P.GETM
         self.mesh.send(P.make_msg(self.config.noc, self.core_id, home, kind, line))
-        yield reply_sig  # fires once handle() has installed the line
+        yield self._fill_sig  # fires once handle() has installed the line
         # the line was installed synchronously in handle() at delivery time,
         # so same-cycle recalls/invalidations observe a consistent tag state
         result = apply()
-        self.counters.add("l1.accesses")
+        self._c_accesses.value += 1
         yield self.hit_latency
         return result
 
@@ -199,11 +206,10 @@ class L1Cache:
         """Process a message routed to this L1 by the tile dispatcher."""
         line = msg.payload["line"]
         if msg.kind in (P.DATA, P.DATA_E, P.DATA_M, P.GRANT_M, P.DATA_C2C):
-            pending_line, sig = self._pending
-            if pending_line != line:
+            if self._pending != line:
                 raise RuntimeError(
                     f"L1 {self.core_id}: fill for {line:#x} but "
-                    f"pending {pending_line:#x}"
+                    f"pending {self._pending!r}"
                 )
             self._pending = None
             self._install(line, msg.kind, msg)
@@ -214,7 +220,7 @@ class L1Cache:
                     P.make_msg(self.config.noc, self.core_id, home,
                                P.UNBLOCK, line)
                 )
-            sig.fire(msg)
+            self._fill_sig.fire(msg)
         elif msg.kind == P.INV:
             self.tags.invalidate(line)
             self._wake_watchers(line)
@@ -257,7 +263,7 @@ class L1Cache:
                                   line, {"present": True}))
 
     def _wake_watchers(self, line: int) -> None:
-        watch = self._watches.pop(line, None)
+        watch = self._watches.get(line)
         if watch is not None:
             watch.fire()
 

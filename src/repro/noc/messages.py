@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import enum
 import itertools
+import sys
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -31,7 +32,7 @@ class MsgCategory(str, enum.Enum):
     COHERENCE = "coherence"
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A single NoC message.
 
@@ -55,6 +56,9 @@ class Message:
     def __post_init__(self) -> None:
         if self.size_bytes <= 0:
             raise ValueError("message size must be positive")
+        # protocol opcodes come from a tiny fixed vocabulary; interning
+        # makes every downstream kind comparison a pointer check
+        self.kind = sys.intern(self.kind)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

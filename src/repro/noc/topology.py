@@ -33,19 +33,22 @@ LOCAL_DELIVERY_LATENCY = 1
 class Link:
     """A unidirectional mesh link with FIFO occupancy."""
 
-    __slots__ = ("u", "v", "next_free")
+    __slots__ = ("u", "v", "next_free", "carried_bytes")
 
     def __init__(self, u: Tuple[int, int], v: Tuple[int, int]) -> None:
         self.u = u
         self.v = v
         self.next_free = 0
+        #: total bytes this link has carried (hotspot analysis)
+        self.carried_bytes = 0
 
     def reserve(self, now: int, ser_cycles: int) -> int:
         """Reserve the link starting no earlier than ``now``.
 
         Returns the departure time; the link stays busy for ``ser_cycles``.
         """
-        depart = max(now, self.next_free)
+        next_free = self.next_free
+        depart = now if now >= next_free else next_free
         self.next_free = depart + ser_cycles
         return depart
 
@@ -62,8 +65,12 @@ class Mesh:
         self.traffic = TrafficMeter()
         self._links: Dict[Tuple[Tuple[int, int], Tuple[int, int]], Link] = {}
         self._handlers: Dict[int, Callable[[Message], None]] = {}
-        #: bytes carried per directional link (hotspot analysis)
-        self.link_bytes: Dict[Tuple[Tuple[int, int], Tuple[int, int]], int] = {}
+        # XY routes are static (the link set never changes after
+        # construction), so each (src, dst) pair is walked exactly once
+        self._route_cache: Dict[Tuple[int, int], List[Link]] = {}
+        # serialization cycles per message size (a handful of sizes exist)
+        self._ser_cache: Dict[int, int] = {}
+        self._router_latency = config.noc.router_latency
         self._build_links()
 
     def _build_links(self) -> None:
@@ -108,29 +115,45 @@ class Mesh:
 
         The destination's registered handler is invoked at delivery time.
         """
+        sim = self.sim
         handler = self._handlers[msg.dst]
-        now = self.sim.now
-        if self.sim.tracer is not None:
-            self.sim.tracer.record(now, "noc", f"tile{msg.src}",
-                                   f"{msg.kind} -> tile{msg.dst} "
-                                   f"({msg.size_bytes}B {msg.category.value})")
+        now = sim.now
+        if sim.tracer is not None:
+            sim.tracer.record(now, "noc", f"tile{msg.src}",
+                              f"{msg.kind} -> tile{msg.dst} "
+                              f"({msg.size_bytes}B {msg.category.value})")
         if msg.src == msg.dst:
             arrival = now + LOCAL_DELIVERY_LATENCY
-            self.sim.schedule_at(arrival, handler, msg)
+            sim.schedule_at(arrival, handler, msg)
             return arrival
-        noc = self.config.noc
-        ser = -(-msg.size_bytes // noc.link_width_bytes)  # ceil division
+        size = msg.size_bytes
+        ser = self._ser_cache.get(size)
+        if ser is None:
+            noc = self.config.noc
+            ser = -(-size // noc.link_width_bytes)  # ceil division
+            self._ser_cache[size] = ser
+        route_key = (msg.src, msg.dst)
+        hops = self._route_cache.get(route_key)
+        if hops is None:
+            hops = self._route_cache[route_key] = self.route(*route_key)
+        per_hop = self._router_latency + ser
         t = now
-        hops = self.route(msg.src, msg.dst)
-        link_bytes = self.link_bytes
         for link in hops:
-            depart = link.reserve(t, ser)
-            t = depart + noc.router_latency + ser
-            key = (link.u, link.v)
-            link_bytes[key] = link_bytes.get(key, 0) + msg.size_bytes
+            # inlined Link.reserve: this loop runs once per hop per message
+            next_free = link.next_free
+            depart = t if t >= next_free else next_free
+            link.next_free = depart + ser
+            t = depart + per_hop
+            link.carried_bytes += size
         self.traffic.record(msg, len(hops))
-        self.sim.schedule_at(t, handler, msg)
+        sim.schedule_at(t, handler, msg)
         return t
+
+    @property
+    def link_bytes(self) -> Dict[Tuple[Tuple[int, int], Tuple[int, int]], int]:
+        """Bytes carried per directional link (hotspot analysis view)."""
+        return {key: link.carried_bytes
+                for key, link in self._links.items() if link.carried_bytes}
 
     @property
     def n_links(self) -> int:

@@ -22,15 +22,24 @@ class TrafficMeter:
 
     def __init__(self) -> None:
         self.counters = CounterSet()
+        # counter names are fixed by the category taxonomy, so resolve
+        # them once instead of building f-strings per delivered message
+        self._per_cat = {
+            cat: (self.counters.bind(f"noc.switch_bytes.{cat.value}"),
+                  self.counters.bind(f"noc.msgs.{cat.value}"))
+            for cat in MsgCategory
+        }
+        self._byte_hops = self.counters.bind("noc.byte_hops")
+        self._link_traversals = self.counters.bind("noc.link_traversals")
 
     def record(self, msg: Message, hops: int) -> None:
         """Account one delivered message that crossed ``hops`` links."""
-        switches = hops + 1
-        cat = msg.category.value
-        self.counters.add(f"noc.switch_bytes.{cat}", msg.size_bytes * switches)
-        self.counters.add(f"noc.msgs.{cat}", 1)
-        self.counters.add("noc.byte_hops", msg.size_bytes * hops)
-        self.counters.add("noc.link_traversals", hops)
+        switch_bytes, msgs = self._per_cat[msg.category]
+        size = msg.size_bytes
+        switch_bytes.value += size * (hops + 1)
+        msgs.value += 1
+        self._byte_hops.value += size * hops
+        self._link_traversals.value += hops
 
     # ------------------------------------------------------------------ #
     # Figure 9 views

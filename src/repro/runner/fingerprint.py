@@ -1,0 +1,66 @@
+"""Canonical fingerprinting of simulation results.
+
+The experiment cache (:mod:`repro.runner.cache`) keys entries by the
+*spec* digest; this module provides the complementary *result* digest: a
+stable sha256 over everything a :class:`~repro.machine.RunResult`
+measured, serialized canonically (sorted keys, no whitespace drift).
+
+Two kernels produce the same fingerprint if and only if they executed
+the simulation identically — every counter, every per-core cycle
+account, every lock-wait interval in its original recording order.
+That property is what lets the determinism suite
+(``tests/test_kernel_determinism.py``) pin golden fingerprints recorded
+with the pre-optimization kernel and assert the optimized hot path
+replays them bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict
+
+__all__ = ["result_canonical_dict", "result_fingerprint"]
+
+
+def result_canonical_dict(result) -> Dict[str, Any]:
+    """A :class:`~repro.machine.RunResult` as a canonical plain dict.
+
+    Dict-valued fields are emitted with sorted keys so the fingerprint
+    tracks *values*, not incidental insertion order; lock-wait intervals
+    keep their recording order because that order is itself part of the
+    deterministic event schedule being asserted.
+
+    Interval keys are lock uids, which come from a process-global counter
+    (``repro.locks.base._uids``) and therefore depend on how many locks
+    earlier runs in the same process created.  They are renumbered densely
+    by order of first appearance so the fingerprint describes *this* run
+    alone and two identical simulations hash identically regardless of
+    process history.
+    """
+    intervals = None
+    if result.lock_intervals is not None:
+        key_map = {}
+        intervals = []
+        for iv in result.lock_intervals.intervals:
+            key = key_map.setdefault(iv.key, len(key_map))
+            intervals.append([iv.start, iv.end, iv.owner, key])
+    return {
+        "config": result.config.to_dict(),
+        "makespan": result.makespan,
+        "cycles_by_category": dict(sorted(result.cycles_by_category.items())),
+        "per_core_cycles": [dict(sorted(c.items()))
+                            for c in result.per_core_cycles],
+        "instructions": result.instructions,
+        "counters": dict(sorted(result.counters.items())),
+        "traffic": dict(sorted(result.traffic.items())),
+        "byte_hops": result.byte_hops,
+        "lock_intervals": intervals,
+    }
+
+
+def result_fingerprint(result) -> str:
+    """sha256 hex digest of :func:`result_canonical_dict`."""
+    canonical = json.dumps(result_canonical_dict(result), sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()

@@ -9,10 +9,13 @@ is built on:
   paper's Table II baseline.
 - :mod:`repro.sim.stats` — counters, histograms and interval recorders used
   for traffic, energy and contention accounting.
+- :mod:`repro.sim.profile` — opt-in per-component cycle/event attribution
+  (``repro-sim ... --profile``).
 """
 
 from repro.sim.kernel import (Process, Signal, SimDeadlockError, Simulator,
                               SimulationError)
+from repro.sim.profile import Profiler, active_profiler, profiling
 from repro.sim.trace import TraceEvent, Tracer
 from repro.sim.config import CacheConfig, CMPConfig, GLineConfig, NoCConfig
 
@@ -26,6 +29,9 @@ __all__ = [
     "CMPConfig",
     "GLineConfig",
     "NoCConfig",
+    "Profiler",
+    "profiling",
+    "active_profiler",
     "TraceEvent",
     "Tracer",
 ]

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
+from functools import cached_property
 from typing import Any, Dict, Tuple
 
 __all__ = ["CacheConfig", "NoCConfig", "GLineConfig", "CMPConfig"]
@@ -159,12 +160,16 @@ class CMPConfig:
     # ------------------------------------------------------------------ #
     # mesh geometry
     # ------------------------------------------------------------------ #
-    @property
+    # cached_property works on a frozen dataclass (it writes straight to
+    # __dict__, sidestepping the frozen __setattr__) and the cached value
+    # never reaches __eq__/__hash__/to_dict, which are field-driven —
+    # tile_coords() is called per routed message, so the sqrt must not be
+    @cached_property
     def mesh_width(self) -> int:
         """Columns in the tile grid (near-square, row-major layout)."""
         return math.ceil(math.sqrt(self.n_cores))
 
-    @property
+    @cached_property
     def mesh_height(self) -> int:
         """Rows in the tile grid."""
         return math.ceil(self.n_cores / self.mesh_width)

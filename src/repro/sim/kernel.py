@@ -1,8 +1,22 @@
 """Deterministic discrete-event simulation kernel.
 
-The kernel is a binary-heap event queue keyed by ``(time, sequence)`` so that
-two events scheduled for the same cycle always execute in the order they were
-scheduled, making every simulation bit-reproducible.
+Events execute in ``(time, sequence)`` order — two events scheduled for
+the same cycle always run in the order they were scheduled — making every
+simulation bit-reproducible.  Internally the kernel keeps **two** queues
+that together realize that total order:
+
+* a binary heap for future-time events, and
+* a plain FIFO ``deque`` for *same-cycle* (zero-delay) events — the
+  dominant class, since every :meth:`Signal.fire` wakeup is scheduled at
+  the current cycle.  Same-cycle events are appended with strictly
+  increasing sequence numbers at the current time, so the deque is always
+  sorted by ``(time, seq)`` and a single head-to-head comparison against
+  the heap top picks the globally next event without any heap traffic.
+
+Events are pooled ``__slots__`` records recycled through a free list, so
+steady-state simulation allocates no per-event garbage, and
+:meth:`Simulator.schedule` skips heap discipline entirely when the heap
+is empty (the monotonic fast path).
 
 Model components come in two flavours:
 
@@ -17,15 +31,16 @@ Model components come in two flavours:
   - another generator is composed with ``yield from`` as usual.
 
 This mirrors the structure of simulators such as SimPy but is intentionally
-minimal: the hot path is ``heapq.heappush``/``heappop`` plus a generator
-``send``, which keeps full 32-core runs of the paper's workloads in the
-seconds range (see the performance notes in ``DESIGN.md``).
+minimal: the hot path is a deque rotation plus a generator ``send`` (see
+``docs/performance.md`` for the design and measured numbers).
 """
 
 from __future__ import annotations
 
-import heapq
 import weakref
+from collections import deque
+from heapq import heappop, heappush
+from time import perf_counter
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 __all__ = ["Simulator", "Process", "Signal", "SimulationError",
@@ -54,6 +69,25 @@ class SimDeadlockError(SimulationError):
         self.blocked: List[Tuple[str, Optional[str]]] = blocked or []
 
 
+class _Event:
+    """One scheduled callback; pooled via the simulator's free list.
+
+    Future-time events sit in the heap wrapped as ``(time, seq, event)``
+    triples — sequence numbers are unique, so heap ordering resolves on
+    the two leading ints with C-speed tuple comparison and never falls
+    through to comparing the records themselves.  Same-cycle events go in
+    the ready deque bare.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args")
+
+    def __init__(self, time: int, seq: int, fn: Callable, args: tuple) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+
+
 class Signal:
     """A one-to-many wake-up point.
 
@@ -74,10 +108,15 @@ class Signal:
         self._waiters: List[Callable[[Any], None]] = []
         #: number of times :meth:`fire` has been called (useful in tests).
         self.fire_count = 0
-        #: value passed to the most recent :meth:`fire`.
+        #: value passed to the most recent :meth:`fire` — retained only
+        #: while diagnostics (signal registry or tracer) are attached, so
+        #: plain runs never pin workload payloads for the signal's lifetime
         self.last_value: Any = None
-        if sim._signal_registry is not None:
-            sim._signal_registry.append(weakref.ref(self))
+        registry = sim._signal_registry
+        if registry is not None:
+            registry.append(weakref.ref(self))
+            if len(registry) > sim._registry_compact_at:
+                sim._compact_signal_registry()
 
     def add_callback(self, fn: Callable[[Any], None]) -> None:
         """Register ``fn(value)`` to run (once) the next time the signal fires."""
@@ -86,12 +125,34 @@ class Signal:
     def fire(self, value: Any = None) -> None:
         """Wake all registered waiters with ``value`` at the current cycle."""
         self.fire_count += 1
-        self.last_value = value
-        if not self._waiters:
+        sim = self.sim
+        if sim._retain_values or sim.tracer is not None:
+            # diagnostics attached (sanitizer/registry or tracing): keep
+            # the payload inspectable; otherwise drop it so long campaigns
+            # don't pin dead workload objects for the signal's lifetime
+            self.last_value = value
+        waiters = self._waiters
+        if not waiters:
             return
-        waiters, self._waiters = self._waiters, []
+        self._waiters = []
+        # inlined zero-delay scheduling (== sim.schedule(0, fn, value) per
+        # waiter): wakeups are the hottest allocation site in the kernel
+        ready_append = sim._ready.append
+        free = sim._free
+        now = sim.now
+        seq = sim._seq
         for fn in waiters:
-            self.sim.schedule(0, fn, value)
+            seq += 1
+            if free:
+                ev = free.pop()
+                ev.time = now
+                ev.seq = seq
+                ev.fn = fn
+                ev.args = (value,)
+            else:
+                ev = _Event(now, seq, fn, (value,))
+            ready_append(ev)
+        sim._seq = seq
 
     @property
     def n_waiters(self) -> int:
@@ -133,12 +194,56 @@ class Process:
         except StopIteration as stop:
             self.finished = True
             self.result = stop.value
+            # bump before firing: run_until_processes_finish re-evaluates
+            # its finish predicate only when this stamp moves
+            self.sim._finish_stamp += 1
             self.done.fire(stop.value)
             return
+        # exact-type fast paths first: yielded ints and Signals are the
+        # per-event common case (type() is also how bool is excluded —
+        # bool is an int subclass, and `yield True` is always a bug)
+        cls = type(item)
+        if cls is int:
+            if item >= 0:
+                # inlined sim.schedule(item, self._step): delay yields are
+                # the single most frequent scheduling call in a simulation
+                sim = self.sim
+                sim._seq += 1
+                seq = sim._seq
+                time = sim.now + item
+                free = sim._free
+                if free:
+                    ev = free.pop()
+                    ev.time = time
+                    ev.seq = seq
+                    ev.fn = self._step
+                    ev.args = ()
+                else:
+                    ev = _Event(time, seq, self._step, ())
+                if item == 0:
+                    sim._ready.append(ev)
+                else:
+                    heap = sim._heap
+                    if heap:
+                        heappush(heap, (time, seq, ev))
+                    else:
+                        heap.append((time, seq, ev))
+                return
+            raise SimulationError(
+                f"process {self.name!r} yielded negative delay {item}"
+            )
+        if cls is Signal:
+            self.waiting_on = item
+            item._waiters.append(self._step)
+            return
+        self._step_slow(item)
+
+    def _step_slow(self, item: Any) -> None:
+        """Uncommon yields: int/Signal subclasses and type errors."""
         if isinstance(item, bool):
-            # bool is an int subclass: `yield True` would silently act as a
-            # 1-cycle delay, which is always a bug (a forgotten `yield from`
-            # around a predicate-returning coroutine, typically)
+            # `yield True` would silently act as a 1-cycle delay, which is
+            # always a bug (a forgotten `yield from` around a
+            # predicate-returning coroutine, typically)
             raise SimulationError(
                 f"process {self.name!r} yielded a bool ({item}); "
                 "yield an int delay or a Signal"
@@ -170,17 +275,35 @@ class Process:
 
 
 class Simulator:
-    """The event engine: a deterministic ``(time, seq)``-ordered heap."""
+    """The event engine: a deterministic ``(time, seq)``-ordered dual queue.
 
-    def __init__(self) -> None:
-        self._queue: List[Tuple[int, int, Callable, tuple]] = []
+    Args:
+        profile: optional :class:`repro.sim.profile.Profiler`; when set,
+            every executed event is wall-timed and attributed to the model
+            component that owns its callback.  ``None`` keeps the hot loop
+            free of timing calls.
+    """
+
+    def __init__(self, profile=None) -> None:
+        # future-time events, heap-ordered by (time, seq)
+        self._heap: List[_Event] = []
+        # same-cycle events in FIFO (== seq) order; always sorted by
+        # (time, seq) because entries are appended at the current time
+        self._ready: "deque[_Event]" = deque()
+        # recycled _Event records (capped so a burst cannot pin memory)
+        self._free: List[_Event] = []
         self._seq = 0
         self.now = 0
         self._events_executed = 0
         self._processes: List[Process] = []
+        # incremented whenever any process finishes; lets the run loops
+        # re-check their finish predicate in O(1) per event
+        self._finish_stamp = 0
         #: optional :class:`repro.sim.trace.Tracer`; instrumented components
         #: emit events here when set (see repro.sim.trace)
         self.tracer = None
+        #: optional :class:`repro.sim.profile.Profiler` (cycle attribution)
+        self.profiler = profile
         #: optional checkpoint ``fn(sim)`` invoked after every executed event;
         #: the runtime invariant sanitizer (repro.verify.invariants) hooks in
         #: here.  ``None`` keeps the hot path a single falsy check.
@@ -188,6 +311,10 @@ class Simulator:
         # weak registry of live Signals, populated only when enabled (see
         # enable_signal_registry) so normal runs pay nothing
         self._signal_registry: Optional[List["weakref.ref[Signal]"]] = None
+        # compact the registry when it outgrows this (see Signal.__init__)
+        self._registry_compact_at = 256
+        # retain Signal.last_value only while diagnostics want it
+        self._retain_values = False
 
     # ------------------------------------------------------------------ #
     # diagnostics
@@ -200,6 +327,20 @@ class Simulator:
         """
         if self._signal_registry is None:
             self._signal_registry = []
+        self._retain_values = True
+
+    def _compact_signal_registry(self) -> None:
+        """Drop dead weakrefs in place and raise the next compaction bar.
+
+        Long campaigns create and drop millions of short-lived signals
+        (fill/watch/done signals); without periodic compaction the
+        registry list would grow monotonically with dead references.
+        """
+        registry = self._signal_registry
+        if registry is None:
+            return
+        registry[:] = [ref for ref in registry if ref() is not None]
+        self._registry_compact_at = max(256, 2 * len(registry))
 
     def live_signals(self) -> List[Signal]:
         """Signals created since :meth:`enable_signal_registry` and still alive."""
@@ -213,6 +354,7 @@ class Simulator:
                 alive.append(sig)
                 refs.append(ref)
         self._signal_registry = refs  # drop dead references as we go
+        self._registry_compact_at = max(256, 2 * len(refs))
         return alive
 
     # ------------------------------------------------------------------ #
@@ -223,14 +365,47 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
         self._seq += 1
-        heapq.heappush(self._queue, (self.now + delay, self._seq, fn, args))
+        time = self.now + delay
+        free = self._free
+        if free:
+            ev = free.pop()
+            ev.time = time
+            ev.seq = self._seq
+            ev.fn = fn
+            ev.args = args
+        else:
+            ev = _Event(time, self._seq, fn, args)
+        if delay == 0:
+            self._ready.append(ev)
+        else:
+            heap = self._heap
+            if heap:
+                heappush(heap, (time, self._seq, ev))
+            else:
+                heap.append((time, self._seq, ev))  # nothing to sift against
 
     def schedule_at(self, time: int, fn: Callable, *args: Any) -> None:
         """Run ``fn(*args)`` at absolute cycle ``time`` (>= now)."""
         if time < self.now:
             raise SimulationError(f"cannot schedule in the past ({time} < {self.now})")
         self._seq += 1
-        heapq.heappush(self._queue, (time, self._seq, fn, args))
+        free = self._free
+        if free:
+            ev = free.pop()
+            ev.time = time
+            ev.seq = self._seq
+            ev.fn = fn
+            ev.args = args
+        else:
+            ev = _Event(time, self._seq, fn, args)
+        if time == self.now:
+            self._ready.append(ev)
+        else:
+            heap = self._heap
+            if heap:
+                heappush(heap, (time, self._seq, ev))
+            else:
+                heap.append((time, self._seq, ev))
 
     def signal(self, name: str = "") -> Signal:
         """Create a new :class:`Signal` bound to this simulator."""
@@ -256,20 +431,56 @@ class Simulator:
         Returns:
             The final simulated cycle.
         """
-        queue = self._queue
+        heap = self._heap
+        ready = self._ready
+        free = self._free
+        profiler = self.profiler
+        # the checkpoint hook attaches/detaches only between runs (see
+        # repro.verify.invariants), so resolve it once
+        on_event = self.on_event
         executed = 0
-        while queue:
-            time, _seq, fn, args = queue[0]
+        while True:
+            # pick the globally next event: the deque is (time, seq)-sorted
+            # and so is the heap, so one head comparison decides
+            if ready:
+                ev = ready[0]
+                from_heap = False
+                if heap:
+                    head = heap[0]
+                    if head[0] < ev.time or (head[0] == ev.time
+                                             and head[1] < ev.seq):
+                        from_heap = True
+                        ev = head[2]
+            elif heap:
+                from_heap = True
+                ev = heap[0][2]
+            else:
+                break
+            time = ev.time
             if until is not None and time > until:
                 self.now = until
                 break
-            heapq.heappop(queue)
+            if from_heap:
+                heappop(heap)
+            else:
+                ready.popleft()
             self.now = time
-            fn(*args)
+            fn = ev.fn
+            args = ev.args
+            ev.fn = ev.args = None  # release references before recycling
+            if len(free) < 4096:
+                free.append(ev)
+            if profiler is None:
+                fn(*args)
+            else:
+                t0 = perf_counter()
+                fn(*args)
+                profiler.record(fn, time, perf_counter() - t0)
             executed += 1
-            if self.on_event is not None:
-                self.on_event(self)
+            if on_event is not None:
+                on_event(self)
             if max_events is not None and executed >= max_events:
+                self._events_executed += executed
                 raise SimulationError(
                     f"exceeded max_events={max_events} at cycle {self.now}"
                 )
@@ -295,28 +506,68 @@ class Simulator:
                 exception's ``blocked`` attribute).
         """
         procs = list(procs)
-        queue = self._queue
+        heap = self._heap
+        ready = self._ready
+        free = self._free
+        profiler = self.profiler
+        on_event = self.on_event  # attaches only between runs; see run()
         executed = 0
-        while queue and not all(p.finished for p in procs):
-            time, _seq, fn, args = queue[0]
-            if max_cycles is not None and time > max_cycles:
-                self.now = max_cycles
-                raise SimDeadlockError(
-                    f"deadlock watchdog: exceeded max_cycles={max_cycles} "
-                    f"with blocked processes: {self._blocked_report(procs)}",
-                    blocked=self._blocked_snapshot(procs),
-                )
-            heapq.heappop(queue)
-            self.now = time
-            fn(*args)
-            executed += 1
-            if self.on_event is not None:
-                self.on_event(self)
-            if max_events is not None and executed >= max_events:
-                raise SimulationError(
-                    f"exceeded max_events={max_events} at cycle {self.now}"
-                )
-        self._events_executed += executed
+        # the all-finished predicate is O(n_procs); re-evaluate it only
+        # when the kernel's finish stamp moved (some process completed)
+        stamp = self._finish_stamp - 1
+        try:
+            while True:
+                if stamp != self._finish_stamp:
+                    stamp = self._finish_stamp
+                    if all(p.finished for p in procs):
+                        return self.now
+                if ready:
+                    ev = ready[0]
+                    from_heap = False
+                    if heap:
+                        head = heap[0]
+                        if head[0] < ev.time or (head[0] == ev.time
+                                                 and head[1] < ev.seq):
+                            from_heap = True
+                            ev = head[2]
+                elif heap:
+                    from_heap = True
+                    ev = heap[0][2]
+                else:
+                    break
+                time = ev.time
+                if max_cycles is not None and time > max_cycles:
+                    self.now = max_cycles
+                    raise SimDeadlockError(
+                        f"deadlock watchdog: exceeded max_cycles={max_cycles} "
+                        f"with blocked processes: {self._blocked_report(procs)}",
+                        blocked=self._blocked_snapshot(procs),
+                    )
+                if from_heap:
+                    heappop(heap)
+                else:
+                    ready.popleft()
+                self.now = time
+                fn = ev.fn
+                args = ev.args
+                ev.fn = ev.args = None
+                if len(free) < 4096:
+                    free.append(ev)
+                if profiler is None:
+                    fn(*args)
+                else:
+                    t0 = perf_counter()
+                    fn(*args)
+                    profiler.record(fn, time, perf_counter() - t0)
+                executed += 1
+                if on_event is not None:
+                    on_event(self)
+                if max_events is not None and executed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} at cycle {self.now}"
+                    )
+        finally:
+            self._events_executed += executed
         unfinished = [p.name for p in procs if not p.finished]
         if unfinished:
             raise SimDeadlockError(
@@ -358,7 +609,8 @@ class Simulator:
     @property
     def pending_events(self) -> int:
         """Number of events currently queued."""
-        return len(self._queue)
+        return len(self._heap) + len(self._ready)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"Simulator(now={self.now}, pending={len(self._queue)})"
+        return (f"Simulator(now={self.now}, "
+                f"pending={len(self._heap) + len(self._ready)})")

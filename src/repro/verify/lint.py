@@ -58,10 +58,12 @@ _NP_RANDOM_OK = frozenset({"default_rng", "Generator", "SeedSequence",
 
 #: attributes owned by the event kernel: writable only in repro/sim/kernel.py
 KERNEL_OWNED_ATTRS = frozenset({
-    "now", "_queue", "_seq", "_events_executed",     # Simulator
+    "now", "_heap", "_ready", "_free", "_seq",       # Simulator
+    "_events_executed", "_finish_stamp",
+    "_signal_registry", "_registry_compact_at", "_retain_values",
     "finished", "_gen", "waiting_on",                # Process
     "_waiters", "fire_count", "last_value",          # Signal
-    "on_event", "_signal_registry",
+    "on_event",
 })
 
 #: file whose job is to mutate that state

@@ -1,0 +1,212 @@
+"""Determinism and kernel-behavior guarantees of the optimized hot path.
+
+The golden file ``tests/data/determinism_golden.json`` was recorded with
+the pre-optimization (seed) kernel: a spec matrix over {2x2, 4x4 mesh} x
+{glock, mcs} x {clean, fault-injected}, each entry pinning the RunSpec
+digest and a canonical sha256 fingerprint of the full RunResult.  The
+tests here replay every spec on the current kernel and assert the exact
+same bytes come out — the property the content-addressed result cache
+(and every cached experiment) depends on.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.machine import Machine
+from repro.runner.engine import execute_spec
+from repro.runner.fingerprint import result_canonical_dict, result_fingerprint
+from repro.runner.spec import RunSpec
+from repro.sim.config import CMPConfig
+from repro.sim.kernel import Simulator
+from repro.sim.profile import Profiler, active_profiler, profiling
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data",
+                           "determinism_golden.json")
+
+with open(GOLDEN_PATH, "r", encoding="utf-8") as _fh:
+    GOLDEN = json.load(_fh)["entries"]
+
+
+def _entry_id(entry):
+    spec = entry["spec"]
+    machine = spec["machine"]
+    faults = "faults" if machine.get("fault_plan") else "clean"
+    return f"{machine['config']['n_cores']}c-{spec['hc_kind']}-{faults}"
+
+
+@pytest.mark.parametrize("entry", GOLDEN, ids=_entry_id)
+def test_optimized_kernel_reproduces_seed_results(entry):
+    """Byte-identical RunResults across the kernel overhaul."""
+    spec = RunSpec.from_dict(entry["spec"])
+    assert spec.digest() == entry["spec_digest"], \
+        "spec serialization drifted — cached results would be orphaned"
+    run = execute_spec(spec)
+    assert run.result.makespan == entry["makespan"]
+    assert result_fingerprint(run.result) == entry["result_fingerprint"], \
+        "RunResult bytes differ from the seed kernel"
+
+
+def test_profiler_does_not_change_results():
+    """Profiling is an observer: identical fingerprints on and off."""
+    entry = GOLDEN[0]
+    spec = RunSpec.from_dict(entry["spec"])
+    with profiling() as prof:
+        run = execute_spec(spec)
+    assert result_fingerprint(run.result) == entry["result_fingerprint"]
+    # the profiler genuinely observed the run...
+    assert prof.total_events > 0
+    assert prof.total_wall_s > 0
+    report = prof.report()
+    assert any(name.startswith("process:core") for name in report)
+    assert sum(c["events"] for c in report.values()) == prof.total_events
+    # ...and never touched the spec digest
+    assert spec.digest() == entry["spec_digest"]
+
+
+def test_profiler_never_enters_spec_digest():
+    """The spec layer has no profiling field at all."""
+    entry = GOLDEN[0]
+    with profiling():
+        digest_on = RunSpec.from_dict(entry["spec"]).digest()
+    digest_off = RunSpec.from_dict(entry["spec"]).digest()
+    assert digest_on == digest_off == entry["spec_digest"]
+
+
+def test_profiling_context_installs_and_restores():
+    assert active_profiler() is None
+    with profiling() as outer:
+        assert active_profiler() is outer
+        with profiling() as inner:
+            assert active_profiler() is inner
+        assert active_profiler() is outer
+    assert active_profiler() is None
+
+
+def test_profiler_format_table_lists_components():
+    prof = Profiler()
+    with profiling(prof):
+        machine = Machine(CMPConfig.small(2))
+        machine.run([lambda ctx: iter(()), lambda ctx: iter(())])
+    table = prof.format_table()
+    assert "process:core" in table
+    assert "total" in table
+
+
+def test_result_canonical_dict_is_json_stable():
+    run = execute_spec(RunSpec.from_dict(GOLDEN[0]["spec"]))
+    d1 = json.dumps(result_canonical_dict(run.result), sort_keys=True)
+    d2 = json.dumps(result_canonical_dict(run.result), sort_keys=True)
+    assert d1 == d2
+
+
+# --------------------------------------------------------------------- #
+# dual-queue ordering regressions
+# --------------------------------------------------------------------- #
+def test_same_cycle_heap_event_beats_later_zero_delay():
+    """A delayed event keeps priority over zero-delay events spawned at
+    its cycle by an earlier-sequence event (the (time, seq) total order
+    across the heap/ready-deque split)."""
+    sim = Simulator()
+    order = []
+
+    def a():
+        order.append("A")
+        sim.schedule(0, lambda: order.append("D"))
+
+    sim.schedule(5, a)                         # seq 1, fires at t=5
+    sim.schedule(5, lambda: order.append("B"))  # seq 2, fires at t=5
+    sim.run()
+    assert order == ["A", "B", "D"]
+
+
+def test_zero_delay_events_run_fifo():
+    sim = Simulator()
+    order = []
+    for i in range(8):
+        sim.schedule(0, order.append, i)
+    sim.run()
+    assert order == list(range(8))
+
+
+def test_pending_events_counts_both_queues():
+    sim = Simulator()
+    sim.schedule(0, lambda: None)
+    sim.schedule(5, lambda: None)
+    assert sim.pending_events == 2
+    sim.run()
+    assert sim.pending_events == 0
+
+
+def test_event_recycling_preserves_order_under_churn():
+    """Storm of mixed zero-delay/delayed events; recycled records must
+    never leak stale (time, seq) ordering."""
+    sim = Simulator()
+    seen = []
+
+    def chain(depth, tag):
+        seen.append((sim.now, tag))
+        if depth:
+            sim.schedule(0, chain, depth - 1, tag)
+            sim.schedule(3, chain, depth - 1, tag + 1000)
+
+    for i in range(4):
+        sim.schedule(i % 3, chain, 4, i)
+    sim.run()
+    times = [t for t, _ in seen]
+    assert times == sorted(times)  # execution never goes back in time
+    # the authoritative check: identical replay on a fresh simulator
+    sim2 = Simulator()
+    seen2 = []
+
+    def chain2(depth, tag):
+        seen2.append((sim2.now, tag))
+        if depth:
+            sim2.schedule(0, chain2, depth - 1, tag)
+            sim2.schedule(3, chain2, depth - 1, tag + 1000)
+
+    for i in range(4):
+        sim2.schedule(i % 3, chain2, 4, i)
+    sim2.run()
+    assert seen2 == seen
+
+
+# --------------------------------------------------------------------- #
+# satellite fixes: registry compaction, last_value gating
+# --------------------------------------------------------------------- #
+def test_signal_registry_compacts_dead_refs():
+    sim = Simulator()
+    sim.enable_signal_registry()
+    for i in range(5000):
+        sim.signal(f"ephemeral{i}")  # dropped immediately
+    # without compaction the registry would hold ~5000 dead weakrefs
+    assert len(sim._signal_registry) < 1024
+    assert sim.live_signals() == []
+
+
+def test_signal_registry_keeps_live_signals_across_compaction():
+    sim = Simulator()
+    sim.enable_signal_registry()
+    keep = [sim.signal(f"keep{i}") for i in range(10)]
+    for i in range(5000):
+        sim.signal(f"ephemeral{i}")
+    live = sim.live_signals()
+    assert set(s.name for s in live) == set(s.name for s in keep)
+
+
+def test_last_value_not_retained_by_default():
+    sim = Simulator()
+    sig = sim.signal("payload-carrier")
+    payload = object()
+    sig.fire(payload)
+    assert sig.last_value is None  # campaigns must not pin dead payloads
+
+
+def test_last_value_retained_with_diagnostics_attached():
+    sim = Simulator()
+    sim.enable_signal_registry()
+    sig = sim.signal("payload-carrier")
+    payload = object()
+    sig.fire(payload)
+    assert sig.last_value is payload
