@@ -224,11 +224,33 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--save-baseline", action="store_true",
                         help="also write the report to --baseline "
                              "(refreshing the committed numbers)")
+    parser.add_argument("--race-detect", action="store_true",
+                        help="run the suite with the data-race detector "
+                             "attached (repro.verify.races) — measures "
+                             "detection overhead; not for --check/"
+                             "--save-baseline runs")
     args = parser.parse_args(argv)
 
     print(f"bench_kernel: {'smoke' if args.smoke else 'full Table III'} "
-          f"suite, repeat={args.repeat}")
-    report = run_suite(args.smoke, max(args.repeat, 1))
+          f"suite, repeat={args.repeat}"
+          + (", race detector ON" if args.race_detect else ""))
+    if args.race_detect:
+        from repro.verify.races import race_detection
+
+        with race_detection() as races:
+            report = run_suite(args.smoke, max(args.repeat, 1))
+        report["race_detect"] = {
+            "machines": races.machines,
+            "accesses_checked": races.accesses_checked,
+            "races": len(races.races),
+            "intentional": len(races.suppressed),
+        }
+        print(f"race detector: {len(races.races)} race(s), "
+              f"{len(races.suppressed)} intentional, "
+              f"{races.accesses_checked} accesses checked across "
+              f"{races.machines} machine(s)")
+    else:
+        report = run_suite(args.smoke, max(args.repeat, 1))
 
     baseline = load_baseline(args.check or args.baseline)
     if baseline is not None:

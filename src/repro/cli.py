@@ -6,6 +6,7 @@
     repro-sim cost [--cores N] [--levels L]  # Table I for that chip
     repro-sim run --workload sctr --lock glock [--cores N] [--scale S]
                   [--sanitize]               # runtime invariant checks
+                  [--race-detect]            # lockset/vector-clock races
     repro-sim experiment fig08 [--scale S] [--cores N]
                   [--jobs J] [--cache-dir D] [--no-cache]
     repro-sim shootout [--cores N] [--iters I] [--jobs J] ...
@@ -91,6 +92,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", action="store_true",
                    help="per-component cycle/event attribution "
                         "(repro.sim.profile); results are unchanged")
+    p.add_argument("--race-detect", action="store_true",
+                   help="attach the lockset/vector-clock data-race "
+                        "detector (repro.verify.races); exits 1 on "
+                        "unannotated races, fingerprints are unchanged")
 
     def add_engine_flags(p):
         p.add_argument("--jobs", type=int, default=1, metavar="J",
@@ -119,6 +124,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-component cycle/event attribution; forces "
                         "--jobs 1 --no-cache so every run executes "
                         "in-process (spec digests are unaffected)")
+    p.add_argument("--race-detect", action="store_true",
+                   help="race-check every run in the sweep; forces "
+                        "--jobs 1 --no-cache so detectors attach "
+                        "in-process (spec digests are unaffected)")
     add_engine_flags(p)
     p.add_argument("--fail-policy", choices=("abort", "collect"),
                    default="abort",
@@ -145,7 +154,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_engine_flags(p)
 
     p = sub.add_parser("lint", help="simulator-aware static lint "
-                                    "(SIM001-SIM004)")
+                                    "(SIM001-SIM007)")
     p.add_argument("paths", nargs="*", default=["src/"],
                    help="files or directories (default: src/)")
 
@@ -207,6 +216,11 @@ def _run_once(args) -> int:
             machine.sanitizer.detach()
         sanitizer = attach_sanitizer(
             machine, starvation_bound=args.sanitize_starvation_bound)
+    detector = None
+    if args.race_detect and machine.races is None:
+        from repro.verify.races import attach_detector
+
+        detector = attach_detector(machine)
     workload = make_workload(args.workload, scale=args.scale)
     instance = workload.instantiate(machine, hc_kind=args.lock,
                                     other_kind=args.other_lock)
@@ -215,6 +229,8 @@ def _run_once(args) -> int:
     if args.sanitize:
         print(f"sanitizer  : OK ({sanitizer.checks_run} per-event checks, "
               "drain invariants hold)")
+    if detector is not None:
+        print(detector.format_report())
     energy = account_run(result)
     fractions = result.category_fractions()
     print(f"workload   : {args.workload} (scale {args.scale}) on "
@@ -226,6 +242,8 @@ def _run_once(args) -> int:
           f"({result.traffic})")
     print(f"energy     : {energy.total_pj / 1e6:.2f} uJ; "
           f"ED2P = {ed2p(energy, result.makespan):.3e} pJ*cyc^2")
+    if detector is not None and detector.races:
+        return 1
     return 0
 
 
@@ -276,6 +294,26 @@ def _cmd_experiment(args) -> int:
             code = _cmd_experiment(args)
         print()
         print(prof.format_table())
+        return code
+
+    if args.race_detect:
+        # same in-process constraint as --profile: the detector attaches
+        # to Machines built in this interpreter, and a cache hit would
+        # skip the simulation it needs to observe
+        from repro.verify.races import race_detection
+
+        if args.jobs != 1 or not args.no_cache:
+            print("race-detect: forcing --jobs 1 --no-cache (detectors "
+                  "attach to in-process runs)")
+        args.jobs = 1
+        args.no_cache = True
+        args.race_detect = False  # run the plain path below, instrumented
+        with race_detection() as races:
+            code = _cmd_experiment(args)
+        print()
+        print(races.format_report())
+        if races.races and code == 0:
+            code = 1
         return code
 
     module = importlib.import_module(EXPERIMENTS[args.name])

@@ -60,10 +60,14 @@ class ThreadContext:
     """Execution context handed to a thread program generator."""
 
     def __init__(self, core: Core,
-                 lock_intervals: Optional[IntervalRecorder] = None) -> None:
+                 lock_intervals: Optional[IntervalRecorder] = None,
+                 races=None) -> None:
         self.core = core
         self.sim = core.sim
         self.lock_intervals = lock_intervals
+        #: optional repro.verify.races.RaceDetector observing this thread's
+        #: accesses and synchronization; passed in by Machine.context()
+        self.races = races
         self._cat_stack: List[str] = []
 
     @property
@@ -109,6 +113,10 @@ class ThreadContext:
         value = yield from self.core.l1.load(addr)
         self.core.instructions += 1
         self._attribute(MEMORY, self.sim.now - t0)
+        # workload-level accesses only: loads issued inside a lock/barrier
+        # implementation spin on intentionally-contended sync words
+        if self.races is not None and not self._cat_stack:
+            self.races.on_access(self, addr, False)
         return value
 
     def store(self, addr: int, value: int):
@@ -117,6 +125,8 @@ class ThreadContext:
         yield from self.core.l1.store(addr, value)
         self.core.instructions += 1
         self._attribute(MEMORY, self.sim.now - t0)
+        if self.races is not None and not self._cat_stack:
+            self.races.on_access(self, addr, True)
 
     def rmw(self, addr: int, fn):
         """Coroutine: atomic read-modify-write; returns the old value."""
@@ -124,6 +134,8 @@ class ThreadContext:
         old = yield from self.core.l1.rmw(addr, fn)
         self.core.instructions += 1
         self._attribute(MEMORY, self.sim.now - t0)
+        if self.races is not None and not self._cat_stack:
+            self.races.on_access(self, addr, True, atomic=True)
         return old
 
     def spin_until(self, addr: int, predicate):
@@ -132,6 +144,8 @@ class ThreadContext:
         value = yield from self.core.l1.spin_until(addr, predicate)
         self.core.instructions += 1
         self._attribute(MEMORY, self.sim.now - t0)
+        if self.races is not None and not self._cat_stack:
+            self.races.on_access(self, addr, False)
         return value
 
     # ------------------------------------------------------------------ #
@@ -158,6 +172,8 @@ class ThreadContext:
                                    f"acquire {lock.name} (granted, "
                                    f"{self.sim.now - t0} cycles)")
         self.core.cycles[LOCK] += self.sim.now - t0
+        if self.races is not None:
+            self.races.on_acquire(self.core_id, lock)
 
     def release(self, lock):
         """Coroutine: release ``lock``; elapsed time -> Lock category."""
@@ -165,6 +181,10 @@ class ThreadContext:
         if self.sim.tracer is not None:
             self.sim.tracer.record(t0, "lock", f"core{self.core_id}",
                                    f"release {lock.name}")
+        # snapshot the happens-before edge at release *entry*: everything
+        # this thread did up to here is visible to the next acquirer
+        if self.races is not None:
+            self.races.on_release(self.core_id, lock)
         self._cat_stack.append(LOCK)
         try:
             yield from lock.release(self)
@@ -186,11 +206,15 @@ class ThreadContext:
         if self.sim.tracer is not None:
             self.sim.tracer.record(t0, "sync", f"core{self.core_id}",
                                    f"barrier {barrier.name} (arrive)")
+        if self.races is not None:
+            self.races.on_barrier_arrive(self.core_id, barrier)
         self._cat_stack.append(BARRIER)
         try:
             yield from barrier.wait(self)
         finally:
             self._cat_stack.pop()
+        if self.races is not None:
+            self.races.on_barrier_depart(self.core_id, barrier)
         if self.sim.tracer is not None:
             self.sim.tracer.record(self.sim.now, "sync",
                                    f"core{self.core_id}",

@@ -19,7 +19,17 @@ _uids = itertools.count()
 
 
 class Lock(ABC):
-    """Abstract mutual-exclusion lock."""
+    """Abstract mutual-exclusion lock.
+
+    Every implementation promises the release -> next-acquire
+    happens-before edge on the same lock object: all memory operations a
+    thread performed before ``release`` are ordered before everything the
+    next owner does after its ``acquire`` returns.  The race detector
+    (:mod:`repro.verify.races`) keys that edge on :attr:`uid`, which is
+    why a GLock handle and its degraded software fallback — one ``uid``,
+    two mechanisms — still form a single serialization chain.  See
+    docs/protocol.md for the per-kind edge inventory.
+    """
 
     def __init__(self, name: str = "") -> None:
         self.uid = next(_uids)

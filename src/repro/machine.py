@@ -37,6 +37,7 @@ from repro.sim.config import CMPConfig
 from repro.sim.kernel import Simulator
 from repro.sim.profile import active_profiler
 from repro.sim.stats import IntervalRecorder
+from repro.verify.races import RaceDetector, active_race_collection
 from repro.sync.barrier import TreeBarrier
 
 __all__ = ["Machine", "RunResult"]
@@ -110,6 +111,14 @@ class Machine:
         #: InvariantSanitizer.attach() (or the --sanitize CLI flag) and
         #: finalized automatically at the end of run()
         self.sanitizer = None
+        #: optional repro.verify.races.RaceDetector; set by
+        #: RaceDetector.attach() (or --race-detect) and drained at the end
+        #: of run().  Like the profiler, ambient attachment via
+        #: repro.verify.races.race_detection() never touches spec digests.
+        self.races = None
+        collection = active_race_collection()
+        if collection is not None:
+            RaceDetector(self, collection=collection).attach()
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -146,7 +155,8 @@ class Machine:
 
     def context(self, core_id: int) -> ThreadContext:
         """A thread-program context bound to ``core_id``."""
-        return ThreadContext(self.cores[core_id], self.lock_intervals)
+        return ThreadContext(self.cores[core_id], self.lock_intervals,
+                             races=self.races)
 
     # ------------------------------------------------------------------ #
     # execution
@@ -181,6 +191,8 @@ class Machine:
                                             max_cycles=max_cycles)
         if self.sanitizer is not None:
             self.sanitizer.at_drain(procs)
+        if self.races is not None:
+            self.races.at_drain()
         return self._collect(procs)
 
     def _wrap(self, program: ThreadProgram, ctx: ThreadContext):

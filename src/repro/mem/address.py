@@ -8,7 +8,7 @@ distinct lines, MCTR pads its per-thread counters one per line.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Tuple
 
 __all__ = ["WORD_BYTES", "AddressSpace", "line_of", "home_of"]
 
@@ -26,33 +26,56 @@ def home_of(line_addr: int, line_bytes: int, n_tiles: int) -> int:
 
 
 class AddressSpace:
-    """Bump allocator over the simulated flat address space."""
+    """Bump allocator over the simulated flat address space.
+
+    Allocations may carry a ``label``; :meth:`describe` maps an address
+    back to ``label+offset``, which is how diagnostics (e.g. the race
+    detector's reports) name a raw address after the fact.  Labels are
+    pure metadata — they never affect layout or simulation results.
+    """
 
     def __init__(self, line_bytes: int = 64, base: int = 0x10000) -> None:
         self.line_bytes = line_bytes
         self._next = base
+        # (start, end, label) regions, in allocation (= address) order
+        self._regions: List[Tuple[int, int, str]] = []
 
-    def alloc(self, n_bytes: int, align: int = WORD_BYTES) -> int:
+    def alloc(self, n_bytes: int, align: int = WORD_BYTES,
+              label: Optional[str] = None) -> int:
         """Allocate ``n_bytes`` aligned to ``align`` (power of two)."""
         if align & (align - 1):
             raise ValueError(f"alignment {align} not a power of two")
         addr = (self._next + align - 1) & ~(align - 1)
         self._next = addr + n_bytes
+        if label is not None:
+            self._regions.append((addr, addr + n_bytes, label))
         return addr
 
-    def alloc_word(self) -> int:
+    def alloc_word(self, label: Optional[str] = None) -> int:
         """Allocate one word."""
-        return self.alloc(WORD_BYTES)
+        return self.alloc(WORD_BYTES, label=label)
 
-    def alloc_line(self) -> int:
+    def alloc_line(self, label: Optional[str] = None) -> int:
         """Allocate a full, line-aligned cache line; returns its base."""
-        return self.alloc(self.line_bytes, align=self.line_bytes)
+        return self.alloc(self.line_bytes, align=self.line_bytes, label=label)
 
-    def alloc_words_padded(self, count: int) -> List[int]:
+    def alloc_words_padded(self, count: int,
+                           label: Optional[str] = None) -> List[int]:
         """Allocate ``count`` words, each in its own cache line (no false
         sharing) — the layout MCTR and MCS queue nodes use."""
-        return [self.alloc_line() for _ in range(count)]
+        return [self.alloc_line(label=None if label is None
+                                else f"{label}[{i}]")
+                for i in range(count)]
 
-    def alloc_array(self, n_words: int) -> int:
+    def alloc_array(self, n_words: int, label: Optional[str] = None) -> int:
         """Allocate a dense array of words; returns the base address."""
-        return self.alloc(n_words * WORD_BYTES, align=self.line_bytes)
+        return self.alloc(n_words * WORD_BYTES, align=self.line_bytes,
+                          label=label)
+
+    def describe(self, addr: int) -> str:
+        """``label+0xOFF`` for a labelled address, else plain hex."""
+        for start, end, label in self._regions:
+            if start <= addr < end:
+                offset = addr - start
+                return label if offset == 0 else f"{label}+{offset:#x}"
+        return hex(addr)

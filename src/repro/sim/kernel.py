@@ -274,6 +274,17 @@ class Process:
         return f"Process({self.name!r}, {state})"
 
 
+def _chain_hooks(hooks):
+    """One ``on_event`` callable running ``hooks`` in order (see
+    :meth:`Simulator.add_on_event`); the list rides along as ``_hooks`` so
+    add/remove can rebuild the chain."""
+    def chain(sim: "Simulator") -> None:
+        for hook in hooks:
+            hook(sim)
+    chain._hooks = hooks
+    return chain
+
+
 class Simulator:
     """The event engine: a deterministic ``(time, seq)``-ordered dual queue.
 
@@ -328,6 +339,40 @@ class Simulator:
         if self._signal_registry is None:
             self._signal_registry = []
         self._retain_values = True
+
+    def add_on_event(self, fn: Callable[["Simulator"], None]) -> None:
+        """Add ``fn`` to the per-event checkpoint, composing with any hook
+        already installed.
+
+        ``on_event`` itself stays a single callable (the hot loop pays one
+        falsy check when nothing is attached); with several observers —
+        e.g. the invariant sanitizer and a future per-event watcher — the
+        installed callable is a chain that runs them in attachment order.
+        """
+        current = self.on_event
+        if current is None:
+            self.on_event = fn
+            return
+        hooks = list(getattr(current, "_hooks", (current,)))
+        hooks.append(fn)
+        self.on_event = _chain_hooks(hooks)
+
+    def remove_on_event(self, fn: Callable[["Simulator"], None]) -> None:
+        """Remove ``fn`` from the checkpoint chain (no-op if absent).
+
+        Matches by equality so bound methods — which build a fresh object
+        per attribute access — are found.
+        """
+        current = self.on_event
+        if current is None:
+            return
+        hooks = [h for h in getattr(current, "_hooks", (current,)) if h != fn]
+        if not hooks:
+            self.on_event = None
+        elif len(hooks) == 1:
+            self.on_event = hooks[0]
+        else:
+            self.on_event = _chain_hooks(hooks)
 
     def _compact_signal_registry(self) -> None:
         """Drop dead weakrefs in place and raise the next compaction bar.

@@ -1,6 +1,6 @@
 """Protocol verification layer for the GLocks reproduction.
 
-Three coordinated tools guard the paper's central correctness claims (one
+Four coordinated tools guard the paper's central correctness claims (one
 token per G-line network, starvation-free two-level round-robin
 arbitration, single-signal release):
 
@@ -13,8 +13,13 @@ arbitration, single-signal release):
   simulator event loop (``Simulator.on_event``) and validates per-cycle
   invariants on full paper-scale workloads (``--sanitize`` on the CLI, or
   ``pytest --sanitize`` for the test suite).
-- :mod:`repro.verify.lint` — an AST-based static lint for simulator
-  hazards (``python -m repro.lint src/`` or ``repro-sim lint``).
+- :mod:`repro.verify.races` — a lockset + vector-clock data-race detector
+  that rides the per-core memory path and the lock/barrier layer
+  (``--race-detect`` on the CLI, or ``pytest --race-detect``), proving
+  each lock kind's happens-before edges actually order the workloads.
+- :mod:`repro.verify.lint` — an AST-based multi-rule static lint for
+  simulator hazards, SIM001-SIM007 (``python -m repro.lint src/`` or
+  ``repro-sim lint``).
 
 See docs/protocol.md ("Verified invariants") for the property list and the
 configuration sizes each property has been exhausted on.
@@ -27,6 +32,14 @@ from repro.verify.modelcheck import (
     ModelCheckViolation,
     check_protocol,
 )
+from repro.verify.races import (
+    RaceCollection,
+    RaceDetector,
+    RaceError,
+    RaceReport,
+    attach_detector,
+    race_detection,
+)
 
 __all__ = [
     "CheckResult",
@@ -37,4 +50,10 @@ __all__ = [
     "LintFinding",
     "lint_paths",
     "lint_source",
+    "RaceCollection",
+    "RaceDetector",
+    "RaceError",
+    "RaceReport",
+    "attach_detector",
+    "race_detection",
 ]

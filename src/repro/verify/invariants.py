@@ -74,20 +74,24 @@ class InvariantSanitizer:
     # wiring
     # ------------------------------------------------------------------ #
     def attach(self) -> "InvariantSanitizer":
-        """Hook the machine's simulator; returns self for chaining."""
+        """Hook the machine's simulator; returns self for chaining.
+
+        Joins the kernel's composable ``on_event`` chain
+        (:meth:`~repro.sim.kernel.Simulator.add_on_event`), so other
+        observers can coexist; a second *sanitizer* on the same machine is
+        still refused.
+        """
         sim: Simulator = self.machine.sim
-        if sim.on_event is not None:
-            raise RuntimeError("simulator already has an on_event hook")
+        if self.machine.sanitizer is not None:
+            raise RuntimeError("machine already has a sanitizer attached")
         sim.enable_signal_registry()
-        sim.on_event = self._on_event
+        sim.add_on_event(self._on_event)
         self.machine.sanitizer = self
         return self
 
     def detach(self) -> None:
         """Remove the hook (the signal registry stays enabled)."""
-        # bound-method access builds a fresh object each time, so == not is
-        if self.machine.sim.on_event == self._on_event:
-            self.machine.sim.on_event = None
+        self.machine.sim.remove_on_event(self._on_event)
         if self.machine.sanitizer is self:
             self.machine.sanitizer = None
 

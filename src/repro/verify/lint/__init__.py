@@ -1,0 +1,30 @@
+"""Simulator-aware static lint (AST-based, zero dependencies).
+
+A multi-rule framework (:mod:`repro.verify.lint.framework`) drives the
+registered rules (:mod:`repro.verify.lint.rules`) over one shared AST
+walk per file:
+
+- ``SIM001`` — ``acquire``/``release`` coroutine call discarded
+- ``SIM002`` — bool yielded as a cycle delay
+- ``SIM003`` — unseeded global randomness in simulator code
+- ``SIM004`` — kernel-owned state mutated outside ``sim/kernel.py``
+- ``SIM005`` — lock acquired but not released on some path
+- ``SIM006`` — ``ctx`` memory-op coroutine or loaded value discarded
+- ``SIM007`` — shared mutable Python state in a workload module
+
+Suppress per statement with ``# noqa: SIMxxx`` (or bare ``# noqa``) on
+any physical line of the flagged statement — continuation lines count.
+
+Run as ``python -m repro.lint <paths>`` or ``repro-sim lint <paths>``;
+``--list-rules`` prints the registry, ``--select SIM005,SIM007`` narrows
+a run.  Exit codes: 0 clean, 1 findings, 2 unreadable path.
+"""
+
+from repro.verify.lint.framework import (LintContext, LintFinding, Rule,
+                                         iter_rules, lint_paths,
+                                         lint_source, main, register_rule,
+                                         rule_codes)
+from repro.verify.lint import rules  # noqa: F401 — registers SIM001-SIM007
+
+__all__ = ["LintFinding", "LintContext", "Rule", "register_rule",
+           "iter_rules", "rule_codes", "lint_source", "lint_paths", "main"]

@@ -1,0 +1,259 @@
+"""Rule framework for the simulator-aware lint.
+
+The lint is a set of independently registered :class:`Rule` classes
+(:mod:`repro.verify.lint.rules`) driven over one shared AST walk per
+file.  A rule declares the nodes it cares about by defining
+``visit_<NodeType>`` methods (the dispatcher owns traversal — rules never
+call ``generic_visit``) and reports through :meth:`Rule.add`; whole-file
+rules can hook ``visit_Module`` and walk on their own.
+
+Suppression is per *statement*, not per physical line: a finding whose
+flagged node spans ``line..end_line`` is silenced by a ``# noqa`` (bare,
+or listing the code) on **any** physical line of that span — so trailing
+comments after a continuation line of a multi-line call work, which the
+pre-framework lint got wrong.
+
+Exit codes of :func:`main` (``python -m repro.lint`` / ``repro-sim
+lint``), relied on by CI and tested in ``tests/test_lint.py``:
+
+- ``0`` — every linted file is clean;
+- ``1`` — at least one finding (after ``noqa`` suppression);
+- ``2`` — a path could not be linted (missing file, not ``*.py``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Type
+
+__all__ = ["LintFinding", "LintContext", "Rule", "register_rule",
+           "iter_rules", "rule_codes", "lint_source", "lint_paths", "main"]
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation at a source location.
+
+    ``end_line`` is the last physical line of the flagged statement
+    (``0`` means single-line); the ``noqa`` scan covers the whole span.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    end_line: int = 0
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+class LintContext:
+    """Per-file state shared by every rule instance."""
+
+    def __init__(self, path: str, source: str) -> None:
+        self.path = path
+        self.normalized = path.replace("\\", "/")
+        #: the one file allowed to mutate kernel-owned attributes
+        self.is_kernel = self.normalized.endswith("sim/kernel.py")
+        #: workload modules get the shared-state rules (SIM007)
+        self.is_workload = "workloads" in self.normalized.split("/")
+        self.source = source
+        self.findings: List[LintFinding] = []
+
+    def add(self, node: ast.AST, code: str, message: str) -> None:
+        self.findings.append(LintFinding(
+            path=self.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            code=code,
+            message=message,
+            end_line=getattr(node, "end_lineno", 0) or 0,
+        ))
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set :attr:`code` and :attr:`summary`, register with
+    :func:`register_rule`, and implement ``visit_<NodeType>`` methods.
+    :meth:`applies` lets a rule opt out of whole files (e.g. SIM004 inside
+    the kernel itself).
+    """
+
+    code: str = ""
+    summary: str = ""
+
+    def __init__(self, ctx: LintContext) -> None:
+        self.ctx = ctx
+
+    def applies(self) -> bool:
+        return True
+
+    def add(self, node: ast.AST, message: str) -> None:
+        self.ctx.add(node, self.code, message)
+
+
+#: code -> rule class, in registration order (rules.py registers SIM001..N)
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: add ``cls`` to the rule registry."""
+    if not cls.code:
+        raise ValueError(f"{cls.__name__} has no code")
+    if cls.code in _REGISTRY:
+        raise ValueError(f"duplicate lint rule code {cls.code}")
+    _REGISTRY[cls.code] = cls
+    return cls
+
+
+def iter_rules() -> List[Type[Rule]]:
+    """Registered rule classes, sorted by code."""
+    return [cls for _, cls in sorted(_REGISTRY.items())]
+
+
+def rule_codes() -> List[str]:
+    """All registered codes, sorted (``["SIM001", ...]``)."""
+    return sorted(_REGISTRY)
+
+
+class _Dispatcher(ast.NodeVisitor):
+    """One traversal calling every interested rule per node."""
+
+    def __init__(self, rules: Sequence[Rule]) -> None:
+        self._handlers: Dict[str, List] = {}
+        for rule in rules:
+            for name in dir(type(rule)):
+                if name.startswith("visit_"):
+                    self._handlers.setdefault(name, []).append(
+                        getattr(rule, name))
+
+    def visit(self, node: ast.AST) -> None:
+        for handler in self._handlers.get("visit_" + type(node).__name__, ()):
+            handler(node)
+        self.generic_visit(node)
+
+
+_NOQA_RE = re.compile(r"#\s*noqa\b(?P<spec>[^#]*)", re.IGNORECASE)
+
+
+def _noqa_codes(line: str) -> Optional[Set[str]]:
+    """``None`` if the line carries no ``noqa``; an empty set for a bare
+    ``# noqa`` (silence everything); else the listed codes."""
+    match = _NOQA_RE.search(line)
+    if match is None:
+        return None
+    spec = match.group("spec").strip()
+    if not spec.startswith(":"):
+        return set()
+    # accept "SIM001", "SIM001, SIM004", "SIM001 — rationale text"
+    return {part.strip().split()[0].upper()
+            for part in spec[1:].split(",") if part.strip()}
+
+
+def _suppressed(finding: LintFinding, lines: List[str]) -> bool:
+    """True if any physical line of the finding's statement span carries a
+    matching ``# noqa`` (bare or listing the finding's code)."""
+    last = max(finding.line, finding.end_line or finding.line)
+    for lineno in range(finding.line, last + 1):
+        if not 1 <= lineno <= len(lines):
+            continue
+        codes = _noqa_codes(lines[lineno - 1])
+        if codes is not None and (not codes or finding.code in codes):
+            return True
+    return False
+
+
+def lint_source(source: str, path: str = "<string>",
+                select: Optional[Iterable[str]] = None) -> List[LintFinding]:
+    """Lint one module's source text; returns findings (empty = clean).
+
+    ``select`` restricts the run to the given rule codes (default: all
+    registered rules).
+    """
+    # the rules module self-registers on first import
+    from repro.verify.lint import rules as _rules  # noqa: F401
+    ctx = LintContext(path, source)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as err:
+        return [LintFinding(path=path, line=err.lineno or 0,
+                            col=err.offset or 0, code="SIM000",
+                            message=f"syntax error: {err.msg}")]
+    wanted = None if select is None else {c.upper() for c in select}
+    active = [cls(ctx) for cls in iter_rules()
+              if wanted is None or cls.code in wanted]
+    _Dispatcher([rule for rule in active if rule.applies()]).visit(tree)
+    lines = source.splitlines()
+    findings = [f for f in ctx.findings if not _suppressed(f, lines)]
+    return sorted(findings, key=lambda f: (f.line, f.col, f.code))
+
+
+def _iter_python_files(paths: Sequence[str]) -> Iterable[Path]:
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            yield from sorted(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            yield p
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {raw}")
+
+
+def lint_paths(paths: Sequence[str],
+               select: Optional[Iterable[str]] = None) -> List[LintFinding]:
+    """Lint every ``*.py`` under ``paths`` (files or directories)."""
+    findings: List[LintFinding] = []
+    for file in _iter_python_files(paths):
+        findings.extend(lint_source(file.read_text(encoding="utf-8"),
+                                    str(file), select=select))
+    return findings
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point: ``python -m repro.lint <paths...>``.
+
+    Exit codes: 0 = clean, 1 = findings, 2 = a path could not be linted.
+    """
+    import argparse
+
+    from repro.verify.lint import rules as _rules  # noqa: F401
+
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description=("simulator-aware static lint "
+                     f"({rule_codes()[0]}-{rule_codes()[-1]})"),
+        epilog="exit codes: 0 clean, 1 findings, 2 unreadable path")
+    parser.add_argument("paths", nargs="*",
+                        help="python files or directories to lint")
+    parser.add_argument("--select", metavar="CODES", default=None,
+                        help="comma-separated rule codes to run "
+                             "(default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print every registered rule and exit")
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for cls in iter_rules():
+            print(f"{cls.code}  {cls.summary}")
+        return 0
+    if not args.paths:
+        parser.error("paths are required unless --list-rules is given")
+    select = (None if args.select is None
+              else [c.strip() for c in args.select.split(",") if c.strip()])
+    try:
+        findings = lint_paths(args.paths, select=select)
+    except FileNotFoundError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    for finding in findings:
+        print(finding.format())
+    if findings:
+        print(f"{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0

@@ -1,0 +1,426 @@
+"""Eraser-style lockset + vector-clock happens-before race detection.
+
+Third pillar of the verification stack, after the model checker
+(:mod:`repro.verify.modelcheck`) and the invariant sanitizer
+(:mod:`repro.verify.invariants`): where those prove the *lock protocol*
+correct, the race detector proves that workload *data* is actually
+protected by the locks the workload declares.
+
+It runs inside the deterministic simulator as a pure observer.
+:class:`~repro.cpu.core.ThreadContext` reports every workload-level
+``load``/``store``/``rmw``/``spin_until`` (accesses issued *inside* lock
+and barrier implementations are excluded — their sync words are contended
+by design) and every synchronization completion:
+
+- ``ctx.acquire`` completion joins the acquirer's vector clock with the
+  clock snapshotted at the lock's last release (release -> acquire edge,
+  keyed by ``Lock.uid`` — GLock handles, software locks and degraded
+  fallback paths all serialize through the same uid);
+- ``ctx.release`` entry snapshots the releaser's clock and advances it;
+- barrier arrival joins the per-episode accumulator clock, departure
+  joins the accumulator back (the all-arrivals -> all-departures edge).
+
+Per address the detector keeps FastTrack-style last-write / last-read
+epochs plus an Eraser candidate lockset (intersection of the lock sets
+held across all accesses).  A conflicting pair — same address, distinct
+cores, at least one write — that is not ordered by happens-before is
+reported exactly once per (address, site pair), with both access sites:
+core, cycle, per-core op index, held locks, and the workload source line.
+
+Deliberate races are silenced at either access's source line::
+
+    yield from ctx.load(peer_row)  # race: intentional(boundary sharing)
+
+Like the PR 5 profiler, attachment never enters a RunSpec/MachineSpec
+digest, and detector-on runs produce byte-identical result fingerprints
+to detector-off runs (asserted by the determinism suite).  Enable with
+``repro-sim run --race-detect``, ``repro-sim experiment --race-detect``,
+``pytest --race-detect``, or directly::
+
+    machine = Machine(CMPConfig.baseline(8))
+    detector = RaceDetector(machine).attach()
+    machine.run(programs)
+    print(detector.format_report())
+"""
+
+from __future__ import annotations
+
+import linecache
+import re
+import sys
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.cpu import core as _cpu_core
+from repro.sim.kernel import SimulationError
+
+__all__ = ["AccessSite", "RaceReport", "RaceError", "RaceDetector",
+           "RaceCollection", "attach_detector", "race_detection",
+           "active_race_collection"]
+
+#: frames from this file are skipped when attributing an access to its
+#: workload source line (ctx.load/critical/... all live here)
+_CORE_FILE = _cpu_core.__file__
+
+#: the suppression annotation: ``# ... race: intentional(<reason>)``
+_INTENT_RE = re.compile(r"race:\s*intentional\(([^)]*)\)")
+
+
+class RaceError(SimulationError):
+    """Raised at drain when ``raise_on_race`` and unsuppressed races exist."""
+
+
+@dataclass(frozen=True)
+class AccessSite:
+    """One memory access as the detector saw it."""
+
+    core: int
+    cycle: int
+    addr: int
+    op_index: int          #: per-core index of this workload-level access
+    kind: str              #: ``"R"``, ``"W"``, or ``"A"`` (atomic rmw)
+    locks: Tuple[str, ...]  #: names of the locks held at the access
+    location: str          #: ``path:line`` of the workload source
+
+    def describe(self) -> str:
+        held = ", ".join(self.locks) if self.locks else "none"
+        return (f"{self.kind} core{self.core} @cycle {self.cycle} "
+                f"op#{self.op_index} locks[{held}] {self.location}")
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """An unordered conflicting access pair, reported once."""
+
+    addr: int
+    first: AccessSite
+    second: AccessSite
+    lockset: Tuple[str, ...]  #: Eraser candidate lockset at detection time
+    reason: Optional[str] = None  #: intentional-annotation reason, if any
+
+    def describe(self, addr_label: Optional[str] = None) -> str:
+        where = addr_label or hex(self.addr)
+        common = ", ".join(self.lockset) if self.lockset else "empty"
+        head = f"race on {where} (candidate lockset: {common})"
+        if self.reason:
+            head += f" [intentional: {self.reason}]"
+        return "\n".join([head,
+                          f"  {self.first.describe()}",
+                          f"  {self.second.describe()}"])
+
+
+class _AddrState:
+    """Per-address epochs + candidate lockset."""
+
+    __slots__ = ("write", "write_site", "reads", "lockset")
+
+    def __init__(self) -> None:
+        self.write: Optional[Tuple[int, int]] = None  # (core, clock)
+        self.write_site: Optional[AccessSite] = None
+        # core -> (clock, site) of its latest read
+        self.reads: Dict[int, Tuple[int, AccessSite]] = {}
+        self.lockset: Optional[FrozenSet[int]] = None
+
+
+class _BarrierState:
+    """Per-barrier episode bookkeeping (keyed by arrival/departure count)."""
+
+    __slots__ = ("arrived", "departed", "episodes", "departs_in")
+
+    def __init__(self) -> None:
+        self.arrived: Dict[int, int] = {}   # core -> episodes arrived
+        self.departed: Dict[int, int] = {}  # core -> episodes departed
+        self.episodes: Dict[int, Dict[int, int]] = {}  # episode -> clock
+        self.departs_in: Dict[int, int] = {}  # episode -> departures seen
+
+
+def _join(clock: Dict[int, int], other: Dict[int, int]) -> None:
+    for core, tick in other.items():
+        if tick > clock.get(core, 0):
+            clock[core] = tick
+
+
+def _short_path(filename: str) -> str:
+    """A stable, readable form of a source path: the part after ``src/``
+    (or ``tests/``) when present, else the basename."""
+    normalized = filename.replace("\\", "/")
+    for anchor in ("/src/", "/tests/"):
+        pos = normalized.rfind(anchor)
+        if pos >= 0:
+            return normalized[pos + len(anchor):]
+    return normalized.rsplit("/", 1)[-1]
+
+
+class RaceDetector:
+    """Happens-before + lockset race detection over one Machine's run.
+
+    Args:
+        machine: the machine to watch.  :meth:`attach` registers the
+            detector as ``machine.races``; the per-core ThreadContexts
+            report accesses and synchronization edges to it, and
+            ``Machine.run`` calls :meth:`at_drain` once the parallel
+            phase finishes.
+        raise_on_race: raise :class:`RaceError` at drain when unsuppressed
+            races were found (how ``pytest --race-detect`` fails tests).
+        collection: optional :class:`RaceCollection` absorbing this
+            detector's findings at drain (the ambient-mode aggregator).
+    """
+
+    def __init__(self, machine, *, raise_on_race: bool = False,
+                 collection: Optional["RaceCollection"] = None) -> None:
+        self.machine = machine
+        self.raise_on_race = raise_on_race
+        self.collection = collection
+        n = machine.config.n_cores
+        self._clocks: List[Dict[int, int]] = [{c: 1} for c in range(n)]
+        self._held: List[Dict[int, str]] = [{} for _ in range(n)]
+        self._op_counts = [0] * n
+        self._lock_clocks: Dict[int, Dict[int, int]] = {}
+        self._lock_names: Dict[int, str] = {}
+        self._barriers: Dict[int, _BarrierState] = {}
+        self._addr: Dict[int, _AddrState] = {}
+        self._seen: Set[Tuple] = set()
+        # (filename, lineno) -> "short:line"; and short location -> reason
+        self._where_cache: Dict[Tuple[str, int], str] = {}
+        self._intent: Dict[str, Optional[str]] = {}
+        self.races: List[RaceReport] = []
+        self.suppressed: List[RaceReport] = []
+        self.accesses_checked = 0
+
+    # ------------------------------------------------------------------ #
+    # wiring
+    # ------------------------------------------------------------------ #
+    def attach(self) -> "RaceDetector":
+        """Register on the machine; returns self for chaining."""
+        if self.machine.races is not None:
+            raise RuntimeError("machine already has a race detector attached")
+        self.machine.races = self
+        return self
+
+    def detach(self) -> None:
+        """Unregister (contexts created afterwards stop reporting)."""
+        if self.machine.races is self:
+            self.machine.races = None
+
+    # ------------------------------------------------------------------ #
+    # access events (called by ThreadContext, outside sync wrappers only)
+    # ------------------------------------------------------------------ #
+    def on_access(self, ctx, addr: int, is_write: bool,
+                  atomic: bool = False) -> None:
+        """One workload-level memory access just completed.
+
+        ``atomic`` marks an indivisible read-modify-write (``ctx.rmw``):
+        following the C11/TSan model, two atomics on the same address
+        never race with *each other* (no update can be lost), but an
+        atomic against a plain load/store still does.
+        """
+        core = ctx.core_id
+        self.accesses_checked += 1
+        op = self._op_counts[core]
+        self._op_counts[core] = op + 1
+        clock = self._clocks[core]
+        held = self._held[core]
+        kind = "A" if atomic else ("W" if is_write else "R")
+        site = AccessSite(core=core, cycle=self.machine.sim.now, addr=addr,
+                          op_index=op, kind=kind,
+                          locks=tuple(sorted(held.values())),
+                          location=self._where())
+        state = self._addr.get(addr)
+        if state is None:
+            state = self._addr[addr] = _AddrState()
+        held_uids = frozenset(held)
+        state.lockset = (held_uids if state.lockset is None
+                         else state.lockset & held_uids)
+        write = state.write
+        if write is not None and write[0] != core \
+                and write[1] > clock.get(write[0], 0) \
+                and not (atomic and state.write_site.kind == "A"):
+            self._report(state, state.write_site, site)
+        if is_write:
+            for read_core, (tick, read_site) in state.reads.items():
+                if read_core != core and tick > clock.get(read_core, 0):
+                    self._report(state, read_site, site)
+            state.write = (core, clock[core])
+            state.write_site = site
+            state.reads.clear()
+        else:
+            state.reads[core] = (clock[core], site)
+
+    # ------------------------------------------------------------------ #
+    # synchronization edges (called by ThreadContext)
+    # ------------------------------------------------------------------ #
+    def on_acquire(self, core: int, lock) -> None:
+        """``ctx.acquire(lock)`` completed on ``core``."""
+        self._held[core][lock.uid] = lock.name
+        self._lock_names[lock.uid] = lock.name
+        released = self._lock_clocks.get(lock.uid)
+        if released is not None:
+            _join(self._clocks[core], released)
+
+    def on_release(self, core: int, lock) -> None:
+        """``ctx.release(lock)`` is starting on ``core``."""
+        self._held[core].pop(lock.uid, None)
+        clock = self._clocks[core]
+        self._lock_clocks[lock.uid] = dict(clock)
+        clock[core] = clock.get(core, 0) + 1
+
+    def on_barrier_arrive(self, core: int, barrier) -> None:
+        """``core`` is entering ``barrier.wait``."""
+        state = self._barriers.get(id(barrier))
+        if state is None:
+            state = self._barriers[id(barrier)] = _BarrierState()
+        episode = state.arrived.get(core, 0)
+        state.arrived[core] = episode + 1
+        accumulator = state.episodes.setdefault(episode, {})
+        clock = self._clocks[core]
+        _join(accumulator, clock)
+        clock[core] = clock.get(core, 0) + 1
+
+    def on_barrier_depart(self, core: int, barrier) -> None:
+        """``core`` left ``barrier.wait``."""
+        state = self._barriers.get(id(barrier))
+        if state is None:  # departure without arrival: nothing to join
+            return
+        episode = state.departed.get(core, 0)
+        state.departed[core] = episode + 1
+        accumulator = state.episodes.get(episode)
+        if accumulator is not None:
+            _join(self._clocks[core], accumulator)
+            done = state.departs_in.get(episode, 0) + 1
+            state.departs_in[episode] = done
+            if done >= barrier.n_threads:  # episode complete: free its clock
+                state.episodes.pop(episode, None)
+                state.departs_in.pop(episode, None)
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    def _where(self) -> str:
+        """Source location of the workload frame driving the access."""
+        frame = sys._getframe(2)
+        while frame is not None and frame.f_code.co_filename == _CORE_FILE:
+            frame = frame.f_back
+        if frame is None:
+            return "<unknown>:0"
+        key = (frame.f_code.co_filename, frame.f_lineno)
+        location = self._where_cache.get(key)
+        if location is None:
+            location = f"{_short_path(key[0])}:{key[1]}"
+            self._where_cache[key] = location
+            self._intent[location] = self._intent_reason(*key)
+        return location
+
+    @staticmethod
+    def _intent_reason(filename: str, lineno: int) -> Optional[str]:
+        line = linecache.getline(filename, lineno)
+        comment = line.find("#")
+        if comment < 0:
+            return None
+        match = _INTENT_RE.search(line, comment)
+        if match is None:
+            return None
+        return match.group(1).strip() or "unspecified"
+
+    def _report(self, state: _AddrState, first: AccessSite,
+                second: AccessSite) -> None:
+        key = (second.addr, first.location, first.kind,
+               second.location, second.kind)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        reason = (self._intent.get(first.location)
+                  or self._intent.get(second.location))
+        lockset = tuple(sorted(self._lock_names.get(uid, f"lock{uid}")
+                               for uid in (state.lockset or ())))
+        report = RaceReport(addr=second.addr, first=first, second=second,
+                            lockset=lockset, reason=reason)
+        if reason is None:
+            self.races.append(report)
+            if self.machine.sim.tracer is not None:
+                self.machine.sim.tracer.record(
+                    self.machine.sim.now, "race", f"core{second.core}",
+                    report.describe(self._addr_label(second.addr)))
+        else:
+            self.suppressed.append(report)
+
+    def _addr_label(self, addr: int) -> Optional[str]:
+        describe = getattr(self.machine.mem.address_space, "describe", None)
+        return describe(addr) if describe is not None else None
+
+    def at_drain(self) -> None:
+        """Called by ``Machine.run`` once every thread program finished."""
+        if self.collection is not None:
+            self.collection.absorb(self)
+        if self.raise_on_race and self.races:
+            raise RaceError(self.format_report())
+
+    def format_report(self) -> str:
+        """Human-readable summary plus one block per race."""
+        lines = [f"race detector: {len(self.races)} race(s), "
+                 f"{len(self.suppressed)} intentional, "
+                 f"{self.accesses_checked} accesses checked"]
+        for report in self.races + self.suppressed:
+            lines.append(report.describe(self._addr_label(report.addr)))
+        return "\n".join(lines)
+
+
+class RaceCollection:
+    """Aggregated findings across every machine built under
+    :func:`race_detection` (one experiment can build hundreds)."""
+
+    def __init__(self) -> None:
+        self.races: List[RaceReport] = []
+        self.suppressed: List[RaceReport] = []
+        self.accesses_checked = 0
+        self.machines = 0
+
+    def absorb(self, detector: RaceDetector) -> None:
+        self.machines += 1
+        self.accesses_checked += detector.accesses_checked
+        self.races.extend(detector.races)
+        self.suppressed.extend(detector.suppressed)
+
+    def format_report(self) -> str:
+        lines = [f"race detector: {len(self.races)} race(s), "
+                 f"{len(self.suppressed)} intentional, "
+                 f"{self.accesses_checked} accesses checked "
+                 f"across {self.machines} machine(s)"]
+        for report in self.races + self.suppressed:
+            lines.append(report.describe())
+        return "\n".join(lines)
+
+
+def attach_detector(machine, **kwargs) -> RaceDetector:
+    """Build a :class:`RaceDetector` for ``machine`` and attach it."""
+    return RaceDetector(machine, **kwargs).attach()
+
+
+#: the ambient collection new Machines report to (see :func:`race_detection`)
+_ACTIVE: Optional[RaceCollection] = None
+
+
+def active_race_collection() -> Optional[RaceCollection]:
+    """The collection installed by the innermost :func:`race_detection`."""
+    return _ACTIVE
+
+
+@contextmanager
+def race_detection(collection: Optional[RaceCollection] = None
+                   ) -> Iterator[RaceCollection]:
+    """Attach a race detector to every Machine built inside the block.
+
+    Mirrors :func:`repro.sim.profile.profiling`: ambient state, never part
+    of a spec, which is how ``repro-sim experiment --race-detect`` reaches
+    simulations constructed deep inside experiment modules without
+    touching any digest.
+    """
+    global _ACTIVE
+    if collection is None:
+        collection = RaceCollection()
+    previous = _ACTIVE
+    _ACTIVE = collection
+    try:
+        yield collection
+    finally:
+        _ACTIVE = previous

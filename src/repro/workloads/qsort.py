@@ -73,13 +73,21 @@ class ParallelQuicksort(Workload):
             return array_base + (idx // WORDS_PER_LINE) * line_bytes
 
         def touch_segment(ctx, lo, hi):
-            """Load+store every line of [lo, hi) once (a partition pass)."""
+            """Load+store every line of [lo, hi) once (a partition pass).
+
+            When a pivot is not line-aligned, sibling segments share their
+            boundary cache line; in the real program those are *distinct
+            elements* of one line (false sharing), but this line-granular
+            proxy makes the overlap look like a data race.  The touched
+            values are a timing proxy and never validated, so the race is
+            benign by construction.
+            """
             first = lo // WORDS_PER_LINE
             last = (hi - 1) // WORDS_PER_LINE
             for line_idx in range(first, last + 1):
                 addr = array_base + line_idx * line_bytes
-                value = yield from ctx.load(addr)
-                yield from ctx.store(addr, value + 1)
+                value = yield from ctx.load(addr)  # race: intentional(boundary-line false sharing between sibling segments)
+                yield from ctx.store(addr, value + 1)  # race: intentional(boundary-line false sharing between sibling segments)
 
         def program(ctx):
             poll_backoff = 64

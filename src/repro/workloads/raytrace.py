@@ -86,7 +86,9 @@ class RaytraceProxy(Workload):
                     # trace: compute interleaved with scene reads
                     for _ in range(loads_per_ray):
                         line = int(rng.integers(0, scene_lines))
-                        yield from ctx.load(scene + line * line_bytes)
+                        # the ray walk only touches the scene line to model
+                        # its cache/coherence footprint; the value is unused
+                        yield from ctx.load(scene + line * line_bytes)  # noqa: SIM006
                         yield from ctx.compute(trace_compute // loads_per_ray)
                     # periodic global shading update (hc lock 2)
                     if ray_id % shade_every == 0:

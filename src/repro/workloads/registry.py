@@ -20,7 +20,11 @@ from repro.workloads.microbench import (
 from repro.workloads.ocean import OceanProxy
 from repro.workloads.qsort import ParallelQuicksort
 from repro.workloads.raytrace import RaytraceProxy
-from repro.workloads.synth import MultiHotLockWorkload, SyntheticLockWorkload
+from repro.workloads.synth import (
+    MultiHotLockWorkload,
+    RacyCounterWorkload,
+    SyntheticLockWorkload,
+)
 
 __all__ = ["WORKLOADS", "MICROBENCHMARKS", "APPLICATIONS",
            "PARAMETRIC_WORKLOADS", "make_workload"]
@@ -46,6 +50,7 @@ _CLASSES: Dict[str, Type[Workload]] = {
 PARAMETRIC_WORKLOADS: Dict[str, Type[Workload]] = {
     "synth": SyntheticLockWorkload,
     "hotlocks": MultiHotLockWorkload,
+    "racy": RacyCounterWorkload,
 }
 
 

@@ -18,7 +18,8 @@ from typing import Sequence
 from repro.machine import Machine
 from repro.workloads.base import Workload, WorkloadInstance
 
-__all__ = ["SyntheticLockWorkload", "MultiHotLockWorkload"]
+__all__ = ["SyntheticLockWorkload", "MultiHotLockWorkload",
+           "RacyCounterWorkload"]
 
 
 class SyntheticLockWorkload(Workload):
@@ -82,6 +83,85 @@ class SyntheticLockWorkload(Workload):
         )
         instance.entries = entries  # per-thread CS counts (fairness studies)
         return instance
+
+
+class RacyCounterWorkload(Workload):
+    """Deliberately unsynchronized counter — the race detector's fixture.
+
+    Every core runs ``iterations_per_thread`` x {load the shared counter,
+    think, store counter+1}.  Three modes:
+
+    - default: no lock at all — lost updates, and a guaranteed
+      :mod:`repro.verify.races` hit at a deterministic (core, cycle,
+      address) site pair;
+    - ``locked=True``: the identical access pattern under one lock of the
+      chosen hc kind — must be race-free under *every* registered kind
+      (the detector's per-lock acceptance test);
+    - ``annotated=True``: the racy accesses carry the
+      ``# race: intentional(...)`` suppression, exercising the
+      annotation API.
+    """
+
+    name = "racy"
+    n_hc = 1
+
+    def __init__(self, iterations_per_thread: int = 4,
+                 think_cycles: int = 10, locked: bool = False,
+                 annotated: bool = False) -> None:
+        if iterations_per_thread < 1:
+            raise ValueError("need at least one iteration")
+        if think_cycles < 0:
+            raise ValueError("negative workload parameter")
+        if locked and annotated:
+            raise ValueError("locked runs have nothing to annotate")
+        self.iterations_per_thread = iterations_per_thread
+        self.think_cycles = think_cycles
+        self.locked = locked
+        self.annotated = annotated
+
+    def build(self, machine: Machine, hc_kinds: Sequence[str],
+              other_kind: str = "tatas") -> WorkloadInstance:
+        n = machine.config.n_cores
+        lock = machine.make_lock(hc_kinds[0], name="racy-lock")
+        counter = machine.mem.address_space.alloc_line(label="racy-counter")
+        iters = self.iterations_per_thread
+        think = self.think_cycles
+        locked = self.locked
+        annotated = self.annotated
+
+        def program(ctx):
+            for _ in range(iters):
+                if locked:
+                    yield from ctx.acquire(lock)
+                    value = yield from ctx.load(counter)
+                    yield from ctx.compute(think)
+                    yield from ctx.store(counter, value + 1)
+                    yield from ctx.release(lock)
+                elif annotated:
+                    value = yield from ctx.load(counter)   # race: intentional(detector-fixture load)
+                    yield from ctx.compute(think)
+                    yield from ctx.store(counter, value + 1)  # race: intentional(detector-fixture store)
+                else:
+                    value = yield from ctx.load(counter)
+                    yield from ctx.compute(think)
+                    yield from ctx.store(counter, value + 1)
+
+        def validate(m: Machine) -> None:
+            got = m.mem.backing.read(counter)
+            if locked:
+                assert got == n * iters, f"lost updates under lock: {got}"
+            else:
+                # unsynchronized increments lose updates (that's the point)
+                assert 0 < got <= n * iters
+
+        return WorkloadInstance(
+            name=self.name,
+            programs=[program] * n,
+            locks=[lock],
+            hc_locks=[lock],
+            lock_labels={lock.uid: "RACY-L1"},
+            validate=validate,
+        )
 
 
 class MultiHotLockWorkload(Workload):

@@ -1,0 +1,41 @@
+"""SIM006 fixtures: discarded context-op coroutines and loaded values."""
+
+
+def discard_load_coroutine(ctx, addr):
+    ctx.load(addr)  # expect: SIM006
+    yield 0
+
+
+def discard_store_coroutine(ctx, addr):
+    ctx.store(addr, 1)  # expect: SIM006
+    yield 0
+
+
+def plain_yield_of_compute(ctx):
+    yield ctx.compute(100)  # expect: SIM006
+
+
+def discard_loaded_value(ctx, addr):
+    yield from ctx.load(addr)  # expect: SIM006
+
+
+def clean_value_is_used(ctx, addr):
+    value = yield from ctx.load(addr)
+    yield from ctx.store(addr, value + 1)
+    return value
+
+
+def clean_effect_only_ops(ctx, addr):
+    yield from ctx.store(addr, 3)
+    yield from ctx.compute(10)
+    yield from ctx.idle(5)
+
+
+def clean_suppressed_cache_touch(ctx, addr):
+    yield from ctx.load(addr)  # noqa: SIM006 — deliberate warm-up touch
+
+
+def clean_other_receiver(mem, addr):
+    # only the thread context's coroutines are in scope
+    mem.load(addr)
+    yield 0

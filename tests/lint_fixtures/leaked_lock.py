@@ -1,0 +1,80 @@
+"""SIM005 fixtures: locks leaked on some path, plus clean counterparts.
+
+Every line that must be flagged carries an ``# expect: SIMxxx`` marker;
+the harness in ``tests/test_lint.py`` compares the lint's findings
+against exactly that set.
+"""
+
+
+def leak_falls_off_end(ctx, lock):
+    yield from ctx.acquire(lock)  # expect: SIM005
+    yield 1
+
+
+def leak_on_early_return(ctx, lock, flag):
+    yield from ctx.acquire(lock)  # expect: SIM005
+    if flag:
+        return
+    yield from ctx.release(lock)
+
+
+def leak_release_only_one_branch(ctx, lock, flag):
+    yield from ctx.acquire(lock)  # expect: SIM005
+    if flag:
+        yield from ctx.release(lock)
+
+
+def leak_acquired_inside_loop(ctx, lock, items):
+    for _ in items:
+        yield from ctx.acquire(lock)  # expect: SIM005
+    yield 1
+
+
+def leak_second_of_two(ctx, outer, inner):
+    yield from ctx.acquire(outer)
+    yield from ctx.acquire(inner)  # expect: SIM005
+    yield from ctx.release(outer)
+
+
+def clean_balanced(ctx, lock):
+    yield from ctx.acquire(lock)
+    yield 1
+    yield from ctx.release(lock)
+
+
+def clean_release_before_every_return(ctx, lock, flag):
+    yield from ctx.acquire(lock)
+    if flag:
+        yield from ctx.release(lock)
+        return
+    yield from ctx.release(lock)
+
+
+def clean_release_in_finally(ctx, lock):
+    yield from ctx.acquire(lock)
+    try:
+        yield 1
+    finally:
+        yield from ctx.release(lock)
+
+
+def clean_balanced_loop_body(ctx, lock, items):
+    for _ in items:
+        yield from ctx.acquire(lock)
+        yield 1
+        yield from ctx.release(lock)
+
+
+def clean_nested_pairs(ctx, outer, inner):
+    yield from ctx.acquire(outer)
+    yield from ctx.acquire(inner)
+    yield 1
+    yield from ctx.release(inner)
+    yield from ctx.release(outer)
+
+
+def clean_non_ctx_receiver(device, core):
+    # SIM005 tracks the thread context only; device-level token handling
+    # has its own protocol checks
+    device.acquire(core)  # noqa: SIM001
+    yield 1

@@ -1,0 +1,40 @@
+"""SIM007 fixtures: Python-level shared mutable state in a workload.
+
+This file lives under a ``workloads/`` path segment, which is what puts
+it in SIM007's scope.
+"""
+
+TALLY = {}
+HISTORY: list = []
+LIMIT = 64  # immutable module state is fine
+
+
+def build_with_mutable_default(machine, stats={}):  # expect: SIM007
+    stats["built"] = True
+    return stats
+
+
+def build_with_mutable_kwonly_default(machine, *, seen=list()):  # expect: SIM007
+    seen.append(machine)
+    return seen
+
+
+def record(core_id):
+    TALLY[core_id] = TALLY.get(core_id, 0) + 1  # expect: SIM007
+
+
+def remember(event):
+    HISTORY.append(event)  # expect: SIM007
+
+
+def clean_local_state(machine):
+    entries = {}
+
+    def bump(core_id):
+        entries[core_id] = entries.get(core_id, 0) + 1
+
+    return bump
+
+
+def clean_reads_only(core_id):
+    return TALLY.get(core_id, 0), LIMIT

@@ -21,6 +21,7 @@ from repro.runner.spec import RunSpec
 from repro.sim.config import CMPConfig
 from repro.sim.kernel import Simulator
 from repro.sim.profile import Profiler, active_profiler, profiling
+from repro.verify.races import race_detection
 
 GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data",
                            "determinism_golden.json")
@@ -63,6 +64,32 @@ def test_profiler_does_not_change_results():
     assert sum(c["events"] for c in report.values()) == prof.total_events
     # ...and never touched the spec digest
     assert spec.digest() == entry["spec_digest"]
+
+
+@pytest.mark.parametrize("entry", GOLDEN, ids=_entry_id)
+def test_race_detector_does_not_change_results(entry):
+    """The race detector is an observer: detector-on runs reproduce the
+    seed fingerprints byte-for-byte on every golden entry."""
+    spec = RunSpec.from_dict(entry["spec"])
+    with race_detection() as races:
+        run = execute_spec(spec)
+    assert result_fingerprint(run.result) == entry["result_fingerprint"], \
+        "race detection perturbed the simulation"
+    # the detector genuinely observed the run...
+    assert races.machines == 1
+    assert races.accesses_checked > 0
+    assert not races.races
+    # ...and never touched the spec digest
+    assert spec.digest() == entry["spec_digest"]
+
+
+def test_race_detector_never_enters_spec_digest():
+    """The spec layer has no race-detection field at all."""
+    entry = GOLDEN[0]
+    with race_detection():
+        digest_on = RunSpec.from_dict(entry["spec"]).digest()
+    digest_off = RunSpec.from_dict(entry["spec"]).digest()
+    assert digest_on == digest_off == entry["spec_digest"]
 
 
 def test_profiler_never_enters_spec_digest():

@@ -1,12 +1,15 @@
 """Simulator-aware lint: each rule flags its seeded violation, noqa works,
-and the repo's own src/ tree is clean."""
+fixtures under ``tests/lint_fixtures/`` match their ``# expect:`` markers
+exactly, and the repo's own src/ tree is clean."""
 
+import re
 import textwrap
 from pathlib import Path
 
 import pytest
 
-from repro.verify.lint import lint_paths, lint_source, main
+from repro.verify.lint import (iter_rules, lint_paths, lint_source, main,
+                               rule_codes)
 
 
 def _codes(source):
@@ -210,3 +213,179 @@ def test_main_exit_codes(tmp_path, capsys):
 def test_finding_format_is_clickable():
     findings = lint_source("def f(ctx, l):\n    ctx.acquire(l)\n", "a/b.py")
     assert findings[0].format().startswith("a/b.py:2:")
+
+
+# --------------------------------------------------------------------- #
+# SIM005: lock leaked on some path
+# --------------------------------------------------------------------- #
+def test_sim005_names_the_lock_and_line():
+    src = """
+    def program(ctx, stack_lock):
+        yield from ctx.acquire(stack_lock)
+        yield 1
+    """
+    findings = lint_source(textwrap.dedent(src), "m.py")
+    assert [f.code for f in findings] == ["SIM005"]
+    assert "stack_lock" in findings[0].message
+    assert findings[0].line == 3
+
+
+def test_sim005_two_locks_reports_only_the_leaked_one():
+    src = """
+    def program(ctx, a, b):
+        yield from ctx.acquire(a)
+        yield from ctx.acquire(b)
+        yield from ctx.release(a)
+    """
+    findings = lint_source(textwrap.dedent(src), "m.py")
+    assert [f.code for f in findings] == ["SIM005"]
+    assert "b" in findings[0].message
+
+
+def test_sim005_state_explosion_bails_silently():
+    branches = "\n".join(
+        f"    if f{i}:\n        yield from ctx.release(l{i})"
+        for i in range(12))
+    acquires = "\n".join(
+        f"    yield from ctx.acquire(l{i})" for i in range(12))
+    args = ", ".join(f"l{i}, f{i}" for i in range(12))
+    src = f"def p(ctx, {args}):\n{acquires}\n{branches}\n"
+    # >64 path states: the rule must skip, not hang or crash
+    assert lint_source(src, "m.py") == []
+
+
+# --------------------------------------------------------------------- #
+# SIM006: discarded context ops
+# --------------------------------------------------------------------- #
+def test_sim006_bare_ctx_load():
+    src = """
+    def program(ctx, addr):
+        ctx.load(addr)
+        yield 0
+    """
+    assert "SIM006" in _codes(src)
+
+
+def test_sim006_discarded_loaded_value():
+    src = """
+    def program(ctx, addr):
+        yield from ctx.load(addr)
+    """
+    assert "SIM006" in _codes(src)
+
+
+def test_sim006_other_receiver_is_clean():
+    src = """
+    def program(mem, addr):
+        mem.load(addr)
+        yield 0
+    """
+    assert _codes(src) == []
+
+
+# --------------------------------------------------------------------- #
+# SIM007: shared workload state (workloads/ paths only)
+# --------------------------------------------------------------------- #
+SIM007_SRC = """
+STATS = {}
+
+def build(machine, cache=[]):
+    STATS["builds"] = STATS.get("builds", 0) + 1
+    return cache
+"""
+
+
+def test_sim007_only_fires_under_workloads_paths():
+    in_scope = lint_source(SIM007_SRC, "src/repro/workloads/foo.py")
+    assert [f.code for f in in_scope] == ["SIM007"] * 2  # default + STATS
+    out_of_scope = lint_source(SIM007_SRC, "src/repro/analysis/foo.py")
+    assert out_of_scope == []
+
+
+# --------------------------------------------------------------------- #
+# framework: fixtures match markers, span-aware noqa, CLI surface
+# --------------------------------------------------------------------- #
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+_EXPECT_RE = re.compile(r"#\s*expect:\s*(SIM\d+(?:\s*,\s*SIM\d+)*)")
+
+
+def _expected_markers(path):
+    expected = set()
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        marker = _EXPECT_RE.search(line)
+        if marker:
+            for code in marker.group(1).split(","):
+                expected.add((lineno, code.strip()))
+    return expected
+
+
+@pytest.mark.parametrize(
+    "fixture", sorted(FIXTURES.rglob("*.py")),
+    ids=lambda p: str(p.relative_to(FIXTURES)))
+def test_fixture_findings_match_expect_markers(fixture):
+    found = {(f.line, f.code)
+             for f in lint_source(fixture.read_text(), str(fixture))}
+    assert found == _expected_markers(fixture)
+
+
+def test_noqa_on_continuation_line_suppresses():
+    """A multi-line statement is suppressed by a noqa on ANY of its
+    physical lines (the pre-framework lint only honored the first)."""
+    src = ("def f(ctx, lock):\n"
+           "    ctx.acquire(\n"
+           "        lock,\n"
+           "    )  # noqa: SIM001\n"
+           "    yield 0\n")
+    assert lint_source(src, "m.py") == []
+
+
+def test_noqa_on_first_line_of_span_still_works():
+    src = ("def f(ctx, lock):\n"
+           "    ctx.acquire(  # noqa: SIM001\n"
+           "        lock,\n"
+           "    )\n"
+           "    yield 0\n")
+    assert lint_source(src, "m.py") == []
+
+
+def test_noqa_is_case_insensitive():
+    src = "def f(ctx, l):\n    ctx.acquire(l)  # NOQA: sim001\n    yield 0\n"
+    findings = lint_source(src, "m.py")
+    assert [f.code for f in findings] == []
+
+
+def test_registry_lists_all_seven_rules():
+    assert rule_codes() == [f"SIM00{i}" for i in range(1, 8)]
+    assert all(cls.summary for cls in iter_rules())
+
+
+def test_select_narrows_the_run():
+    src = ("def f(ctx, lock, sim):\n"
+           "    ctx.acquire(lock)\n"
+           "    sim.now = 0\n"
+           "    yield True\n")
+    only_sim004 = lint_source(src, "m.py", select=["SIM004"])
+    assert [f.code for f in only_sim004] == ["SIM004"]
+
+
+def test_main_list_rules_and_select(tmp_path, capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "SIM001" in out and "SIM007" in out
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f(ctx, l):\n    ctx.acquire(l)\n    yield True\n")
+    assert main(["--select", "SIM002", str(bad)]) == 1
+    assert "SIM001" not in capsys.readouterr().out
+    assert main(["--select", "SIM003", str(bad)]) == 0
+
+
+def test_lint_fixtures_are_expected_findings_only():
+    """Acceptance guard: running the lint over the fixture tree finds
+    exactly the marked lines — nothing extra anywhere."""
+    found = {(Path(f.path).name, f.line, f.code)
+             for f in lint_paths([str(FIXTURES)])}
+    expected = set()
+    for fixture in FIXTURES.rglob("*.py"):
+        for line, code in _expected_markers(fixture):
+            expected.add((fixture.name, line, code))
+    assert found == expected

@@ -144,7 +144,7 @@ def test_total_traffic_matches_breakdown():
     addr = m.mem.address_space.alloc_word()
 
     def prog(ctx):
-        yield from ctx.store(addr, 1)
+        yield from ctx.store(addr, 1)  # race: intentional(traffic fixture; stored value unused)
 
     res = m.run([prog] * 4)
     assert res.total_traffic == sum(res.traffic.values())

@@ -1,0 +1,304 @@
+"""The lockset + vector-clock race detector (repro.verify.races).
+
+Three layers of guarantees:
+
+- *sensitivity*: the seeded racy workload is flagged, at byte-identical
+  (core, cycle, address, site) pairs on every run;
+- *specificity*: the same access pattern under any registered lock kind,
+  or ordered by a barrier, or done with atomic RMWs, reports nothing —
+  and every paper workload is race-free under every lock kind;
+- *neutrality*: attaching the detector never perturbs results (covered in
+  ``tests/test_kernel_determinism.py`` against the golden fingerprints).
+"""
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.locks import LOCK_KINDS
+from repro.machine import Machine
+from repro.runner.engine import execute_spec
+from repro.runner.fingerprint import result_fingerprint
+from repro.runner.spec import MachineSpec, RunSpec
+from repro.sim.config import CMPConfig
+from repro.verify.races import (RaceDetector, RaceError, attach_detector,
+                                active_race_collection, race_detection)
+from repro.workloads.microbench import (AffinityCounter, DoublyLinkedList,
+                                        MultipleCounter, ProducerConsumer,
+                                        SingleCounter)
+from repro.workloads.ocean import OceanProxy
+from repro.workloads.qsort import ParallelQuicksort
+from repro.workloads.raytrace import RaytraceProxy
+from repro.workloads.synth import RacyCounterWorkload
+
+
+def fresh_detector(machine, **kwargs):
+    """Attach a detector of our own even when ``pytest --race-detect``
+    auto-attached one (ours carries the configuration under test)."""
+    if machine.races is not None:
+        machine.races.detach()
+    return attach_detector(machine, **kwargs)
+
+
+def run_racy(n_cores=4, **workload_kwargs):
+    machine = Machine(CMPConfig.baseline(n_cores))
+    detector = fresh_detector(machine)
+    workload = RacyCounterWorkload(**workload_kwargs)
+    instance = workload.instantiate(machine, hc_kind="mcs")
+    machine.run(instance.programs)
+    instance.validate(machine)
+    return detector
+
+
+# --------------------------------------------------------------------- #
+# sensitivity
+# --------------------------------------------------------------------- #
+def race_sites(detector):
+    return [(r.addr, r.first.core, r.first.cycle, r.first.location,
+             r.second.core, r.second.cycle, r.second.location)
+            for r in detector.races]
+
+
+def test_racy_workload_is_flagged():
+    detector = run_racy()
+    assert detector.races, "seeded racy workload must be flagged"
+    assert detector.accesses_checked > 0
+    report = detector.format_report()
+    assert "racy-counter" in report         # address label resolution
+    assert "workloads/synth.py" in report   # workload-level source sites
+
+
+def test_racy_sites_are_deterministic():
+    first, second = run_racy(), run_racy()
+    assert race_sites(first) == race_sites(second)
+
+
+def test_raise_on_race():
+    machine = Machine(CMPConfig.baseline(4))
+    if machine.races is not None:
+        machine.races.detach()
+    RaceDetector(machine, raise_on_race=True).attach()
+    instance = RacyCounterWorkload().instantiate(machine, hc_kind="mcs")
+    with pytest.raises(RaceError, match="race detector: "):
+        machine.run(instance.programs)
+
+
+def test_unlocked_plain_store_races_with_load():
+    machine = Machine(CMPConfig.baseline(2))
+    detector = fresh_detector(machine)
+    addr = machine.mem.address_space.alloc_line()
+
+    def writer(ctx):
+        yield from ctx.store(addr, 7)  # race: intentional(detector unit fixture)
+
+    def reader(ctx):
+        yield from ctx.load(addr)  # noqa: SIM006 — race: intentional(detector unit fixture)
+
+    machine.run([writer, reader])
+    assert len(detector.suppressed) == 1
+    assert not detector.races
+    assert detector.suppressed[0].reason == "detector unit fixture"
+
+
+# --------------------------------------------------------------------- #
+# specificity: locks, barriers, atomics
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("kind", LOCK_KINDS)
+def test_locked_counter_is_race_free_under_every_kind(kind):
+    machine = Machine(CMPConfig.baseline(4),
+                      allow_glock_sharing=(kind == "glock"))
+    detector = fresh_detector(machine)
+    workload = RacyCounterWorkload(locked=True)
+    instance = workload.instantiate(machine, hc_kind=kind)
+    machine.run(instance.programs)
+    instance.validate(machine)
+    assert not detector.races, detector.format_report()
+    assert not detector.suppressed
+
+
+def test_annotated_races_are_suppressed_and_do_not_raise():
+    machine = Machine(CMPConfig.baseline(4))
+    if machine.races is not None:
+        machine.races.detach()
+    detector = RaceDetector(machine, raise_on_race=True).attach()
+    instance = (RacyCounterWorkload(annotated=True)
+                .instantiate(machine, hc_kind="mcs"))
+    machine.run(instance.programs)   # must not raise
+    assert not detector.races
+    assert detector.suppressed
+    assert all(r.reason and "detector-fixture" in r.reason
+               for r in detector.suppressed)
+
+
+def test_barrier_orders_phases():
+    def run(with_barrier):
+        machine = Machine(CMPConfig.baseline(4))
+        detector = fresh_detector(machine)
+        barrier = machine.make_barrier(4)
+        addr = machine.mem.address_space.alloc_line()
+
+        def program(ctx):
+            if ctx.core_id == 0:
+                yield from ctx.store(addr, 42)  # race: intentional(barrier unit fixture — racy only in the no-barrier arm)
+            if with_barrier:
+                yield from ctx.barrier_wait(barrier)
+            if ctx.core_id != 0:
+                yield from ctx.load(addr)  # noqa: SIM006 — race: intentional(barrier unit fixture — racy only in the no-barrier arm)
+
+        machine.run([program] * 4)
+        return detector
+
+    ordered = run(with_barrier=True)
+    assert not ordered.races and not ordered.suppressed
+    unordered = run(with_barrier=False)
+    assert unordered.suppressed, "same accesses without the barrier race"
+
+
+def test_atomic_rmws_do_not_race_with_each_other():
+    machine = Machine(CMPConfig.baseline(4))
+    detector = fresh_detector(machine)
+    addr = machine.mem.address_space.alloc_line()
+
+    def program(ctx):
+        yield from ctx.rmw(addr, lambda v: v + 1)
+
+    machine.run([program] * 4)
+    assert not detector.races and not detector.suppressed
+    assert machine.mem.backing.read(addr) == 4  # nothing lost: atomic
+
+
+def test_atomic_rmw_races_with_plain_load():
+    machine = Machine(CMPConfig.baseline(2))
+    detector = fresh_detector(machine)
+    addr = machine.mem.address_space.alloc_line()
+
+    def bumper(ctx):
+        yield from ctx.rmw(addr, lambda v: v + 1)  # race: intentional(atomic-vs-plain unit fixture)
+
+    def reader(ctx):
+        yield from ctx.load(addr)  # noqa: SIM006 — race: intentional(atomic-vs-plain unit fixture)
+
+    machine.run([bumper, reader])
+    assert len(detector.suppressed) == 1
+
+
+# --------------------------------------------------------------------- #
+# the paper workloads are race-free under every lock kind
+# --------------------------------------------------------------------- #
+SMALL_WORKLOADS = {
+    "sctr": lambda: SingleCounter(iterations=24),
+    "mctr": lambda: MultipleCounter(iterations=24),
+    "dbll": lambda: DoublyLinkedList(iterations=24),
+    "prco": lambda: ProducerConsumer(items=24),
+    "actr": lambda: AffinityCounter(iterations=24),
+    "raytr": lambda: RaytraceProxy(rays=32),
+    "ocean": lambda: OceanProxy(total_grid_lines=32, phases=3,
+                                compute_per_line=20),
+    "qsort": lambda: ParallelQuicksort(elements=2048, serial_threshold=512),
+}
+
+
+@pytest.mark.parametrize("kind", LOCK_KINDS)
+@pytest.mark.parametrize("name", sorted(SMALL_WORKLOADS))
+def test_paper_workloads_race_free(name, kind):
+    machine = Machine(CMPConfig.baseline(4),
+                      allow_glock_sharing=(kind == "glock"))
+    detector = fresh_detector(machine)
+    instance = SMALL_WORKLOADS[name]().instantiate(machine, hc_kind=kind)
+    machine.run(instance.programs)
+    instance.validate(machine)
+    assert not detector.races, detector.format_report()
+
+
+def test_chaos_faulted_run_is_race_free():
+    plan = FaultPlan(seed=7, drop_rate=0.02, delay_rate=0.02,
+                     watchdog_budget=400, trip_threshold=3)
+    machine = Machine(CMPConfig.baseline(8), fault_plan=plan)
+    detector = fresh_detector(machine)
+    instance = SingleCounter(iterations=30).instantiate(machine,
+                                                        hc_kind="glock")
+    machine.run(instance.programs)
+    instance.validate(machine)
+    assert not detector.races, detector.format_report()
+
+
+# --------------------------------------------------------------------- #
+# sites and results are stable across engine --jobs settings
+# --------------------------------------------------------------------- #
+RACY_SPEC = {
+    "workload": "racy", "hc_kind": "mcs",
+    "workload_params": {"iterations_per_thread": 4, "think_cycles": 10},
+}
+
+
+def _racy_spec():
+    return RunSpec(machine=MachineSpec.baseline(4), **RACY_SPEC)
+
+
+@pytest.mark.intentionally_racy
+def test_sites_identical_across_jobs_settings():
+    def inline_run():
+        with race_detection() as races:
+            run = execute_spec(_racy_spec())
+        return result_fingerprint(run.result), [
+            (r.addr, r.first.core, r.first.cycle, r.second.core,
+             r.second.cycle) for r in races.races]
+
+    fp1, sites1 = inline_run()
+    fp2, sites2 = inline_run()
+    assert sites1 and sites1 == sites2
+    # a pool run (detector cannot cross the process boundary) still
+    # produces byte-identical results — attachment is a pure observer
+    from repro.runner import Engine, use_engine
+    engine = Engine(jobs=2, cache_dir=None)
+    with use_engine(engine):
+        (pool_run,) = engine.run_specs([_racy_spec()])
+    assert result_fingerprint(pool_run.result) == fp1
+
+
+# --------------------------------------------------------------------- #
+# wiring
+# --------------------------------------------------------------------- #
+def test_attach_refuses_double_attach():
+    machine = Machine(CMPConfig.baseline(2))
+    fresh_detector(machine)
+    with pytest.raises(RuntimeError):
+        RaceDetector(machine).attach()
+
+
+def test_detector_and_sanitizer_coexist():
+    from repro.verify.invariants import attach_sanitizer
+
+    machine = Machine(CMPConfig.baseline(4))
+    if machine.sanitizer is not None:
+        machine.sanitizer.detach()
+    sanitizer = attach_sanitizer(machine)
+    detector = fresh_detector(machine)
+    instance = SingleCounter(iterations=10).instantiate(machine,
+                                                        hc_kind="glock")
+    machine.run(instance.programs)
+    instance.validate(machine)
+    assert sanitizer.checks_run > 0
+    assert detector.accesses_checked > 0
+    assert not detector.races
+
+
+def test_race_detection_context_installs_and_restores():
+    assert active_race_collection() is None
+    with race_detection() as outer:
+        assert active_race_collection() is outer
+        with race_detection() as inner:
+            assert active_race_collection() is inner
+        assert active_race_collection() is outer
+    assert active_race_collection() is None
+
+
+def test_ambient_collection_attaches_to_new_machines():
+    with race_detection() as races:
+        machine = Machine(CMPConfig.baseline(4))
+        assert machine.races is not None
+        instance = (RacyCounterWorkload()
+                    .instantiate(machine, hc_kind="mcs"))
+        machine.run(instance.programs)
+    assert races.machines == 1
+    assert races.races
+    assert "1 machine(s)" in races.format_report()

@@ -129,7 +129,7 @@ def test_utilization_bounded_and_positive():
     addr = machine.mem.address_space.alloc_word()
 
     def prog(ctx):
-        yield from ctx.store(addr, ctx.core_id)
+        yield from ctx.store(addr, ctx.core_id)  # race: intentional(mesh-utilization fixture; stored value unused)
 
     res = machine.run([prog] * 8)
     util = utilization(machine.mem.mesh, res.makespan)
