@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""CI smoke test for the campaign service daemon.
+
+Boots `repro-sim serve` as a subprocess, submits the same campaign from
+two concurrent HTTP clients, and asserts the service contract:
+
+1. both jobs finish `done` and together execute the matrix exactly once
+   (the second submission is served entirely from the shared warm cache,
+   `executed == 0`);
+2. both clients download byte-identical JSONL;
+3. the daemon's published JSONL is byte-identical to an inline
+   `campaign run --publish` of the same file — the daemon is a cache and
+   a queue, never a different answer.
+
+Exit 0 on success, 1 with a one-line FAILED message otherwise.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+ENV = dict(os.environ)
+ENV["PYTHONPATH"] = str(REPO / "src") + os.pathsep + ENV.get("PYTHONPATH", "")
+
+from repro.runner.service import http_get_json, http_get_text, http_submit
+
+CAMPAIGN = REPO / "examples" / "campaign_smoke.yaml"
+HOST = "127.0.0.1"
+PORT = 8642
+
+
+def wait_ready(url, deadline=30.0):
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        try:
+            if http_get_text(url, "/healthz").strip() == "ok":
+                return
+        except OSError:
+            time.sleep(0.2)
+    raise RuntimeError(f"daemon at {url} never became healthy")
+
+
+def wait_done(url, job_id, deadline=120.0):
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        status = http_get_json(url, f"/jobs/{job_id}")
+        if status["status"] in ("done", "failed"):
+            return status
+        time.sleep(0.2)
+    raise RuntimeError(f"{job_id} never finished")
+
+
+def main():
+    yaml_text = CAMPAIGN.read_text()
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = pathlib.Path(tmp)
+        url = f"http://{HOST}:{PORT}"
+        daemon = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--host", HOST, "--port", str(PORT),
+             "--cache-dir", str(tmp / "cache"),
+             "--results-dir", str(tmp / "results")],
+            cwd=REPO, env=ENV,
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+        try:
+            wait_ready(url)
+
+            replies = {}
+
+            def client(name):
+                replies[name] = http_submit(url, yaml_text)
+
+            threads = [threading.Thread(target=client, args=(name,))
+                       for name in ("a", "b")]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+            stats = {name: wait_done(url, reply["job"])
+                     for name, reply in replies.items()}
+            for name, status in stats.items():
+                assert status["status"] == "done", (
+                    f"client {name}: {status}")
+            n_specs = replies["a"]["specs"]
+            executed = sorted(s["executed"] for s in stats.values())
+            assert executed == [0, n_specs], (
+                f"expected one cold + one warm job, got executed={executed}")
+            warm = next(s for s in stats.values() if s["executed"] == 0)
+            assert warm["cache_hits"] == n_specs, warm
+
+            bodies = [http_get_text(url, f"/jobs/{r['job']}/results")
+                      for r in replies.values()]
+            assert bodies[0] == bodies[1], "clients saw different results"
+        finally:
+            daemon.terminate()
+            daemon.wait(timeout=15)
+
+        # Reference: the same campaign published by an inline CLI run.
+        inline = tmp / "inline.jsonl"
+        subprocess.run(
+            [sys.executable, "-m", "repro.cli", "campaign", "run",
+             str(CAMPAIGN), "--backend", "inline", "--no-cache",
+             "--publish", str(inline)],
+            cwd=REPO, env=ENV, check=True, stdout=subprocess.DEVNULL)
+        assert inline.read_text() == bodies[0], (
+            "daemon JSONL differs from inline campaign run")
+
+    print(f"campaign-service smoke OK: {n_specs} specs, "
+          f"second client warm (executed=0), JSONL byte-identical to inline")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except (AssertionError, RuntimeError) as exc:
+        print(f"FAILED: {exc}")
+        sys.exit(1)

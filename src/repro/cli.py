@@ -9,6 +9,11 @@
                   [--race-detect]            # lockset/vector-clock races
     repro-sim experiment fig08 [--scale S] [--cores N]
                   [--jobs J] [--cache-dir D] [--no-cache]
+    repro-sim campaign expand FILE [--dry-run]   # YAML matrix -> digests
+    repro-sim campaign run FILE [--backend B] [--workers H:P,...]
+    repro-sim worker [--port P] [--cache-dir D]  # remote execution worker
+    repro-sim serve [--port P] [--cache-dir D]   # campaign service daemon
+    repro-sim cache stats|verify|gc [--older-than DAYS]
     repro-sim shootout [--cores N] [--iters I] [--jobs J] ...
     repro-sim lint [paths...]                # simulator-aware static lint
     repro-sim modelcheck [--cores N] [--arbitration P] [--max-concurrent K]
@@ -98,6 +103,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "unannotated races, fingerprints are unchanged")
 
     def add_engine_flags(p):
+        from repro.runner.backends import BACKEND_NAMES
         p.add_argument("--jobs", type=int, default=1, metavar="J",
                        help="simulator runs to execute in parallel "
                             "(process pool; default: 1 = in-process)")
@@ -108,10 +114,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip the on-disk result cache entirely")
         p.add_argument("--timeout", type=float, default=None, metavar="S",
                        help="per-run wall-clock budget in seconds "
-                            "(pool mode)")
+                            "(pool and remote backends)")
         p.add_argument("--retries", type=int, default=0, metavar="N",
                        help="extra attempts per spec after a failure or "
                             "timeout (default: 0)")
+        p.add_argument("--backend", default="auto", choices=BACKEND_NAMES,
+                       help="execution backend (default: auto = inline "
+                            "for --jobs 1, process-pool otherwise)")
+        p.add_argument("--workers", default=None, metavar="H:P,H:P",
+                       help="comma-separated repro-sim worker addresses "
+                            "(required by --backend remote)")
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument("name", choices=sorted(EXPERIMENTS))
@@ -152,6 +164,63 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cores", type=int, default=8)
     p.add_argument("--iters", type=int, default=160)
     add_engine_flags(p)
+
+    p = sub.add_parser("campaign",
+                       help="expand or run a declarative YAML campaign")
+    campaign_sub = p.add_subparsers(dest="campaign_cmd", required=True)
+    pe = campaign_sub.add_parser(
+        "expand", help="validate a campaign file and print its spec "
+                       "digests without executing")
+    pe.add_argument("file", help="campaign YAML file")
+    pe.add_argument("--dry-run", action="store_true",
+                    help="accepted for symmetry; expand never executes")
+    pr = campaign_sub.add_parser(
+        "run", help="execute a campaign file through the engine")
+    pr.add_argument("file", help="campaign YAML file")
+    add_engine_flags(pr)
+    pr.add_argument("--publish", default=None, metavar="PATH",
+                    help="stream result records to PATH as they land")
+    pr.add_argument("--publish-format", choices=("jsonl", "csv"),
+                    default="jsonl")
+    pr.add_argument("--fail-policy", choices=("abort", "collect"),
+                    default="abort",
+                    help="abort: die on the first exhausted spec; collect: "
+                         "record per-spec outcomes and keep going")
+    pr.add_argument("--manifest", default=None, metavar="PATH",
+                    help="checkpoint campaign progress to PATH (implies "
+                         "the campaign supervisor)")
+
+    p = sub.add_parser("worker",
+                       help="serve remote spec execution for "
+                            "--backend remote")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (default: 0 = pick a free one)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="shared result cache (default: $REPRO_SIM_CACHE_DIR "
+                        "or ~/.cache/repro-sim)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="execute every request, share nothing")
+
+    p = sub.add_parser("serve",
+                       help="campaign service daemon (HTTP submit/status/"
+                            "results over one warm cache)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642,
+                   help="HTTP port (default: 8642; 0 = pick a free one)")
+    p.add_argument("--results-dir", default=None, metavar="DIR",
+                   help="published sample files (default: "
+                        "<cache-dir>/results)")
+    add_engine_flags(p)
+
+    p = sub.add_parser("cache", help="inspect or prune the result cache")
+    p.add_argument("action", choices=("stats", "verify", "gc"))
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="cache root (default: $REPRO_SIM_CACHE_DIR or "
+                        "~/.cache/repro-sim)")
+    p.add_argument("--older-than", type=float, default=None, metavar="DAYS",
+                   help="gc: delete entries older than DAYS (required "
+                        "for gc)")
 
     p = sub.add_parser("lint", help="simulator-aware static lint "
                                     "(SIM001-SIM007)")
@@ -247,20 +316,39 @@ def _run_once(args) -> int:
     return 0
 
 
+def _resolve_cache_dir(cache_dir: Optional[str],
+                       fallback: Optional[str] = None) -> str:
+    """The effective cache root for a flag value (env/default fallback)."""
+    return os.path.expanduser(cache_dir
+                              or fallback
+                              or os.environ.get("REPRO_SIM_CACHE_DIR")
+                              or DEFAULT_CACHE_DIR)
+
+
+def _backend_from_args(args):
+    """The explicit backend the flags describe (None = classic auto)."""
+    from repro.runner.backends import make_backend
+
+    name = getattr(args, "backend", "auto")
+    workers = getattr(args, "workers", None)
+    if workers:
+        workers = [w for w in workers.split(",") if w.strip()]
+    if workers and name == "auto":
+        name = "remote"  # --workers alone is unambiguous
+    return make_backend(name, jobs=args.jobs, workers=workers)
+
+
 def _engine_from_args(args, fallback_cache_dir: Optional[str] = None
                       ) -> Engine:
     """Build the experiment engine the CLI flags describe."""
     if args.no_cache:
         cache_dir = None
     else:
-        cache_dir = (args.cache_dir
-                     or fallback_cache_dir
-                     or os.environ.get("REPRO_SIM_CACHE_DIR")
-                     or DEFAULT_CACHE_DIR)
-        cache_dir = os.path.expanduser(cache_dir)
+        cache_dir = _resolve_cache_dir(args.cache_dir, fallback_cache_dir)
     return Engine(jobs=args.jobs, cache_dir=cache_dir,
                   timeout=getattr(args, "timeout", None),
-                  retries=getattr(args, "retries", 0))
+                  retries=getattr(args, "retries", 0),
+                  backend=_backend_from_args(args))
 
 
 def _campaign_exit_code(outcomes) -> int:
@@ -344,7 +432,11 @@ def _cmd_experiment(args) -> int:
         except (OSError, ValueError) as exc:
             print(f"error: cannot resume from {args.resume}: {exc}")
             return 2
-    engine = _engine_from_args(args, fallback_cache_dir)
+    try:
+        engine = _engine_from_args(args, fallback_cache_dir)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
     try:
         if supervised:
             fail_policy = "collect" if args.resume else args.fail_policy
@@ -399,6 +491,180 @@ def _cmd_shootout(args) -> int:
     return 0
 
 
+_ENGINE_FLAG_DEFAULTS = {"jobs": 1, "timeout": None, "retries": 0,
+                         "backend": "auto", "workers": None,
+                         "cache_dir": None}
+
+
+def _apply_campaign_engine(args, settings) -> None:
+    """Fill engine flags from the campaign's ``engine:`` section.
+
+    CLI flags win: a file value only applies where the flag still holds
+    its parser default.
+    """
+    for key, value in settings.items():
+        arg_key = key
+        if key == "workers" and isinstance(value, list):
+            value = ",".join(str(w) for w in value)
+        if (arg_key in _ENGINE_FLAG_DEFAULTS
+                and getattr(args, arg_key) == _ENGINE_FLAG_DEFAULTS[arg_key]):
+            setattr(args, arg_key, value)
+
+
+def _cmd_campaign(args) -> int:
+    from repro.runner import CampaignInterrupted, RunFailure, Supervisor
+    from repro.runner import use_engine, use_supervisor
+    from repro.runner.config import ConfigError, load_campaign
+    from repro.runner.publisher import SamplePublisher
+
+    try:
+        campaign = load_campaign(args.file)
+    except ConfigError as exc:
+        print(f"error: {exc}")
+        return 2
+
+    if args.campaign_cmd == "expand":
+        print(f"campaign {campaign.name}: {len(campaign.specs)} specs")
+        for spec in campaign.specs:
+            print(f"{spec.digest()}  {spec.describe()}")
+        return 0
+
+    _apply_campaign_engine(args, campaign.engine)
+    try:
+        engine = _engine_from_args(args)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    publisher = None
+    if args.publish:
+        publisher = SamplePublisher(args.publish, fmt=args.publish_format)
+        publisher.expect(campaign.digests())
+        engine.observers.append(publisher)
+    supervised = args.fail_policy == "collect" or args.manifest
+    try:
+        try:
+            if supervised:
+                supervisor = Supervisor(engine, fail_policy=args.fail_policy,
+                                        manifest_path=args.manifest)
+                with use_engine(engine), use_supervisor(supervisor):
+                    supervisor.run_campaign(campaign.specs)
+                print(engine.summary())
+                print(supervisor.summary())
+                for outcome in (o for o in supervisor.outcomes if not o.ok):
+                    print(f"FAILED {outcome.describe()}")
+                return _campaign_exit_code(supervisor.outcomes)
+            with use_engine(engine):
+                engine.run_specs(campaign.specs)
+            print(engine.summary())
+            return 0
+        except RunFailure as failure:
+            print(engine.summary())
+            print(f"FAILED {failure.spec.digest()[:12]} "
+                  f"{failure.spec.describe()}: {failure.cause!r}")
+            return 2
+        except CampaignInterrupted as interrupt:
+            print(engine.summary())
+            print(f"INTERRUPTED {interrupt}")
+            return 130
+    finally:
+        if publisher is not None:
+            publisher.close()
+            print(f"published {publisher.published} records to "
+                  f"{publisher.path}")
+        engine.close()
+
+
+def _cmd_worker(args) -> int:
+    import signal
+
+    from repro.runner.remote import WorkerServer
+
+    cache_dir = (None if args.no_cache
+                 else _resolve_cache_dir(args.cache_dir))
+    server = WorkerServer(host=args.host, port=args.port,
+                          cache_dir=cache_dir)
+    host, port = server.address
+    print(f"worker listening on {host}:{port} "
+          f"(cache: {cache_dir or 'off'})", flush=True)
+
+    def stop(signum, frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, stop)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import signal
+
+    from repro.runner.service import CampaignService
+
+    try:
+        engine = _engine_from_args(args)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    results_dir = args.results_dir or os.path.join(
+        _resolve_cache_dir(args.cache_dir), "results")
+    service = CampaignService(engine, results_dir=results_dir,
+                              host=args.host, port=args.port)
+    host, port = service.address
+    print(f"campaign service listening on http://{host}:{port} "
+          f"(backend: {engine.backend_name}, cache: "
+          f"{engine.cache.root if engine.cache else 'off'}, "
+          f"results: {results_dir})", flush=True)
+
+    def stop(signum, frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, stop)
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.shutdown()
+        engine.close()
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.runner.cache import ResultCache
+
+    cache = ResultCache(_resolve_cache_dir(args.cache_dir))
+    if args.action == "stats":
+        print(cache.stats().describe(cache.root))
+        return 0
+    if args.action == "verify":
+        ok, corrupt = cache.verify()
+        print(f"verified {ok} entries under {cache.root}")
+        for message in corrupt:
+            print(f"CORRUPT {message}")
+        if corrupt:
+            print(f"{len(corrupt)} corrupt entries deleted (they will "
+                  f"re-execute on next use)")
+            return 1
+        return 0
+    # gc
+    if args.older_than is None:
+        print("error: cache gc needs --older-than DAYS")
+        return 2
+    try:
+        removed, tmp_removed = cache.gc(args.older_than)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    print(f"removed {removed} entries and {tmp_removed} stale temp files "
+          f"older than {args.older_than:g} days from {cache.root}")
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.verify.lint import main as lint_main
 
@@ -427,6 +693,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "cost": _cmd_cost,
         "run": _cmd_run,
         "experiment": _cmd_experiment,
+        "campaign": _cmd_campaign,
+        "worker": _cmd_worker,
+        "serve": _cmd_serve,
+        "cache": _cmd_cache,
         "shootout": _cmd_shootout,
         "lint": _cmd_lint,
         "modelcheck": _cmd_modelcheck,

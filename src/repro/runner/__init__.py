@@ -29,22 +29,31 @@ from contextlib import contextmanager
 from typing import Iterable, List, Optional
 
 from repro.faults.plan import FaultPlan
-from repro.runner.cache import CacheCorruption, ResultCache
+from repro.runner.backends import (BACKEND_NAMES, ExecutionBackend,
+                                   InlineBackend, ProcessPoolBackend,
+                                   make_backend)
+from repro.runner.cache import CacheCorruption, CacheStats, ResultCache
+from repro.runner.config import (Campaign, ConfigError, expand_campaign,
+                                 load_campaign, parse_campaign)
 from repro.runner.engine import (BenchmarkRun, Engine, EngineStats,
                                  RunFailure, execute_spec)
 from repro.runner.outcome import (FAILURE_STATUSES, RunOutcome,
                                   classify_failure, summarize_outcomes)
+from repro.runner.publisher import SamplePublisher
 from repro.runner.spec import MachineSpec, RunSpec, canonical_json
 from repro.runner.supervisor import (CampaignInterrupted, CampaignManifest,
                                      CampaignResult, Supervisor)
 
 __all__ = [
-    "BenchmarkRun", "CacheCorruption", "CampaignInterrupted",
-    "CampaignManifest", "CampaignResult", "Engine", "EngineStats",
-    "FAILURE_STATUSES", "FaultPlan", "MachineSpec", "ResultCache",
-    "RunFailure", "RunOutcome", "RunSpec", "Supervisor", "active_engine",
+    "BACKEND_NAMES", "BenchmarkRun", "CacheCorruption", "CacheStats",
+    "Campaign", "CampaignInterrupted", "CampaignManifest", "CampaignResult",
+    "ConfigError", "Engine", "EngineStats", "ExecutionBackend",
+    "FAILURE_STATUSES", "FaultPlan", "InlineBackend", "MachineSpec",
+    "ProcessPoolBackend", "ResultCache", "RunFailure", "RunOutcome",
+    "RunSpec", "SamplePublisher", "Supervisor", "active_engine",
     "active_supervisor", "canonical_json", "classify_failure",
-    "execute_spec", "run_spec", "run_specs", "set_active_engine",
+    "execute_spec", "expand_campaign", "load_campaign", "make_backend",
+    "parse_campaign", "run_spec", "run_specs", "set_active_engine",
     "set_active_supervisor", "summarize_outcomes", "use_engine",
     "use_supervisor",
 ]

@@ -1,0 +1,395 @@
+"""Pluggable execution backends for the experiment engine.
+
+The :class:`~repro.runner.engine.Engine` owns *what* to run (memo and
+disk-cache misses) and the bookkeeping of results; a backend owns *how*
+the remaining specs execute:
+
+- :class:`InlineBackend` — in this process, one spec at a time (the
+  classic ``jobs=1`` path);
+- :class:`ProcessPoolBackend` — fanned over a
+  :class:`~concurrent.futures.ProcessPoolExecutor` with per-run
+  deadlines, retry resubmission and broken-pool recovery (the classic
+  ``jobs>1`` path, moved here verbatim from ``Engine._execute_parallel``);
+- :class:`~repro.runner.remote.RemoteBackend` — socket-protocol workers
+  started with ``repro-sim worker``, sharing the digest-keyed result
+  cache (lives in :mod:`repro.runner.remote`).
+
+Every backend lands results through the same hooks, so caching, the
+campaign supervisor's outcome taxonomy, retries and manifests behave
+identically whichever backend executes:
+
+``execute(todo, engine, *, land=None, fail=None, tick=None)``
+
+- ``land(digest, run)`` — a result arrived; the default commits it to
+  the engine's memo/disk cache.  Backends call it the moment a result
+  lands (never batched at the end), so an abort later in the batch can
+  never discard finished, cacheable work.
+- ``fail(digest, exc)`` — a spec exhausted its retry budget; the
+  default raises :class:`~repro.runner.engine.RunFailure` (the engine's
+  classic fail-fast contract).  A collect-mode caller records an
+  outcome instead and the batch keeps going.
+- ``tick()`` — polled between scheduling steps so a supervising caller
+  can checkpoint and raise on SIGINT/SIGTERM.
+
+This module also hosts the process-pool plumbing (:func:`new_pool`,
+:func:`kill_workers`, :func:`drain_finished`) shared by the pool backend
+and the campaign supervisor's herd/suspect phases.
+"""
+
+from __future__ import annotations
+
+import logging
+import signal as _signal
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, List, Optional
+
+log = logging.getLogger("repro.runner")
+
+__all__ = [
+    "BACKEND_NAMES", "ExecutionBackend", "InlineBackend",
+    "ProcessPoolBackend", "make_backend", "new_pool", "kill_workers",
+    "drain_finished", "pool_worker_init",
+]
+
+#: the names ``make_backend`` (and the CLI ``--backend`` flag) accept
+BACKEND_NAMES = ("auto", "inline", "process-pool", "remote")
+
+LandFn = Callable[[str, object], None]
+FailFn = Callable[[str, BaseException], None]
+TickFn = Callable[[], None]
+
+
+# ---------------------------------------------------------------------- #
+# shared process-pool plumbing (also used by the campaign supervisor)
+# ---------------------------------------------------------------------- #
+def pool_worker_init() -> None:
+    """Restore default SIGINT/SIGTERM dispositions in pool workers.
+
+    Workers fork from a process that may have the campaign supervisor's
+    checkpoint handlers installed; inheriting those would make a worker
+    swallow ``terminate()`` and survive :func:`kill_workers`.
+    """
+    for signum in (_signal.SIGINT, _signal.SIGTERM):
+        try:
+            _signal.signal(signum, _signal.SIG_DFL)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
+
+
+def new_pool(max_workers: int) -> ProcessPoolExecutor:
+    """A pool whose workers restore default signal dispositions.
+
+    Workers are forked from the campaign process, so they inherit any
+    SIGINT/SIGTERM checkpoint handlers the supervisor installed — which
+    would shield a hung worker from ``terminate()``.  The initializer
+    puts the defaults back.
+    """
+    return ProcessPoolExecutor(max_workers=max_workers,
+                               initializer=pool_worker_init)
+
+
+def kill_workers(pool: ProcessPoolExecutor) -> None:
+    """Kill stuck workers so shutdown() cannot hang on a timeout.
+
+    SIGKILL, not SIGTERM: a worker that inherited (or installed) a
+    termination handler must still die.  Workers are killed *before*
+    ``shutdown()``: the kill trips the executor's broken-pool detection
+    (worker sentinels), whose cleanup path reaps everything.  Shutting
+    down first parks the manager thread on a result that will never
+    arrive, deadlocking interpreter exit.
+    """
+    for proc in list((getattr(pool, "_processes", None) or {}).values()):
+        try:
+            proc.kill()
+        except Exception:
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def drain_finished(inflight: Dict[object, str],
+                   deadlines: Dict[object, Optional[float]],
+                   land: Callable[[str, object], None]) -> List[str]:
+    """Split in-flight futures after a pool death: finished work lands.
+
+    A ``BrokenProcessPool`` poisons every *pending* future, but futures
+    that already completed successfully still hold their results —
+    discarding them would charge (and possibly fail) a spec that
+    actually succeeded.  ``land`` receives each finished
+    ``(digest, result)``; the digests genuinely lost with the pool are
+    returned.  Clears ``inflight``/``deadlines``.
+    """
+    victims: List[str] = []
+    for future, digest in list(inflight.items()):
+        if future.done() and future.exception() is None:
+            land(digest, future.result())
+        else:
+            victims.append(digest)
+    inflight.clear()
+    deadlines.clear()
+    return victims
+
+
+# ---------------------------------------------------------------------- #
+# the backend interface
+# ---------------------------------------------------------------------- #
+class ExecutionBackend:
+    """Executes a batch of cache-miss specs on behalf of an engine.
+
+    Subclasses implement :meth:`execute`; the engine (and the campaign
+    supervisor, in collect mode) parameterize result landing and
+    failure handling through the ``land``/``fail``/``tick`` hooks
+    documented in the module docstring.
+    """
+
+    #: stable identity, reported in ``Engine.summary()`` and manifests
+    name = "abstract"
+
+    def execute(self, todo: Dict[str, object], engine, *,
+                land: Optional[LandFn] = None,
+                fail: Optional[FailFn] = None,
+                tick: Optional[TickFn] = None) -> Dict[str, object]:
+        """Run every spec in ``todo`` (digest -> spec); return landed runs.
+
+        The returned dict maps digest -> result for the specs that
+        landed; with the default ``fail`` the first exhausted spec
+        raises :class:`~repro.runner.engine.RunFailure` instead.
+        """
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources (connections, pools).  Idempotent."""
+
+    def describe(self) -> str:
+        """Human-readable identity for logs and summaries."""
+        return self.name
+
+
+def _default_fail(todo: Dict[str, object]):
+    from repro.runner.engine import RunFailure
+
+    def fail(digest: str, exc: BaseException) -> None:
+        raise RunFailure(todo[digest], exc) from exc
+    return fail
+
+
+class InlineBackend(ExecutionBackend):
+    """Execute specs serially in the calling process.
+
+    The per-run ``timeout`` cannot be enforced here (there is no worker
+    to kill); the engine emits its one-time ``RuntimeWarning`` when a
+    timeout is configured but a batch executes inline.
+    """
+
+    name = "inline"
+
+    def execute(self, todo, engine, *, land=None, fail=None, tick=None):
+        from repro.runner.engine import RunFailure
+        out: Dict[str, object] = {}
+        commit = land if land is not None else engine._commit
+        settle_fail = fail if fail is not None else _default_fail(todo)
+        for digest, spec in todo.items():
+            if tick is not None:
+                tick()
+            try:
+                run = engine._execute_with_retry(spec)
+            except RunFailure as failure:
+                cause = failure.cause if failure.cause is not None else failure
+                settle_fail(digest, cause)
+            else:
+                # commit as results land, so an abort later in the
+                # batch never discards finished (cacheable) work
+                commit(digest, run)
+                out[digest] = run
+        return out
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Fan specs over a process pool; results commit as they land.
+
+    Collection is ``wait()``-driven, so finished futures are drained
+    the moment they complete — one slow or hung spec can no longer
+    head-of-line-block the other N-1 results.  Each (re)submission gets
+    its own wall-clock deadline measured from submission; a
+    resubmission therefore starts a *fresh* budget, which is logged as
+    a ``[retries]`` warning rather than happening silently.  A worker
+    death (``BrokenProcessPool``) costs every in-flight spec one
+    attempt (the killer cannot be attributed) and the pool is rebuilt;
+    the campaign supervisor layers smarter blame, backoff and
+    quarantine on top of this.
+
+    Args:
+        jobs: worker processes; ``None`` uses the engine's ``jobs``.
+    """
+
+    name = "process-pool"
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        if jobs is not None and jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+
+    def execute(self, todo, engine, *, land=None, fail=None, tick=None):
+        out: Dict[str, object] = {}
+        commit = land if land is not None else engine._commit
+        on_exhausted = fail if fail is not None else _default_fail(todo)
+        jobs = self.jobs if self.jobs is not None else engine.jobs
+        max_workers = min(max(1, jobs), len(todo))
+        timeout = engine.timeout
+        pool = new_pool(max_workers)
+        queue = deque(todo)                       # digests awaiting submission
+        inflight: Dict[object, str] = {}          # future -> digest
+        deadlines: Dict[object, Optional[float]] = {}
+        attempts: Dict[str, int] = {digest: 0 for digest in todo}
+
+        def submit(digest: str) -> None:
+            future = pool.submit(engine._execute_fn, todo[digest])
+            inflight[future] = digest
+            deadlines[future] = (time.monotonic() + timeout
+                                 if timeout is not None else None)
+
+        def settle(digest: str, run) -> None:
+            commit(digest, run)
+            out[digest] = run
+
+        def retry_or_fail(digest: str, exc: BaseException) -> None:
+            attempts[digest] += 1
+            if attempts[digest] <= engine.retries:
+                engine.stats.retries += 1
+                log.warning(
+                    "[retries] resubmitting %s (%s) attempt %d/%d with a "
+                    "fresh %ss budget after %r", digest[:12],
+                    todo[digest].describe(), attempts[digest] + 1,
+                    engine.retries + 1, timeout, exc)
+                queue.append(digest)
+            else:
+                engine.stats.failures += 1
+                on_exhausted(digest, exc)
+
+        try:
+            while queue or inflight:
+                if tick is not None:
+                    tick()
+                while queue and len(inflight) < max_workers:
+                    digest = queue.popleft()
+                    try:
+                        submit(digest)
+                    except BrokenProcessPool as exc:
+                        # a worker died between waits; siblings that had
+                        # already finished keep their results, the rest
+                        # are charged and the pool is rebuilt
+                        victims = [digest] + drain_finished(
+                            inflight, deadlines, settle)
+                        kill_workers(pool)
+                        for victim in victims:
+                            retry_or_fail(victim, exc)
+                        pool = new_pool(max_workers)
+                if not inflight:
+                    continue
+                wait_for = None
+                if timeout is not None:
+                    now = time.monotonic()
+                    wait_for = max(0.0, min(deadlines[f] for f in inflight)
+                                   - now)
+                done, _ = wait(set(inflight), timeout=wait_for,
+                               return_when=FIRST_COMPLETED)
+                # successes first: a concurrent crash must not discard
+                # finished work
+                broken: Optional[BaseException] = None
+                for future in sorted(done,
+                                     key=lambda f: f.exception() is not None):
+                    digest = inflight.pop(future)
+                    deadlines.pop(future, None)
+                    exc = future.exception()
+                    if exc is None:
+                        settle(digest, future.result())
+                    elif isinstance(exc, BrokenProcessPool):
+                        broken = exc
+                        retry_or_fail(digest, exc)
+                    else:
+                        retry_or_fail(digest, exc)
+                if broken is not None:
+                    # the pool is dead: in-flight specs that had not yet
+                    # finished are lost with it; charge each an attempt
+                    # and rebuild (finished ones keep their results)
+                    victims = drain_finished(inflight, deadlines, settle)
+                    kill_workers(pool)
+                    for digest in victims:
+                        retry_or_fail(digest, broken)
+                    pool = new_pool(max_workers)
+                    continue
+                if timeout is not None and inflight:
+                    now = time.monotonic()
+                    expired = [f for f in list(inflight)
+                               if deadlines[f] is not None
+                               and now >= deadlines[f]]
+                    stuck: List[str] = []
+                    for future in expired:
+                        if future.done():
+                            continue  # finished in the race; next wait()
+                        cause = FuturesTimeout(
+                            f"exceeded {timeout}s budget")
+                        if future.cancel():
+                            # never started: the worker is unharmed
+                            digest = inflight.pop(future)
+                            deadlines.pop(future, None)
+                            retry_or_fail(digest, cause)
+                        elif future.done():
+                            # completed between the done() check and
+                            # cancel(); leave it for the next wait()
+                            continue
+                        else:
+                            digest = inflight.pop(future)
+                            deadlines.pop(future, None)
+                            stuck.append(digest)
+                            retry_or_fail(digest, cause)
+                    if stuck:
+                        # stuck workers hold the pool hostage: kill it and
+                        # resubmit the innocent in-flight specs (a rebuild
+                        # casualty, not a retry — fresh deadline, no charge)
+                        innocents = list(inflight.values())
+                        inflight.clear()
+                        deadlines.clear()
+                        kill_workers(pool)
+                        if innocents:
+                            log.info(
+                                "[engine] resubmitting %d in-flight specs "
+                                "after killing workers stuck on %s",
+                                len(innocents),
+                                ",".join(d[:12] for d in stuck))
+                        queue.extendleft(innocents)
+                        pool = new_pool(max_workers)
+        finally:
+            # terminate rather than join: a stuck or half-dead worker must
+            # never be able to hang shutdown
+            kill_workers(pool)
+        return out
+
+
+def make_backend(name: str, *, jobs: Optional[int] = None,
+                 workers=None) -> Optional[ExecutionBackend]:
+    """Build a backend from its CLI name.
+
+    ``"auto"`` returns ``None`` — the engine then picks inline or
+    process-pool per batch from its ``jobs`` (the classic behaviour).
+    ``"remote"`` requires ``workers``, a list of ``host:port`` worker
+    addresses started with ``repro-sim worker``.
+    """
+    if name == "auto":
+        return None
+    if name == "inline":
+        return InlineBackend()
+    if name == "process-pool":
+        return ProcessPoolBackend(jobs=jobs)
+    if name == "remote":
+        if not workers:
+            raise ValueError(
+                "remote backend needs worker addresses (host:port); start "
+                "them with 'repro-sim worker' and pass --workers")
+        from repro.runner.remote import RemoteBackend
+        return RemoteBackend(workers)
+    raise ValueError(f"unknown backend {name!r}; choose from "
+                     f"{', '.join(BACKEND_NAMES)}")

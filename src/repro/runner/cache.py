@@ -20,10 +20,12 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import time
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
-__all__ = ["ResultCache", "CacheCorruption", "CACHE_FORMAT"]
+__all__ = ["CacheStats", "ResultCache", "CacheCorruption", "CACHE_FORMAT"]
 
 #: bump when the pickled payload layout changes
 CACHE_FORMAT = 1
@@ -31,6 +33,33 @@ CACHE_FORMAT = 1
 
 class CacheCorruption(Exception):
     """A cache entry existed but could not be loaded (now deleted)."""
+
+
+@dataclass
+class CacheStats:
+    """What ``repro-sim cache stats`` reports about one cache root."""
+
+    entries: int = 0
+    total_bytes: int = 0
+    oldest: Optional[float] = None   # mtimes (epoch seconds)
+    newest: Optional[float] = None
+    #: leftover ``*.tmp`` files from killed writes (safe to delete)
+    stale_tmp: int = 0
+
+    def describe(self, root: Path) -> str:
+        lines = [f"cache root : {root}",
+                 f"entries    : {self.entries}",
+                 f"size       : {self.total_bytes / 1e6:.2f} MB"]
+        if self.entries:
+            fmt = "%Y-%m-%d %H:%M:%S"
+            lines.append(f"oldest     : "
+                         f"{time.strftime(fmt, time.localtime(self.oldest))}")
+            lines.append(f"newest     : "
+                         f"{time.strftime(fmt, time.localtime(self.newest))}")
+        if self.stale_tmp:
+            lines.append(f"stale tmp  : {self.stale_tmp} "
+                         f"(interrupted writes; gc removes them)")
+        return "\n".join(lines)
 
 
 class ResultCache:
@@ -110,3 +139,70 @@ class ResultCache:
         if not self.root.exists():
             return 0
         return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    # ------------------------------------------------------------------ #
+    # operability (the ``repro-sim cache`` subcommand)
+    # ------------------------------------------------------------------ #
+    def stats(self) -> CacheStats:
+        """Entry count, byte size, age range and stale temp files."""
+        stats = CacheStats()
+        if not self.root.exists():
+            return stats
+        for entry in self.root.glob("*/*.pkl"):
+            try:
+                st = entry.stat()
+            except OSError:
+                continue  # raced with a concurrent gc/clear
+            stats.entries += 1
+            stats.total_bytes += st.st_size
+            if stats.oldest is None or st.st_mtime < stats.oldest:
+                stats.oldest = st.st_mtime
+            if stats.newest is None or st.st_mtime > stats.newest:
+                stats.newest = st.st_mtime
+        stats.stale_tmp = sum(1 for _ in self.root.glob("*/*.tmp"))
+        return stats
+
+    def verify(self) -> Tuple[int, List[str]]:
+        """Load-check every entry; corrupt ones are deleted and reported.
+
+        Returns ``(ok_count, corrupt_messages)``.  Uses the same
+        integrity checks as :meth:`load`, so anything ``verify`` passes
+        an engine will accept.
+        """
+        ok = 0
+        corrupt: List[str] = []
+        for digest in list(self.digests()):
+            try:
+                if self.load(digest) is not None:
+                    ok += 1
+            except CacheCorruption as exc:
+                corrupt.append(str(exc))
+        return ok, corrupt
+
+    def gc(self, older_than_days: float) -> Tuple[int, int]:
+        """Delete entries older than ``older_than_days`` and stale temp
+        files; returns ``(entries_removed, tmp_removed)``."""
+        if older_than_days < 0:
+            raise ValueError("older_than_days must be >= 0")
+        removed = 0
+        cutoff = time.time() - older_than_days * 86400.0
+        if not self.root.exists():
+            return 0, 0
+        for entry in self.root.glob("*/*.pkl"):
+            try:
+                if entry.stat().st_mtime < cutoff:
+                    entry.unlink(missing_ok=True)
+                    removed += 1
+            except OSError:
+                continue
+        tmp_removed = 0
+        for leftover in self.root.glob("*/*.tmp"):
+            leftover.unlink(missing_ok=True)
+            tmp_removed += 1
+        for bucket in self.root.glob("*"):
+            if bucket.is_dir():
+                try:
+                    bucket.rmdir()  # only succeeds when empty
+                except OSError:
+                    pass
+        return removed, tmp_removed

@@ -1,0 +1,332 @@
+"""Declarative campaign configs: YAML matrices -> frozen RunSpec batches.
+
+A campaign file names a benchmark × machine × lock × fault-plan matrix
+and expands deterministically into :class:`~repro.runner.spec.RunSpec`
+values, so a sweep is *data* — reviewable in a PR, hashable for the
+result cache, and submittable to the campaign daemon unchanged::
+
+    campaign: smoke
+    description: two benchmarks x two locks at 8 cores
+    defaults:
+      scale: 0.05
+      cores: 8
+    matrix:
+      - benchmarks: [sctr, mctr]
+        locks: [mcs, glock]
+      - benchmarks: [raytr]
+        locks: [glock]
+        seeds: [1, 2]
+    engine:
+      jobs: 2
+      timeout: 120
+
+Each ``matrix`` block is a cross-product over its sweep axes
+(``benchmarks``, ``locks``, ``cores``, ``scales``, ``seeds``,
+``fault_plans``); scalar spellings (``core``/``scale``/``seed``/
+``fault_plan``) are accepted for single values.  ``defaults`` supplies
+block-level values that individual blocks may override.  Expansion
+order is deterministic (blocks in file order, axes in the order listed
+above), so the i-th spec of a campaign is stable across hosts — the
+streaming publisher relies on this.
+
+Validation is strict and single-line-friendly: unknown keys, unknown
+benchmark/lock names, malformed axes and duplicate expanded specs all
+raise :class:`ConfigError` with the file/block that caused them, which
+the CLI reports on one line and exits 2.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.faults.plan import FaultPlan
+from repro.locks.registry import LOCK_KINDS
+from repro.runner.spec import MachineSpec, RunSpec
+from repro.sim.config import CMPConfig
+from repro.workloads.registry import PARAMETRIC_WORKLOADS, WORKLOADS
+
+__all__ = ["Campaign", "ConfigError", "expand_campaign", "known_benchmarks",
+           "load_campaign", "parse_campaign"]
+
+
+class ConfigError(ValueError):
+    """A campaign config is invalid; the message is one actionable line."""
+
+
+def known_benchmarks() -> Tuple[str, ...]:
+    """Every benchmark name a campaign may reference.
+
+    The scale-driven Table III workloads plus the parametric
+    (``workload_params``-configured) synthetic workloads.
+    """
+    return tuple(WORKLOADS) + tuple(sorted(PARAMETRIC_WORKLOADS))
+
+
+#: keys allowed at the top level of a campaign document
+_TOP_KEYS = ("campaign", "description", "defaults", "matrix", "engine")
+#: keys allowed in a matrix block (and in ``defaults``)
+_BLOCK_KEYS = (
+    "benchmarks", "benchmark", "locks", "lock", "other_lock",
+    "cores", "core", "scales", "scale", "seeds", "seed",
+    "fault_plans", "fault_plan", "machine", "workload_params",
+    "max_events", "max_cycles", "sanitize",
+)
+#: keys allowed in a block's ``machine`` mapping
+_MACHINE_KEYS = ("glock_levels", "allow_glock_sharing", "glock_arbitration")
+#: keys allowed in the ``engine`` mapping
+_ENGINE_KEYS = ("jobs", "timeout", "retries", "backend", "cache_dir",
+                "workers")
+
+
+@dataclass
+class Campaign:
+    """A parsed campaign: a name, its expanded specs, engine defaults."""
+
+    name: str
+    specs: List[RunSpec]
+    description: str = ""
+    #: engine construction defaults from the file (CLI flags override)
+    engine: Dict[str, Any] = field(default_factory=dict)
+
+    def digests(self) -> List[str]:
+        """Spec digests in expansion order (``campaign expand`` output)."""
+        return [spec.digest() for spec in self.specs]
+
+
+# ---------------------------------------------------------------------- #
+# helpers
+# ---------------------------------------------------------------------- #
+def _suggest(key: str, valid: Sequence[str],
+             noun: str = "key") -> str:
+    close = difflib.get_close_matches(key, valid, n=1)
+    hint = f"; did you mean {close[0]!r}?" if close else ""
+    return f"unknown {noun} {key!r}{hint} (allowed: {', '.join(valid)})"
+
+
+def _check_keys(mapping: Dict, valid: Sequence[str], where: str) -> None:
+    if not isinstance(mapping, dict):
+        raise ConfigError(f"{where}: expected a mapping, got "
+                          f"{type(mapping).__name__}")
+    for key in mapping:
+        if key not in valid:
+            raise ConfigError(f"{where}: {_suggest(str(key), valid)}")
+
+
+def _axis(block: Dict, defaults: Dict, plural: str, singular: str,
+          fallback: List, where: str) -> List:
+    """One sweep axis: plural (list) or singular (scalar), block over
+    defaults over ``fallback``; always returns a non-empty list."""
+    for source in (block, defaults):
+        if plural in source and singular in source:
+            raise ConfigError(f"{where}: give {plural!r} or {singular!r}, "
+                              f"not both")
+        if plural in source:
+            values = source[plural]
+            if not isinstance(values, (list, tuple)) or not values:
+                raise ConfigError(f"{where}: {plural!r} must be a non-empty "
+                                  f"list (use {singular!r} for one value)")
+            return list(values)
+        if singular in source:
+            value = source[singular]
+            if isinstance(value, (list, tuple)):
+                raise ConfigError(f"{where}: {singular!r} takes one value; "
+                                  f"use {plural!r} for a list")
+            return [value]
+    return fallback
+
+
+def _scalar(block: Dict, defaults: Dict, key: str, fallback):
+    if key in block:
+        return block[key]
+    if key in defaults:
+        return defaults[key]
+    return fallback
+
+
+def _fault_plan(raw, where: str) -> Optional[FaultPlan]:
+    if raw is None:
+        return None
+    if not isinstance(raw, dict):
+        raise ConfigError(f"{where}: a fault plan must be a mapping of "
+                          f"FaultPlan fields or null, got "
+                          f"{type(raw).__name__}")
+    try:
+        return FaultPlan(**raw)
+    except (TypeError, ValueError) as exc:
+        raise ConfigError(f"{where}: bad fault plan: {exc}") from None
+
+
+def _machine(raw: Optional[Dict], n_cores: int, plan: Optional[FaultPlan],
+             where: str) -> MachineSpec:
+    raw = raw or {}
+    _check_keys(raw, _MACHINE_KEYS, f"{where}.machine")
+    try:
+        return MachineSpec(config=CMPConfig.baseline(int(n_cores)),
+                           fault_plan=plan, **raw)
+    except (TypeError, ValueError) as exc:
+        raise ConfigError(f"{where}: bad machine settings: {exc}") from None
+
+
+# ---------------------------------------------------------------------- #
+# parsing and expansion
+# ---------------------------------------------------------------------- #
+def parse_campaign(doc: Any, source: str = "campaign") -> Campaign:
+    """Validate a loaded campaign document and expand its matrix.
+
+    ``doc`` is the already-parsed mapping (from YAML or JSON); ``source``
+    names it in error messages (usually the file path).
+    """
+    if not isinstance(doc, dict):
+        raise ConfigError(f"{source}: top level must be a mapping with "
+                          f"'campaign' and 'matrix' keys, got "
+                          f"{type(doc).__name__}")
+    _check_keys(doc, _TOP_KEYS, source)
+    name = doc.get("campaign")
+    if not name or not isinstance(name, str):
+        raise ConfigError(f"{source}: 'campaign' must name the campaign "
+                          f"(a non-empty string)")
+    matrix = doc.get("matrix")
+    if not isinstance(matrix, list) or not matrix:
+        raise ConfigError(f"{source}: 'matrix' must be a non-empty list of "
+                          f"blocks (each a benchmarks x locks mapping)")
+    defaults = doc.get("defaults") or {}
+    _check_keys(defaults, _BLOCK_KEYS, f"{source}: defaults")
+    engine = doc.get("engine") or {}
+    _check_keys(engine, _ENGINE_KEYS, f"{source}: engine")
+    if "backend" in engine:
+        from repro.runner.backends import BACKEND_NAMES
+        if engine["backend"] not in BACKEND_NAMES:
+            raise ConfigError(
+                f"{source}: engine.backend must be one of "
+                f"{', '.join(BACKEND_NAMES)}, got {engine['backend']!r}")
+
+    specs: List[RunSpec] = []
+    seen: Dict[str, Tuple[int, RunSpec]] = {}
+    for index, block in enumerate(matrix):
+        where = f"{source}: matrix[{index}]"
+        _check_keys(block, _BLOCK_KEYS, where)
+        for spec in _expand_block(block, defaults, where):
+            digest = spec.digest()
+            if digest in seen:
+                first, _ = seen[digest]
+                origin = (f"matrix[{first}]" if first != index
+                          else f"matrix[{index}] itself")
+                raise ConfigError(
+                    f"{where}: expands to duplicate spec {digest[:12]} "
+                    f"({spec.describe()}) already produced by {origin}; "
+                    f"remove the overlapping axis values")
+            seen[digest] = (index, spec)
+            specs.append(spec)
+    return Campaign(name=name, specs=specs,
+                    description=str(doc.get("description") or ""),
+                    engine=dict(engine))
+
+
+def _expand_block(block: Dict, defaults: Dict, where: str) -> List[RunSpec]:
+    benchmarks = _axis(block, defaults, "benchmarks", "benchmark", [], where)
+    if not benchmarks:
+        raise ConfigError(f"{where}: 'benchmarks' is required (one of: "
+                          f"{', '.join(known_benchmarks())})")
+    valid_benchmarks = known_benchmarks()
+    for bench in benchmarks:
+        if bench not in valid_benchmarks:
+            raise ConfigError(
+                f"{where}: "
+                f"{_suggest(str(bench), valid_benchmarks, 'benchmark')}")
+    locks = _axis(block, defaults, "locks", "lock", ["mcs"], where)
+    other_lock = _scalar(block, defaults, "other_lock", "tatas")
+    for lock in locks + [other_lock]:
+        if lock not in LOCK_KINDS:
+            raise ConfigError(
+                f"{where}: {_suggest(str(lock), LOCK_KINDS, 'lock')}")
+    cores = _axis(block, defaults, "cores", "core", [32], where)
+    scales = _axis(block, defaults, "scales", "scale", [1.0], where)
+    seeds = _axis(block, defaults, "seeds", "seed", [0], where)
+    plans_raw = _axis(block, defaults, "fault_plans", "fault_plan",
+                      [None], where)
+    plans = [_fault_plan(raw, where) for raw in plans_raw]
+
+    machine_raw = _scalar(block, defaults, "machine", None)
+    params = _scalar(block, defaults, "workload_params", None) or {}
+    if not isinstance(params, dict):
+        raise ConfigError(f"{where}: 'workload_params' must be a mapping")
+    max_events = _scalar(block, defaults, "max_events", 200_000_000)
+    max_cycles = _scalar(block, defaults, "max_cycles", None)
+    sanitize = bool(_scalar(block, defaults, "sanitize", False))
+
+    specs: List[RunSpec] = []
+    for bench in benchmarks:
+        parametric = bench in PARAMETRIC_WORKLOADS
+        if not parametric and params:
+            raise ConfigError(
+                f"{where}: benchmark {bench!r} is scale-driven and takes "
+                f"no workload_params (only "
+                f"{', '.join(sorted(PARAMETRIC_WORKLOADS))} do)")
+        for lock in locks:
+            for n_cores in cores:
+                if not isinstance(n_cores, int) or n_cores < 1:
+                    raise ConfigError(f"{where}: cores must be positive "
+                                      f"integers, got {n_cores!r}")
+                for scale in scales:
+                    try:
+                        scale = float(scale)
+                    except (TypeError, ValueError):
+                        raise ConfigError(f"{where}: scales must be numbers, "
+                                          f"got {scale!r}") from None
+                    for seed in seeds:
+                        if not isinstance(seed, int):
+                            raise ConfigError(f"{where}: seeds must be "
+                                              f"integers, got {seed!r}")
+                        for plan in plans:
+                            machine = _machine(machine_raw, n_cores, plan,
+                                               where)
+                            try:
+                                specs.append(RunSpec(
+                                    workload=bench, scale=scale,
+                                    hc_kind=lock, other_kind=other_lock,
+                                    machine=machine,
+                                    workload_params=params, seed=seed,
+                                    max_events=int(max_events),
+                                    max_cycles=max_cycles,
+                                    sanitize=sanitize))
+                            except (TypeError, ValueError) as exc:
+                                raise ConfigError(
+                                    f"{where}: bad spec for {bench!r}: "
+                                    f"{exc}") from None
+    return specs
+
+
+def load_campaign(path: str) -> Campaign:
+    """Parse a YAML campaign file into an expanded :class:`Campaign`."""
+    try:
+        import yaml
+    except ImportError:  # pragma: no cover - PyYAML ships in the image
+        raise ConfigError(
+            "campaign files need PyYAML, which is not installed; submit "
+            "the expanded spec list as JSON instead") from None
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = yaml.safe_load(fh)
+    except FileNotFoundError:
+        raise ConfigError(f"campaign file not found: {path}") from None
+    except yaml.YAMLError as exc:
+        detail = " ".join(str(exc).split())
+        raise ConfigError(f"{path}: not valid YAML: {detail}") from None
+    return parse_campaign(doc, source=str(path))
+
+
+def expand_campaign(text: str, source: str = "<submitted>") -> Campaign:
+    """Parse campaign YAML *text* (the daemon's submission path)."""
+    try:
+        import yaml
+    except ImportError:  # pragma: no cover
+        raise ConfigError("campaign parsing needs PyYAML, which is not "
+                          "installed") from None
+    try:
+        doc = yaml.safe_load(text)
+    except yaml.YAMLError as exc:
+        detail = " ".join(str(exc).split())
+        raise ConfigError(f"{source}: not valid YAML: {detail}") from None
+    return parse_campaign(doc, source=source)

@@ -8,32 +8,32 @@ with a three-tier story:
 2. a persistent, content-addressed **disk cache**
    (:class:`~repro.runner.cache.ResultCache`) keyed by the spec digest,
    so a full figure suite is resumable across interpreter restarts;
-3. actual **execution**, inline or fanned out over a
-   :class:`~concurrent.futures.ProcessPoolExecutor` (``jobs > 1``) with
-   per-run timeout and retry.
+3. actual **execution**, delegated to a pluggable
+   :class:`~repro.runner.backends.ExecutionBackend`: inline in this
+   process, fanned over a process pool, or shipped to socket-protocol
+   remote workers (``repro-sim worker``) that share the same
+   digest-keyed cache.
 
 Simulations are deterministic pure functions of their spec (workloads
-draw only from RNGs seeded by the spec), so serial and parallel execution
-produce identical results and cached entries are safe to reuse.
+draw only from RNGs seeded by the spec), so every backend produces
+identical results and cached entries are safe to reuse anywhere.
 """
 
 from __future__ import annotations
 
 import logging
-import signal as _signal
-import time
 import warnings
-from collections import deque
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from concurrent.futures import TimeoutError as FuturesTimeout
-from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 log = logging.getLogger("repro.runner")
 
 from repro.energy import EnergyAccount, account_run, ed2p
 from repro.machine import Machine, RunResult
+from repro.runner.backends import (ExecutionBackend, InlineBackend,
+                                   ProcessPoolBackend, drain_finished,
+                                   kill_workers, make_backend, new_pool,
+                                   pool_worker_init)
 from repro.runner.cache import CacheCorruption, ResultCache
 from repro.runner.spec import RunSpec
 from repro.workloads import make_workload
@@ -41,6 +41,9 @@ from repro.workloads.registry import PARAMETRIC_WORKLOADS
 
 __all__ = ["BenchmarkRun", "Engine", "EngineStats", "RunFailure",
            "execute_spec"]
+
+#: backwards-compatible alias — the initializer moved to repro.runner.backends
+_pool_worker_init = pool_worker_init
 
 
 @dataclass
@@ -78,20 +81,6 @@ class RunFailure(RuntimeError):
         self.cause = cause
 
 
-def _pool_worker_init() -> None:
-    """Restore default SIGINT/SIGTERM dispositions in pool workers.
-
-    Workers fork from a process that may have the campaign supervisor's
-    checkpoint handlers installed; inheriting those would make a worker
-    swallow ``terminate()`` and survive :meth:`Engine._kill_workers`.
-    """
-    for signum in (_signal.SIGINT, _signal.SIGTERM):
-        try:
-            _signal.signal(signum, _signal.SIG_DFL)
-        except (ValueError, OSError):  # pragma: no cover - non-main thread
-            pass
-
-
 def _build_workload(spec: RunSpec):
     if spec.workload in PARAMETRIC_WORKLOADS:
         workload = PARAMETRIC_WORKLOADS[spec.workload](
@@ -108,7 +97,7 @@ def _build_workload(spec: RunSpec):
 
 
 def execute_spec(spec: RunSpec) -> BenchmarkRun:
-    """Run one spec on a fresh machine (the pool-worker entry point)."""
+    """Run one spec on a fresh machine (the pool/remote-worker entry point)."""
     machine = Machine.from_spec(spec.machine)
     if spec.sanitize:
         from repro.verify.invariants import attach_sanitizer
@@ -148,19 +137,34 @@ class Engine:
     """Executes RunSpecs with memoization, disk caching and parallelism.
 
     Args:
-        jobs: worker processes; 1 runs inline in this process.
+        jobs: worker processes; 1 runs inline in this process (under the
+            default ``backend="auto"`` selection).
         cache_dir: root of the persistent result cache; ``None`` disables
             disk caching (the in-process memo always applies).
-        timeout: per-run wall-clock seconds (enforced in pool mode; a run
-            exceeding it counts as a failed attempt).
+        timeout: per-run wall-clock seconds (enforced by the pool and
+            remote backends; a run exceeding it counts as a failed
+            attempt).
         retries: extra attempts per spec after a failure or timeout.
         execute_fn: run callable, overridable for tests; must be a
-            module-level (picklable) function in pool mode.
+            module-level (picklable) function in pool mode.  The remote
+            backend always runs the *worker's* ``execute_spec``.
+        backend: ``"auto"`` (default) picks inline or process-pool per
+            batch from ``jobs``; or an explicit name (``"inline"``,
+            ``"process-pool"``) or :class:`ExecutionBackend` instance
+            (e.g. a configured
+            :class:`~repro.runner.remote.RemoteBackend`).
     """
+
+    # shared pool plumbing, re-exported for the supervisor and tests
+    # (the implementations moved to repro.runner.backends)
+    _new_pool = staticmethod(new_pool)
+    _kill_workers = staticmethod(kill_workers)
+    _drain_finished = staticmethod(drain_finished)
 
     def __init__(self, jobs: int = 1, cache_dir: Optional[str] = None,
                  timeout: Optional[float] = None, retries: int = 0,
                  execute_fn: Callable[[RunSpec], BenchmarkRun] = execute_spec,
+                 backend: Union[None, str, ExecutionBackend] = None,
                  ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -174,10 +178,26 @@ class Engine:
         self._execute_fn = execute_fn
         self._memo: Dict[str, BenchmarkRun] = {}
         self._warned_inline_timeout = False
+        if isinstance(backend, str):
+            backend = make_backend(backend, jobs=jobs)
+        self.backend: Optional[ExecutionBackend] = backend
+        self._auto_inline = InlineBackend()
+        self._auto_pool = ProcessPoolBackend()
+        #: callables invoked with ``(digest, run)`` every time a result
+        #: becomes available — freshly executed *or* served from a cache
+        #: tier.  The streaming sample publisher subscribes here.
+        self.observers: List[Callable[[str, BenchmarkRun], None]] = []
 
     # ------------------------------------------------------------------ #
     # public API
     # ------------------------------------------------------------------ #
+    @property
+    def backend_name(self) -> str:
+        """The configured execution identity (summaries, manifests)."""
+        if self.backend is not None:
+            return self.backend.name
+        return "inline" if self.jobs == 1 else "process-pool"
+
     def run_spec(self, spec: RunSpec) -> BenchmarkRun:
         """Run (or recall) a single spec."""
         return self.run_specs([spec])[0]
@@ -185,9 +205,9 @@ class Engine:
     def run_specs(self, specs: Iterable[RunSpec]) -> List[BenchmarkRun]:
         """Run a batch, preserving order; duplicates execute once.
 
-        Cache lookups happen up front; the remaining misses run inline
-        (``jobs == 1``) or across the process pool, and every fresh
-        result is committed to the memo and the disk cache.
+        Cache lookups happen up front; the remaining misses go to the
+        execution backend, and every fresh result is committed to the
+        memo and the disk cache the moment it lands.
         """
         specs = list(specs)
         out: List[Optional[BenchmarkRun]] = [None] * len(specs)
@@ -203,25 +223,18 @@ class Engine:
                 todo_specs.setdefault(digest, spec)
                 todo_slots.setdefault(digest, []).append(i)
         if todo_specs:
-            if self.jobs > 1 and len(todo_specs) > 1:
-                fresh = self._execute_parallel(todo_specs)
-            else:
-                if self.timeout is not None and not self._warned_inline_timeout:
-                    self._warned_inline_timeout = True
-                    warnings.warn(
-                        "Engine timeout= is only enforced in pool mode "
-                        "(jobs > 1 with more than one spec to run); this "
-                        "batch executes inline and cannot be interrupted — "
-                        "see docs/running-experiments.md",
-                        RuntimeWarning, stacklevel=3,
-                    )
-                fresh = {}
-                for digest, spec in todo_specs.items():
-                    run = self._execute_with_retry(spec)
-                    # commit as results land, so an abort later in the
-                    # batch never discards finished (cacheable) work
-                    self._commit(digest, run)
-                    fresh[digest] = run
+            backend = self._select_backend(todo_specs)
+            if (backend.name == "inline" and self.timeout is not None
+                    and not self._warned_inline_timeout):
+                self._warned_inline_timeout = True
+                warnings.warn(
+                    "Engine timeout= is only enforced in pool mode "
+                    "(jobs > 1 with more than one spec to run); this "
+                    "batch executes inline and cannot be interrupted — "
+                    "see docs/running-experiments.md",
+                    RuntimeWarning, stacklevel=3,
+                )
+            fresh = backend.execute(todo_specs, self)
             for digest, run in fresh.items():
                 for i in todo_slots[digest]:
                     out[i] = run
@@ -235,6 +248,11 @@ class Engine:
         """Zero all counters."""
         self.stats = EngineStats()
 
+    def close(self) -> None:
+        """Release the backend's resources (remote connections, pools)."""
+        if self.backend is not None:
+            self.backend.close()
+
     def summary(self) -> str:
         """One grep-friendly line: what ran, what came from which cache."""
         s = self.stats
@@ -242,15 +260,26 @@ class Engine:
         return (f"[engine] specs={s.scheduled} executed={s.executed} "
                 f"memo_hits={s.memo_hits} disk_hits={s.disk_hits} "
                 f"corrupt={s.corrupt_dropped} retries={s.retries} "
-                f"jobs={self.jobs} cache={cache}")
+                f"backend={self.backend_name} jobs={self.jobs} "
+                f"cache={cache}")
 
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
+    def _select_backend(self, todo: Dict[str, RunSpec]) -> ExecutionBackend:
+        """The backend for this batch (explicit, or the classic auto pick)."""
+        if self.backend is not None:
+            return self.backend
+        if self.jobs > 1 and len(todo) > 1:
+            return self._auto_pool
+        return self._auto_inline
+
     def _lookup(self, digest: str) -> Optional[BenchmarkRun]:
         if digest in self._memo:
             self.stats.memo_hits += 1
-            return self._memo[digest]
+            run = self._memo[digest]
+            self._notify(digest, run)
+            return run
         if self.cache is not None:
             try:
                 run = self.cache.load(digest)
@@ -260,6 +289,7 @@ class Engine:
             if run is not None:
                 self.stats.disk_hits += 1
                 self._memo[digest] = run
+                self._notify(digest, run)
                 return run
         return None
 
@@ -270,6 +300,11 @@ class Engine:
             spec = getattr(run, "spec", None)  # test stubs may lack it
             self.cache.store(digest, run,
                              spec.to_dict() if spec is not None else None)
+        self._notify(digest, run)
+
+    def _notify(self, digest: str, run: BenchmarkRun) -> None:
+        for observer in self.observers:
+            observer(digest, run)
 
     def _execute_with_retry(self, spec: RunSpec) -> BenchmarkRun:
         last: BaseException
@@ -282,201 +317,3 @@ class Engine:
                     self.stats.retries += 1
         self.stats.failures += 1
         raise RunFailure(spec, last) from last
-
-    def _execute_parallel(
-            self, todo: Dict[str, RunSpec]) -> Dict[str, BenchmarkRun]:
-        """Fan ``todo`` over a process pool; results commit as they land.
-
-        Collection is ``wait()``-driven, so finished futures are drained
-        the moment they complete — one slow or hung spec can no longer
-        head-of-line-block the other N-1 results.  Each (re)submission
-        gets its own wall-clock deadline measured from submission; a
-        resubmission therefore starts a *fresh* budget, which is logged
-        as a ``[retries]`` warning rather than happening silently.  A
-        worker death (``BrokenProcessPool``) costs every in-flight spec
-        one attempt (the killer cannot be attributed) and the pool is
-        rebuilt; the campaign supervisor layers smarter blame, backoff
-        and quarantine on top of this.
-        """
-        out: Dict[str, BenchmarkRun] = {}
-        max_workers = min(self.jobs, len(todo))
-        pool = Engine._new_pool(max_workers)
-        queue = deque(todo)                       # digests awaiting submission
-        inflight: Dict[object, str] = {}          # future -> digest
-        deadlines: Dict[object, Optional[float]] = {}
-        attempts: Dict[str, int] = {digest: 0 for digest in todo}
-
-        def submit(digest: str) -> None:
-            future = pool.submit(self._execute_fn, todo[digest])
-            inflight[future] = digest
-            deadlines[future] = (time.monotonic() + self.timeout
-                                 if self.timeout is not None else None)
-
-        def land(digest: str, run: BenchmarkRun) -> None:
-            self._commit(digest, run)
-            out[digest] = run
-
-        def retry_or_fail(digest: str, exc: BaseException) -> None:
-            attempts[digest] += 1
-            if attempts[digest] <= self.retries:
-                self.stats.retries += 1
-                log.warning(
-                    "[retries] resubmitting %s (%s) attempt %d/%d with a "
-                    "fresh %ss budget after %r", digest[:12],
-                    todo[digest].describe(), attempts[digest] + 1,
-                    self.retries + 1, self.timeout, exc)
-                queue.append(digest)
-            else:
-                self.stats.failures += 1
-                raise RunFailure(todo[digest], exc) from exc
-
-        try:
-            while queue or inflight:
-                while queue and len(inflight) < max_workers:
-                    digest = queue.popleft()
-                    try:
-                        submit(digest)
-                    except BrokenProcessPool as exc:
-                        # a worker died between waits; siblings that had
-                        # already finished keep their results, the rest
-                        # are charged and the pool is rebuilt
-                        victims = [digest] + Engine._drain_finished(
-                            inflight, deadlines, land)
-                        self._kill_workers(pool)
-                        for victim in victims:
-                            retry_or_fail(victim, exc)
-                        pool = Engine._new_pool(max_workers)
-                if not inflight:
-                    continue
-                wait_for = None
-                if self.timeout is not None:
-                    now = time.monotonic()
-                    wait_for = max(0.0, min(deadlines[f] for f in inflight)
-                                   - now)
-                done, _ = wait(set(inflight), timeout=wait_for,
-                               return_when=FIRST_COMPLETED)
-                # successes first: a concurrent crash must not discard
-                # finished work
-                broken: Optional[BaseException] = None
-                for future in sorted(done,
-                                     key=lambda f: f.exception() is not None):
-                    digest = inflight.pop(future)
-                    deadlines.pop(future, None)
-                    exc = future.exception()
-                    if exc is None:
-                        land(digest, future.result())
-                    elif isinstance(exc, BrokenProcessPool):
-                        broken = exc
-                        retry_or_fail(digest, exc)
-                    else:
-                        retry_or_fail(digest, exc)
-                if broken is not None:
-                    # the pool is dead: in-flight specs that had not yet
-                    # finished are lost with it; charge each an attempt
-                    # and rebuild (finished ones keep their results)
-                    victims = Engine._drain_finished(inflight, deadlines,
-                                                     land)
-                    self._kill_workers(pool)
-                    for digest in victims:
-                        retry_or_fail(digest, broken)
-                    pool = Engine._new_pool(max_workers)
-                    continue
-                if self.timeout is not None and inflight:
-                    now = time.monotonic()
-                    expired = [f for f in list(inflight)
-                               if deadlines[f] is not None
-                               and now >= deadlines[f]]
-                    stuck: List[str] = []
-                    for future in expired:
-                        if future.done():
-                            continue  # finished in the race; next wait()
-                        cause = FuturesTimeout(
-                            f"exceeded {self.timeout}s budget")
-                        if future.cancel():
-                            # never started: the worker is unharmed
-                            digest = inflight.pop(future)
-                            deadlines.pop(future, None)
-                            retry_or_fail(digest, cause)
-                        elif future.done():
-                            # completed between the done() check and
-                            # cancel(); leave it for the next wait()
-                            continue
-                        else:
-                            digest = inflight.pop(future)
-                            deadlines.pop(future, None)
-                            stuck.append(digest)
-                            retry_or_fail(digest, cause)
-                    if stuck:
-                        # stuck workers hold the pool hostage: kill it and
-                        # resubmit the innocent in-flight specs (a rebuild
-                        # casualty, not a retry — fresh deadline, no charge)
-                        innocents = list(inflight.values())
-                        inflight.clear()
-                        deadlines.clear()
-                        self._kill_workers(pool)
-                        if innocents:
-                            log.info(
-                                "[engine] resubmitting %d in-flight specs "
-                                "after killing workers stuck on %s",
-                                len(innocents),
-                                ",".join(d[:12] for d in stuck))
-                        queue.extendleft(innocents)
-                        pool = Engine._new_pool(max_workers)
-        finally:
-            # terminate rather than join: a stuck or half-dead worker must
-            # never be able to hang shutdown
-            self._kill_workers(pool)
-        return out
-
-    @staticmethod
-    def _drain_finished(inflight: Dict[object, str],
-                        deadlines: Dict[object, Optional[float]],
-                        land: Callable[[str, object], None]) -> List[str]:
-        """Split in-flight futures after a pool death: finished work lands.
-
-        A ``BrokenProcessPool`` poisons every *pending* future, but
-        futures that already completed successfully still hold their
-        results — discarding them would charge (and possibly fail) a
-        spec that actually succeeded.  ``land`` receives each finished
-        ``(digest, result)``; the digests genuinely lost with the pool
-        are returned.  Clears ``inflight``/``deadlines``.
-        """
-        victims: List[str] = []
-        for future, digest in list(inflight.items()):
-            if future.done() and future.exception() is None:
-                land(digest, future.result())
-            else:
-                victims.append(digest)
-        inflight.clear()
-        deadlines.clear()
-        return victims
-
-    @staticmethod
-    def _new_pool(max_workers: int) -> ProcessPoolExecutor:
-        """A pool whose workers restore default signal dispositions.
-
-        Workers are forked from the campaign process, so they inherit any
-        SIGINT/SIGTERM checkpoint handlers the supervisor installed —
-        which would shield a hung worker from ``terminate()``.  The
-        initializer puts the defaults back.
-        """
-        return ProcessPoolExecutor(max_workers=max_workers,
-                                   initializer=_pool_worker_init)
-
-    @staticmethod
-    def _kill_workers(pool: ProcessPoolExecutor) -> None:
-        """Kill stuck workers so shutdown() cannot hang on a timeout.
-
-        SIGKILL, not SIGTERM: a worker that inherited (or installed) a
-        termination handler must still die.  Workers are killed *before*
-        ``shutdown()``: the kill trips the executor's broken-pool
-        detection (worker sentinels), whose cleanup path reaps
-        everything.  Shutting down first parks the manager thread on a
-        result that will never arrive, deadlocking interpreter exit.
-        """
-        for proc in list((getattr(pool, "_processes", None) or {}).values()):
-            try:
-                proc.kill()
-            except Exception:
-                pass
-        pool.shutdown(wait=False, cancel_futures=True)

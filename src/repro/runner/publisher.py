@@ -1,0 +1,154 @@
+"""Streaming sample publisher: results -> append-only JSONL/CSV files.
+
+Subscribes to an :class:`~repro.runner.engine.Engine`'s observer hook
+and appends one record per spec **in campaign submission order** as
+results land.  Parallel and remote backends finish specs out of order;
+the publisher buffers early arrivals and flushes the contiguous prefix,
+so the published file is byte-identical whichever backend executed the
+campaign — and identical again when a later submission is served
+entirely from the warm cache (cache hits notify observers too).  That
+byte-identity is what the service smoke test in CI pins.
+
+Records carry only deterministic content (spec fields, metrics and the
+result fingerprint — no timestamps, hostnames or backend identity)::
+
+    {"digest": "31a4ba4a...", "workload": "sctr", "locks": "mcs", ...}
+
+Usage::
+
+    publisher = SamplePublisher(path, fmt="jsonl")
+    publisher.expect(campaign.digests())
+    engine.observers.append(publisher)
+    ... run the campaign ...
+    publisher.close()     # flushes; .missing lists unpublished digests
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, IO, List, Optional, Sequence
+
+from repro.runner.fingerprint import result_fingerprint
+
+__all__ = ["PUBLISH_FORMATS", "SamplePublisher", "record_for"]
+
+PUBLISH_FORMATS = ("jsonl", "csv")
+
+#: CSV column order (JSONL keys are sorted by json.dumps)
+_FIELDS = ("digest", "workload", "locks", "other_lock", "cores", "scale",
+           "seed", "makespan", "traffic", "ed2p", "fingerprint")
+
+
+def record_for(digest: str, run) -> Dict[str, object]:
+    """The deterministic published record for one landed run."""
+    spec = getattr(run, "spec", None)
+    return {
+        "digest": digest,
+        "workload": run.name,
+        "locks": "/".join(run.hc_kinds),
+        "other_lock": spec.other_kind if spec is not None else None,
+        "cores": run.n_cores,
+        "scale": spec.scale if spec is not None else None,
+        "seed": spec.seed if spec is not None else None,
+        "makespan": run.result.makespan,
+        "traffic": run.result.total_traffic,
+        "ed2p": run.ed2p,
+        "fingerprint": result_fingerprint(run.result),
+    }
+
+
+class SamplePublisher:
+    """Append campaign results to a JSONL or CSV file in a stable order.
+
+    Args:
+        path: output file (created/truncated on the first record).
+        fmt: ``"jsonl"`` (one JSON object per line, sorted keys) or
+            ``"csv"`` (header + one row per record).
+
+    The publisher is an engine observer: call instances with
+    ``(digest, run)``.  Digests outside :meth:`expect`'s list and
+    repeat notifications of an already-published digest are ignored, so
+    memo hits of duplicate specs cannot double-publish.
+    """
+
+    def __init__(self, path, fmt: str = "jsonl") -> None:
+        if fmt not in PUBLISH_FORMATS:
+            raise ValueError(f"unknown publisher format {fmt!r}; choose "
+                             f"from {', '.join(PUBLISH_FORMATS)}")
+        self.path = Path(path)
+        self.fmt = fmt
+        self._order: List[str] = []
+        self._expected = set()
+        self._ready: Dict[str, Dict[str, object]] = {}
+        self._next = 0          # index into _order awaiting publication
+        self._done = set()      # digests already written
+        self.published = 0
+        self._fh: Optional[IO[str]] = None
+
+    # ------------------------------------------------------------------ #
+    def expect(self, digests: Sequence[str]) -> None:
+        """Declare the publication order (campaign expansion order)."""
+        for digest in digests:
+            if digest not in self._expected:
+                self._expected.add(digest)
+                self._order.append(digest)
+
+    def __call__(self, digest: str, run) -> None:
+        """Engine observer hook: a result landed (fresh or cached)."""
+        if (digest not in self._expected or digest in self._ready
+                or digest in self._done):
+            return
+        self._ready[digest] = record_for(digest, run)
+        self._flush_ready()
+
+    @property
+    def missing(self) -> List[str]:
+        """Expected digests that have not been published (yet)."""
+        return [d for d in self._order
+                if d not in self._done and d not in self._ready]
+
+    def close(self) -> None:
+        """Flush buffered records and close the file.
+
+        Failed specs never land, so out-of-order successes *after* a
+        failure would otherwise stay buffered forever: close writes any
+        still-buffered records (in expected order, gaps skipped) before
+        closing, keeping the output deterministic for a given set of
+        landed results.
+        """
+        self._flush_ready()
+        for digest in self._order[self._next:]:
+            record = self._ready.pop(digest, None)
+            if record is not None:
+                self._write(record)
+                self._done.add(digest)
+        self._next = len(self._order)
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    # ------------------------------------------------------------------ #
+    def _flush_ready(self) -> None:
+        while self._next < len(self._order):
+            digest = self._order[self._next]
+            record = self._ready.pop(digest, None)
+            if record is None:
+                return
+            self._write(record)
+            self._done.add(digest)
+            self._next += 1
+
+    def _write(self, record: Dict[str, object]) -> None:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "w", encoding="utf-8", newline="")
+            if self.fmt == "csv":
+                self._fh.write(",".join(_FIELDS) + "\n")
+        if self.fmt == "jsonl":
+            self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        else:
+            self._fh.write(",".join("" if record[f] is None else str(record[f])
+                                    for f in _FIELDS) + "\n")
+        self._fh.flush()
+        self.published += 1

@@ -1,0 +1,485 @@
+"""Remote execution: socket-protocol workers sharing the result cache.
+
+A **worker** (``repro-sim worker --port P --cache-dir D``) is a small
+TCP server wrapping :func:`repro.runner.engine.execute_spec`.  It speaks
+a length-prefixed pickle frame protocol, checks its digest-keyed
+:class:`~repro.runner.cache.ResultCache` before simulating, and stores
+fresh results back — so any number of workers pointed at one shared
+cache directory (NFS, a shared volume) collectively behave like one
+warm cache.
+
+The :class:`RemoteBackend` is the matching
+:class:`~repro.runner.backends.ExecutionBackend`: it fans a batch of
+specs over a fixed set of worker addresses (one dispatch thread per
+worker pulling from a shared queue), lands results through the engine's
+usual commit hooks, and applies the same retry budget as the pool
+backend.  A worker that drops its connection costs the in-flight spec
+one attempt and takes that worker out of rotation; the batch continues
+on the survivors and only fails when either a spec exhausts its budget
+or no workers remain.
+
+Specs travel as their JSON-safe ``to_dict()`` form (version-checked by
+``RunSpec.from_dict``); results travel as pickled
+:class:`~repro.runner.engine.BenchmarkRun` payloads, exactly what a
+process-pool worker would have returned.  Simulations are deterministic
+pure functions of their spec, so remote results are byte-identical to
+inline ones.
+
+The protocol is trusted-network plumbing (pickle over TCP, no
+authentication) — bind workers to loopback or a private interconnect,
+never a public interface.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import pickle
+import socket
+import socketserver
+import struct
+import threading
+import time
+from collections import deque
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.runner.backends import ExecutionBackend
+from repro.runner.cache import CacheCorruption, ResultCache
+from repro.runner.spec import RunSpec
+
+__all__ = ["PROTOCOL_VERSION", "RemoteBackend", "RemoteRunError",
+           "WorkerClient", "WorkerServer", "parse_address"]
+
+log = logging.getLogger("repro.runner")
+
+#: bump when the frame or request/response layout changes
+PROTOCOL_VERSION = 1
+
+_HEADER = struct.Struct(">I")
+#: refuse frames beyond this size (corrupt header / wrong peer)
+_MAX_FRAME = 256 * 1024 * 1024
+
+
+class RemoteRunError(RuntimeError):
+    """A spec failed *inside* a worker (the worker itself is healthy).
+
+    ``kind`` carries the worker-side classification from
+    :func:`repro.runner.outcome.classify_failure` so campaign outcome
+    taxonomy survives the wire even though the original exception
+    object does not.
+    """
+
+    def __init__(self, kind: str, error: str) -> None:
+        super().__init__(f"remote {kind}: {error}")
+        self.kind = kind
+        self.error = error
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """``"host:port"`` (or ``":port"`` / bare port) -> ``(host, port)``."""
+    text = address.strip()
+    host, sep, port_text = text.rpartition(":")
+    if not sep:
+        host, port_text = "", text
+    host = host or "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"bad worker address {address!r}; "
+                         f"expected host:port") from None
+    if not 0 < port < 65536:
+        raise ValueError(f"bad worker port in {address!r}")
+    return host, port
+
+
+# ---------------------------------------------------------------------- #
+# frame protocol
+# ---------------------------------------------------------------------- #
+def send_frame(sock: socket.socket, payload: Dict) -> None:
+    data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_HEADER.pack(len(data)) + data)
+
+
+def recv_frame(sock: socket.socket) -> Optional[Dict]:
+    """One frame, or ``None`` on a clean EOF at a frame boundary."""
+    header = _recv_exact(sock, _HEADER.size, eof_ok=True)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > _MAX_FRAME:
+        raise ConnectionError(f"oversized frame ({length} bytes); "
+                              f"wrong peer or corrupt stream")
+    data = _recv_exact(sock, length, eof_ok=False)
+    return pickle.loads(data)
+
+
+def _recv_exact(sock: socket.socket, n: int, *,
+                eof_ok: bool) -> Optional[bytes]:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if eof_ok and remaining == n:
+                return None
+            raise ConnectionError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# ---------------------------------------------------------------------- #
+# the worker (server) side
+# ---------------------------------------------------------------------- #
+class WorkerServer:
+    """A ``repro-sim worker``: executes specs shipped over TCP.
+
+    Args:
+        host / port: bind address (``port=0`` picks a free port;
+            read it back from :attr:`address`).
+        cache_dir: digest-keyed result cache shared with other workers
+            and coordinators; ``None`` executes every request.
+        execute_fn: spec runner, overridable for tests.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 cache_dir: Optional[str] = None,
+                 execute_fn: Optional[Callable] = None) -> None:
+        from repro.runner.engine import execute_spec
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        self.execute_fn = execute_fn or execute_spec
+        self.stats = {"requests": 0, "executed": 0, "cache_hits": 0,
+                      "errors": 0}
+        self._stats_lock = threading.Lock()
+        worker = self
+
+        class _Handler(socketserver.BaseRequestHandler):
+            def handle(self) -> None:  # one connection, many requests
+                while True:
+                    try:
+                        request = recv_frame(self.request)
+                    except (ConnectionError, OSError, pickle.PickleError,
+                            EOFError):
+                        return
+                    if request is None:
+                        return
+                    try:
+                        reply, keep_open = worker._serve(request)
+                    except Exception as exc:  # never kill the worker
+                        reply, keep_open = {"ok": False, "kind": "error",
+                                            "error": repr(exc)}, True
+                    try:
+                        send_frame(self.request, reply)
+                    except (ConnectionError, OSError):
+                        return  # client vanished; drop the result
+                    if not keep_open:
+                        threading.Thread(target=self.server.shutdown,
+                                         daemon=True).start()
+                        return
+
+        class _Server(socketserver.ThreadingTCPServer):
+            allow_reuse_address = True
+            daemon_threads = True
+
+        self._server = _Server((host, port), _Handler)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)``."""
+        return self._server.server_address[:2]
+
+    def serve_forever(self) -> None:
+        self._server.serve_forever(poll_interval=0.1)
+
+    def shutdown(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+
+    # ------------------------------------------------------------------ #
+    def _serve(self, request: Dict) -> Tuple[Dict, bool]:
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "role": "repro-sim-worker",
+                    "protocol": PROTOCOL_VERSION, "pid": os.getpid()}, True
+        if op == "stats":
+            with self._stats_lock:
+                return {"ok": True, "stats": dict(self.stats)}, True
+        if op == "shutdown":
+            return {"ok": True}, False
+        if op == "run":
+            return self._serve_run(request), True
+        return {"ok": False, "kind": "error",
+                "error": f"unknown op {op!r}"}, True
+
+    def _serve_run(self, request: Dict) -> Dict:
+        with self._stats_lock:
+            self.stats["requests"] += 1
+        try:
+            spec = RunSpec.from_dict(request["spec"])
+        except Exception as exc:
+            with self._stats_lock:
+                self.stats["errors"] += 1
+            return {"ok": False, "kind": "error",
+                    "error": f"undecodable spec: {exc!r}"}
+        digest = spec.digest()
+        if self.cache is not None:
+            try:
+                run = self.cache.load(digest)
+            except CacheCorruption:
+                run = None
+            if run is not None:
+                with self._stats_lock:
+                    self.stats["cache_hits"] += 1
+                return {"ok": True, "run": run, "cached": True}
+        try:
+            run = self.execute_fn(spec)
+        except Exception as exc:
+            from repro.runner.outcome import classify_failure
+            with self._stats_lock:
+                self.stats["errors"] += 1
+            return {"ok": False, "kind": classify_failure(exc),
+                    "error": repr(exc)}
+        with self._stats_lock:
+            self.stats["executed"] += 1
+        if self.cache is not None:
+            self.cache.store(digest, run, spec.to_dict())
+        return {"ok": True, "run": run, "cached": False}
+
+
+# ---------------------------------------------------------------------- #
+# the coordinator (client) side
+# ---------------------------------------------------------------------- #
+class WorkerClient:
+    """One persistent connection to a worker."""
+
+    def __init__(self, address: str, connect_timeout: float = 10.0) -> None:
+        self.address = address
+        host, port = parse_address(address)
+        self._sock = socket.create_connection((host, port),
+                                              timeout=connect_timeout)
+        self._sock.settimeout(None)
+
+    def request(self, payload: Dict,
+                timeout: Optional[float] = None) -> Dict:
+        self._sock.settimeout(timeout)
+        try:
+            send_frame(self._sock, payload)
+            reply = recv_frame(self._sock)
+        finally:
+            self._sock.settimeout(None)
+        if reply is None:
+            raise ConnectionError(f"worker {self.address} closed the "
+                                  f"connection")
+        return reply
+
+    def ping(self) -> Dict:
+        return self.request({"op": "ping"}, timeout=10.0)
+
+    def stats(self) -> Dict:
+        return self.request({"op": "stats"}, timeout=10.0)["stats"]
+
+    def shutdown(self) -> None:
+        try:
+            self.request({"op": "shutdown"}, timeout=10.0)
+        finally:
+            self.close()
+
+    def run_spec(self, spec: RunSpec,
+                 timeout: Optional[float] = None) -> object:
+        """Execute ``spec`` remotely; raises :class:`RemoteRunError` when
+        the spec failed in the worker, ``ConnectionError``/``OSError``
+        when the worker itself failed."""
+        reply = self.request({"op": "run", "spec": spec.to_dict()},
+                             timeout=timeout)
+        if not reply.get("ok"):
+            raise RemoteRunError(reply.get("kind", "error"),
+                                 reply.get("error", "unknown remote error"))
+        return reply["run"]
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+class RemoteBackend(ExecutionBackend):
+    """Execute specs on ``repro-sim worker`` processes over sockets.
+
+    Args:
+        workers: worker addresses (``host:port``).  One dispatch thread
+            per address pulls specs from a shared queue, so faster
+            workers naturally take more of the batch.
+        connect_timeout: seconds to wait for a worker to accept.
+    """
+
+    name = "remote"
+
+    def __init__(self, workers: Sequence[str],
+                 connect_timeout: float = 10.0) -> None:
+        addresses = [w.strip() for w in workers if w and w.strip()]
+        if not addresses:
+            raise ValueError("remote backend needs at least one worker "
+                             "address (host:port)")
+        for address in addresses:
+            parse_address(address)  # fail fast on typos
+        self.addresses = addresses
+        self.connect_timeout = connect_timeout
+
+    def describe(self) -> str:
+        return f"remote({','.join(self.addresses)})"
+
+    def execute(self, todo, engine, *, land=None, fail=None, tick=None):
+        from repro.runner.engine import RunFailure
+
+        out: Dict[str, object] = {}
+        commit = land if land is not None else engine._commit
+        lock = threading.Lock()
+        queue = deque(todo)
+        attempts: Dict[str, int] = {digest: 0 for digest in todo}
+        resolved: set = set()           # landed or settled-failed digests
+        abort: List[BaseException] = []  # first abort-mode failure
+        # a run can exceed the budget by one poll tick before the socket
+        # timeout trips; generous enough to never race a healthy worker
+        io_timeout = (engine.timeout + 1.0
+                      if engine.timeout is not None else None)
+
+        def exhausted(digest: str, exc: BaseException) -> None:
+            # caller holds `lock`
+            engine.stats.failures += 1
+            resolved.add(digest)
+            if fail is None:
+                if not abort:
+                    abort.append(RunFailure(todo[digest], exc))
+            else:
+                fail(digest, exc)
+
+        def charge(digest: str, exc: BaseException) -> None:
+            # caller holds `lock`
+            attempts[digest] += 1
+            if attempts[digest] <= engine.retries:
+                engine.stats.retries += 1
+                log.warning(
+                    "[retries] resubmitting %s (%s) attempt %d/%d after %r",
+                    digest[:12], todo[digest].describe(),
+                    attempts[digest] + 1, engine.retries + 1, exc)
+                queue.append(digest)
+            else:
+                exhausted(digest, exc)
+
+        def dispatch(address: str) -> None:
+            client: Optional[WorkerClient] = None
+            try:
+                while True:
+                    with lock:
+                        if abort or not queue:
+                            return
+                        digest = queue.popleft()
+                    if client is None:
+                        try:
+                            client = WorkerClient(
+                                address, connect_timeout=self.connect_timeout)
+                        except OSError as exc:
+                            # this worker is unreachable: hand the spec
+                            # back uncharged and leave the rotation
+                            log.warning("[remote] worker %s unreachable: %s",
+                                        address, exc)
+                            with lock:
+                                queue.appendleft(digest)
+                            return
+                    try:
+                        run = client.run_spec(todo[digest],
+                                              timeout=io_timeout)
+                    except RemoteRunError as exc:
+                        with lock:
+                            charge(digest, exc)
+                    except socket.timeout:
+                        # the spec blew its budget; the worker may still
+                        # be grinding on it, so abandon this connection
+                        cause = TimeoutError(
+                            f"exceeded {engine.timeout}s budget on "
+                            f"{address}")
+                        client.close()
+                        client = None
+                        with lock:
+                            charge(digest, cause)
+                    except (ConnectionError, OSError, pickle.PickleError,
+                            EOFError) as exc:
+                        # the worker died mid-run: one attempt charged
+                        # (mirrors a BrokenProcessPool victim), worker
+                        # leaves the rotation
+                        log.warning("[remote] lost worker %s: %r",
+                                    address, exc)
+                        client.close()
+                        client = None
+                        with lock:
+                            charge(digest, exc)
+                        return
+                    else:
+                        with lock:
+                            commit(digest, run)
+                            out[digest] = run
+                            resolved.add(digest)
+            finally:
+                if client is not None:
+                    client.close()
+
+        threads = [threading.Thread(target=dispatch, args=(address,),
+                                    name=f"remote-{address}", daemon=True)
+                   for address in self.addresses]
+        for thread in threads:
+            thread.start()
+        while any(t.is_alive() for t in threads):
+            if tick is not None:
+                tick()
+            for thread in threads:
+                thread.join(timeout=0.1)
+        if tick is not None:
+            tick()
+        if abort:
+            raise abort[0]
+        with lock:
+            stranded = [d for d in todo
+                        if d not in resolved] + list(queue)
+        if stranded:
+            # every worker left the rotation with work still owed
+            digest = stranded[0]
+            cause = ConnectionError(
+                f"no live workers left (of {len(self.addresses)}) with "
+                f"{len(set(stranded))} specs still owed")
+            if fail is None:
+                raise RunFailure(todo[digest], cause)
+            with lock:
+                for d in dict.fromkeys(stranded):
+                    exhausted(d, cause)
+        return out
+
+    def shutdown_workers(self) -> int:
+        """Ask every reachable worker to exit; returns how many acked."""
+        acked = 0
+        for address in self.addresses:
+            try:
+                client = WorkerClient(address,
+                                      connect_timeout=self.connect_timeout)
+                client.shutdown()
+                acked += 1
+            except OSError:
+                pass
+        return acked
+
+    def wait_ready(self, deadline: float = 30.0) -> None:
+        """Block until every worker answers a ping (startup races)."""
+        end = time.monotonic() + deadline
+        for address in self.addresses:
+            while True:
+                try:
+                    client = WorkerClient(address, connect_timeout=1.0)
+                    client.ping()
+                    client.close()
+                    break
+                except OSError:
+                    if time.monotonic() >= end:
+                        raise ConnectionError(
+                            f"worker {address} not ready after "
+                            f"{deadline}s") from None
+                    time.sleep(0.1)

@@ -1,0 +1,332 @@
+"""The campaign service: a long-lived daemon serving sweeps over HTTP.
+
+``repro-sim serve`` starts one :class:`CampaignService`: a stdlib
+``http.server`` front end, a FIFO job queue, and a single executor
+thread running submitted campaigns **sequentially over one shared
+Engine** — so every client's sweep sees the same in-process memo and
+digest-keyed disk cache.  Two users submitting overlapping matrices
+pay for the overlap once; a re-submitted campaign is served entirely
+warm (0 specs executed).
+
+API (JSON in/out unless noted):
+
+- ``POST /campaigns`` — body is campaign YAML (the same file
+  ``repro-sim campaign run`` takes).  Returns 202 with the job id and
+  the expanded digests; 400 with a one-line error on an invalid config.
+  ``?format=csv`` selects the published sample format (default JSONL).
+- ``GET /jobs/<id>`` — job status: queued/running/done/failed, spec
+  counts, per-job cache-hit/executed deltas once finished.
+- ``GET /jobs/<id>/results`` — the published sample file as it stands
+  (streamed records appear as results land; complete once the job is
+  done).
+- ``GET /status`` — daemon status: queue depth, job table, engine
+  summary line.
+- ``GET /healthz`` — liveness probe, plain ``ok``.
+
+Everything is stdlib (``http.server``, ``urllib``): no new deps.  Like
+the remote worker protocol this is trusted-network plumbing — bind to
+loopback or a private interface.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from queue import Empty, Queue
+from typing import Dict, List, Optional
+from urllib.parse import parse_qs, urlparse
+
+from repro.runner.config import Campaign, ConfigError, expand_campaign
+from repro.runner.engine import Engine, RunFailure
+from repro.runner.publisher import PUBLISH_FORMATS, SamplePublisher
+
+__all__ = ["CampaignService", "Job", "http_get_json", "http_get_text",
+           "http_submit"]
+
+log = logging.getLogger("repro.runner")
+
+
+@dataclass
+class Job:
+    """One submitted campaign in the service's FIFO queue."""
+
+    id: str
+    campaign: Campaign
+    fmt: str = "jsonl"
+    status: str = "queued"      # queued | running | done | failed
+    error: Optional[str] = None
+    #: engine-stat deltas attributed to this job (set when finished)
+    executed: int = 0
+    cache_hits: int = 0
+    results_path: Optional[Path] = None
+    done_event: threading.Event = field(default_factory=threading.Event)
+
+    def to_dict(self) -> Dict[str, object]:
+        data = {
+            "job": self.id,
+            "campaign": self.campaign.name,
+            "status": self.status,
+            "specs": len(self.campaign.specs),
+            "format": self.fmt,
+        }
+        if self.status in ("done", "failed"):
+            data["executed"] = self.executed
+            data["cache_hits"] = self.cache_hits
+        if self.error is not None:
+            data["error"] = self.error
+        return data
+
+
+class CampaignService:
+    """FIFO campaign executor with an HTTP submit/status/results API.
+
+    Args:
+        engine: the shared :class:`Engine` every job runs on (its memo
+            and cache_dir are the service's warm cache).
+        results_dir: where published sample files land
+            (``<results_dir>/<job-id>.jsonl``).
+        host / port: bind address (``port=0`` picks a free port).
+    """
+
+    def __init__(self, engine: Engine, results_dir, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.engine = engine
+        self.results_dir = Path(results_dir)
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        self.jobs: Dict[str, Job] = {}
+        self._order: List[str] = []
+        self._queue: "Queue[Optional[Job]]" = Queue()
+        self._lock = threading.Lock()
+        self._job_seq = 0
+        self._stop = threading.Event()
+        self._worker = threading.Thread(target=self._run_jobs,
+                                        name="campaign-executor", daemon=True)
+        service = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def log_message(self, fmt, *args):  # route through logging
+                log.debug("[serve] %s", fmt % args)
+
+            def do_GET(self) -> None:
+                service._handle_get(self)
+
+            def do_POST(self) -> None:
+                service._handle_post(self)
+
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def address(self):
+        """The bound ``(host, port)``."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def serve_forever(self) -> None:
+        """Run until :meth:`shutdown` (blocks the calling thread)."""
+        self._worker.start()
+        try:
+            self._httpd.serve_forever(poll_interval=0.1)
+        finally:
+            self._stop.set()
+            self._queue.put(None)
+
+    def start(self) -> None:
+        """Start HTTP + executor threads in the background (tests)."""
+        self._worker.start()
+        threading.Thread(target=self._httpd.serve_forever,
+                         kwargs={"poll_interval": 0.1}, daemon=True).start()
+
+    def shutdown(self) -> None:
+        self._stop.set()
+        self._queue.put(None)
+        self._httpd.shutdown()
+        self._httpd.server_close()
+
+    # ------------------------------------------------------------------ #
+    # the executor thread
+    # ------------------------------------------------------------------ #
+    def submit(self, campaign: Campaign, fmt: str = "jsonl") -> Job:
+        """Queue a campaign; returns its :class:`Job` immediately."""
+        with self._lock:
+            self._job_seq += 1
+            job = Job(id=f"job-{self._job_seq:04d}", campaign=campaign, fmt=fmt)
+            self.jobs[job.id] = job
+            self._order.append(job.id)
+        self._queue.put(job)
+        return job
+
+    def _run_jobs(self) -> None:
+        while not self._stop.is_set():
+            try:
+                job = self._queue.get(timeout=0.2)
+            except Empty:
+                continue
+            if job is None:
+                return
+            self._run_one(job)
+
+    def _run_one(self, job: Job) -> None:
+        job.status = "running"
+        suffix = "csv" if job.fmt == "csv" else "jsonl"
+        job.results_path = self.results_dir / f"{job.id}.{suffix}"
+        publisher = SamplePublisher(job.results_path, fmt=job.fmt)
+        publisher.expect([spec.digest() for spec in job.campaign.specs])
+        before_exec = self.engine.stats.executed
+        before_hits = (self.engine.stats.memo_hits
+                       + self.engine.stats.disk_hits)
+        self.engine.observers.append(publisher)
+        try:
+            self.engine.run_specs(job.campaign.specs)
+            job.status = "done"
+        except RunFailure as exc:
+            job.status = "failed"
+            job.error = str(exc)
+            log.warning("[serve] %s failed: %s", job.id, exc)
+        except Exception as exc:  # the executor thread must survive
+            job.status = "failed"
+            job.error = repr(exc)
+            log.warning("[serve] %s crashed: %r", job.id, exc)
+        finally:
+            self.engine.observers.remove(publisher)
+            publisher.close()
+            job.executed = self.engine.stats.executed - before_exec
+            job.cache_hits = (self.engine.stats.memo_hits
+                              + self.engine.stats.disk_hits - before_hits)
+            job.done_event.set()
+
+    # ------------------------------------------------------------------ #
+    # HTTP handlers
+    # ------------------------------------------------------------------ #
+    def _handle_post(self, request: BaseHTTPRequestHandler) -> None:
+        parsed = urlparse(request.path)
+        if parsed.path != "/campaigns":
+            _send_json(request, 404, {"error": f"no such endpoint "
+                                               f"{parsed.path!r}"})
+            return
+        fmt = parse_qs(parsed.query).get("format", ["jsonl"])[0]
+        if fmt not in PUBLISH_FORMATS:
+            _send_json(request, 400, {
+                "error": f"unknown format {fmt!r}; choose from "
+                         f"{', '.join(PUBLISH_FORMATS)}"})
+            return
+        length = int(request.headers.get("Content-Length", 0))
+        body = request.rfile.read(length).decode("utf-8", "replace")
+        try:
+            campaign = expand_campaign(body, source="<submitted>")
+        except ConfigError as exc:
+            _send_json(request, 400, {"error": str(exc)})
+            return
+        job = self.submit(campaign, fmt=fmt)
+        _send_json(request, 202, {
+            "job": job.id,
+            "campaign": campaign.name,
+            "specs": len(campaign.specs),
+            "digests": campaign.digests(),
+            "results": f"/jobs/{job.id}/results",
+        })
+
+    def _handle_get(self, request: BaseHTTPRequestHandler) -> None:
+        path = urlparse(request.path).path
+        if path == "/healthz":
+            _send_text(request, 200, "ok\n")
+            return
+        if path == "/status":
+            with self._lock:
+                jobs = [self.jobs[jid].to_dict() for jid in self._order]
+            _send_json(request, 200, {
+                "queue_depth": self._queue.qsize(),
+                "jobs": jobs,
+                "engine": self.engine.summary(),
+                "backend": self.engine.backend_name,
+            })
+            return
+        parts = [p for p in path.split("/") if p]
+        if len(parts) >= 2 and parts[0] == "jobs":
+            job = self.jobs.get(parts[1])
+            if job is None:
+                _send_json(request, 404, {"error": f"no such job "
+                                                   f"{parts[1]!r}"})
+                return
+            if len(parts) == 2:
+                _send_json(request, 200, job.to_dict())
+                return
+            if len(parts) == 3 and parts[2] == "results":
+                if job.results_path is None or not job.results_path.exists():
+                    _send_json(request, 409, {
+                        "error": f"{job.id} has no results yet "
+                                 f"(status: {job.status})"})
+                    return
+                content_type = ("text/csv" if job.fmt == "csv"
+                                else "application/x-ndjson")
+                _send_text(request, 200, job.results_path.read_text(),
+                           content_type=content_type)
+                return
+        _send_json(request, 404, {"error": f"no such endpoint {path!r}"})
+
+
+def _send_json(request: BaseHTTPRequestHandler, code: int, data) -> None:
+    _send_text(request, code, json.dumps(data, sort_keys=True) + "\n",
+               content_type="application/json")
+
+
+def _send_text(request: BaseHTTPRequestHandler, code: int, text: str,
+               content_type: str = "text/plain") -> None:
+    payload = text.encode("utf-8")
+    request.send_response(code)
+    request.send_header("Content-Type", content_type)
+    request.send_header("Content-Length", str(len(payload)))
+    request.end_headers()
+    request.wfile.write(payload)
+
+
+# ---------------------------------------------------------------------- #
+# tiny stdlib client helpers (tests, CI smoke, scripts)
+# ---------------------------------------------------------------------- #
+def http_submit(base_url: str, campaign_yaml: str,
+                fmt: str = "jsonl", timeout: float = 30.0) -> Dict:
+    """POST a campaign; returns the decoded response (raises on non-2xx
+    with the server's one-line error in the exception message)."""
+    url = f"{base_url}/campaigns"
+    if fmt != "jsonl":
+        url += f"?format={fmt}"
+    req = urllib.request.Request(
+        url, data=campaign_yaml.encode("utf-8"),
+        headers={"Content-Type": "application/yaml"}, method="POST")
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return json.loads(resp.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        detail = exc.read().decode("utf-8", "replace").strip()
+        try:
+            detail = json.loads(detail).get("error", detail)
+        except (ValueError, AttributeError):
+            pass
+        raise RuntimeError(f"submit failed ({exc.code}): {detail}") from None
+
+
+def http_get_json(base_url: str, path: str, timeout: float = 30.0) -> Dict:
+    with urllib.request.urlopen(f"{base_url}{path}",
+                                timeout=timeout) as resp:
+        return json.loads(resp.read().decode("utf-8"))
+
+
+def http_get_text(base_url: str, path: str, timeout: float = 30.0) -> str:
+    with urllib.request.urlopen(f"{base_url}{path}",
+                                timeout=timeout) as resp:
+        return resp.read().decode("utf-8")

@@ -59,6 +59,7 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional
 
+from repro.runner.backends import drain_finished, kill_workers, new_pool
 from repro.runner.engine import BenchmarkRun, Engine, RunFailure
 from repro.runner.outcome import (OK, QUARANTINED, RunOutcome,
                                   classify_failure, summarize_outcomes)
@@ -370,8 +371,12 @@ class Supervisor:
             if todo:
                 state = {digest: _SpecState(spec)
                          for digest, spec in todo.items()}
-                suspects = self._herd_phase(todo, state, by_digest)
-                self._suspect_phase(todo, state, suspects, by_digest)
+                backend = self._delegated_backend()
+                if backend is not None:
+                    self._delegated_phase(todo, state, by_digest, backend)
+                else:
+                    suspects = self._herd_phase(todo, state, by_digest)
+                    self._suspect_phase(todo, state, suspects, by_digest)
             self._flush_manifest()
             outcomes = [by_digest[digest] for digest in order]
             self.outcomes.extend(outcomes)
@@ -394,6 +399,64 @@ class Supervisor:
                 f"policy={self.fail_policy}")
 
     # ------------------------------------------------------------------ #
+    # delegated phase: an explicit non-pool backend executes the batch
+    # ------------------------------------------------------------------ #
+    def _delegated_backend(self):
+        """The engine's explicit backend, when the supervisor should
+        delegate to it instead of herding its own process pools.
+
+        Pool-based execution (the default, and explicit
+        ``process-pool``) keeps the supervisor's own herd/suspect
+        machinery — that is where broken-pool blame, admission-window
+        shedding and quarantine are meaningful.  An explicit ``inline``
+        or ``remote`` backend executes the batch itself; the supervisor
+        still provides the outcome taxonomy, fail-policy, manifests and
+        checkpointing on top (worker-kill quarantine does not apply:
+        there is no local pool to die).
+        """
+        backend = self.engine.backend
+        if backend is not None and backend.name != "process-pool":
+            return backend
+        return None
+
+    def _delegated_phase(self, todo: Dict[str, RunSpec],
+                         state: Dict[str, _SpecState],
+                         by_digest: Dict[str, RunOutcome], backend) -> None:
+        """Run ``todo`` through ``backend`` with per-spec outcomes.
+
+        The backend handles its own retry budget (charging
+        ``engine.stats``); an exhausted spec reaches ``fail`` exactly
+        once, where the fail-policy decides between aborting and
+        recording a classified outcome.
+        """
+        def land(digest: str, run: BenchmarkRun) -> None:
+            self.engine._commit(digest, run)
+            self._land_bookkeeping(digest, run, state, by_digest)
+
+        def fail(digest: str, exc: BaseException) -> None:
+            st = state[digest]
+            st.attempts += 1
+            st.last_error = exc
+            if self.fail_policy == "abort":
+                self._flush_manifest()
+                raise RunFailure(st.spec, exc) from exc
+            status = classify_failure(exc)
+            by_digest[digest] = RunOutcome(st.spec, digest, status,
+                                           error=repr(exc),
+                                           attempts=st.attempts,
+                                           kills=st.kills)
+            log.warning("[campaign] %s", by_digest[digest].describe())
+            if self.manifest is not None:
+                self.manifest.mark_failed(digest, status, repr(exc),
+                                          st.attempts, st.spec.to_dict())
+                self._flush_manifest()
+
+        def tick() -> None:
+            self._check_interrupt(None)
+
+        backend.execute(todo, self.engine, land=land, fail=fail, tick=tick)
+
+    # ------------------------------------------------------------------ #
     # herd phase: everything rides the shared pool
     # ------------------------------------------------------------------ #
     def _herd_phase(self, todo: Dict[str, RunSpec],
@@ -407,7 +470,7 @@ class Supervisor:
         """
         max_workers = min(max(1, self.engine.jobs), len(todo))
         timeout = self.engine.timeout
-        pool = Engine._new_pool(max_workers)
+        pool = new_pool(max_workers)
         queue = deque(todo)
         inflight: Dict[object, str] = {}
         deadlines: Dict[object, Optional[float]] = {}
@@ -426,7 +489,7 @@ class Supervisor:
         def drain_survivors() -> List[str]:
             """Land in-flight futures that finished before the pool died;
             only the genuinely lost digests become suspects."""
-            return Engine._drain_finished(
+            return drain_finished(
                 inflight, deadlines,
                 lambda digest, run: self._land(digest, run, state,
                                                by_digest))
@@ -481,7 +544,7 @@ class Supervisor:
                         pool, max_workers, queue, inflight, deadlines,
                         state, by_digest)
         finally:
-            Engine._kill_workers(pool)
+            kill_workers(pool)
         return suspects
 
     def _enforce_deadlines(self, pool, max_workers, queue, inflight,
@@ -518,10 +581,10 @@ class Supervisor:
             innocents = list(inflight.values())
             inflight.clear()
             deadlines.clear()
-            Engine._kill_workers(pool)
+            kill_workers(pool)
             queue.extendleft(innocents)
             self.rebuilds += 1
-            pool = Engine._new_pool(max_workers)
+            pool = new_pool(max_workers)
         return pool
 
     # ------------------------------------------------------------------ #
@@ -536,7 +599,7 @@ class Supervisor:
             spec, st = todo[digest], state[digest]
             while digest not in by_digest:
                 self._check_interrupt(None)
-                pool = Engine._new_pool(1)
+                pool = new_pool(1)
                 future = pool.submit(self.engine._execute_fn, spec)
                 try:
                     run = self._solo_result(future, pool)
@@ -566,7 +629,7 @@ class Supervisor:
                 else:
                     self._land(digest, run, state, by_digest)
                 finally:
-                    Engine._kill_workers(pool)
+                    kill_workers(pool)
 
     def _solo_result(self, future, pool):
         """Wait for an isolated run, honouring signals and the timeout."""
@@ -589,6 +652,13 @@ class Supervisor:
               by_digest: Dict[str, RunOutcome]) -> None:
         """A result arrived: commit, checkpoint, heal the window."""
         self.engine._commit(digest, run)
+        self._land_bookkeeping(digest, run, state, by_digest)
+
+    def _land_bookkeeping(self, digest: str, run: BenchmarkRun,
+                          state: Dict[str, _SpecState],
+                          by_digest: Dict[str, RunOutcome]) -> None:
+        """Outcome, manifest and window bookkeeping for a landed result
+        (the commit itself already happened)."""
         st = state[digest]
         by_digest[digest] = RunOutcome(st.spec, digest, OK, run=run,
                                        attempts=st.attempts + 1,
@@ -689,7 +759,7 @@ class Supervisor:
     # ------------------------------------------------------------------ #
     def _rebuild_pool(self, dead_pool, max_workers: int):
         """Backoff (exponential + jitter), shed concurrency, fresh pool."""
-        Engine._kill_workers(dead_pool)
+        kill_workers(dead_pool)
         self.pool_deaths += 1
         self._consecutive_deaths += 1
         self._clean_streak = 0
@@ -701,7 +771,7 @@ class Supervisor:
                         self.window)
         self._backoff()
         self.rebuilds += 1
-        return Engine._new_pool(max_workers)
+        return new_pool(max_workers)
 
     def _backoff(self) -> None:
         exponent = min(max(0, self._consecutive_deaths - 1), 16)
@@ -719,6 +789,7 @@ class Supervisor:
         cache = self.engine.cache
         self.manifest.data["campaign"] = {
             "jobs": self.engine.jobs,
+            "backend": self.engine.backend_name,
             "fail_policy": self.fail_policy,
             "timeout": self.engine.timeout,
             "retries": self.engine.retries,
@@ -746,7 +817,7 @@ class Supervisor:
         signum, self._interrupt = self._interrupt, None
         self._flush_manifest()
         if pool is not None:
-            Engine._kill_workers(pool)
+            kill_workers(pool)
         raise CampaignInterrupted(
             signum, str(self.manifest.path) if self.manifest else None)
 

@@ -1,0 +1,134 @@
+"""Tests for the pluggable execution backends (inline / pool / remote)."""
+
+import threading
+
+import pytest
+
+from repro.runner import Engine, RunFailure, RunSpec, make_backend
+from repro.runner.backends import (BACKEND_NAMES, InlineBackend,
+                                   ProcessPoolBackend)
+from repro.runner.fingerprint import result_fingerprint
+from repro.runner.remote import (RemoteBackend, RemoteRunError, WorkerClient,
+                                 WorkerServer, parse_address)
+
+SPECS = [RunSpec.benchmark("sctr", "mcs", n_cores=8, scale=0.05),
+         RunSpec.benchmark("sctr", "glock", n_cores=8, scale=0.05),
+         RunSpec.benchmark("mctr", "mcs", n_cores=8, scale=0.05)]
+
+
+@pytest.fixture(scope="module")
+def inline_fingerprints():
+    engine = Engine()
+    return [result_fingerprint(run.result) for run in engine.run_specs(SPECS)]
+
+
+@pytest.fixture()
+def worker_pair(tmp_path):
+    """Two live workers sharing one cache directory."""
+    servers = [WorkerServer(cache_dir=str(tmp_path / "wcache"))
+               for _ in range(2)]
+    for server in servers:
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+    addresses = [f"{host}:{port}" for host, port in
+                 (server.address for server in servers)]
+    yield servers, addresses
+    for server in servers:
+        server.shutdown()
+
+
+def test_backend_names_registry():
+    assert BACKEND_NAMES == ("auto", "inline", "process-pool", "remote")
+    assert make_backend("auto") is None
+    assert isinstance(make_backend("inline"), InlineBackend)
+    assert isinstance(make_backend("process-pool", jobs=2),
+                      ProcessPoolBackend)
+    with pytest.raises(ValueError, match="worker addresses"):
+        make_backend("remote")
+    with pytest.raises(ValueError, match="unknown backend"):
+        make_backend("carrier-pigeon")
+
+
+def test_auto_selection_matches_classic_behaviour():
+    assert Engine(jobs=1).backend_name == "inline"
+    assert Engine(jobs=4).backend_name == "process-pool"
+    assert Engine(jobs=4, backend="inline").backend_name == "inline"
+
+
+def test_summary_reports_backend_identity():
+    engine = Engine(jobs=2, backend="process-pool")
+    assert "backend=process-pool" in engine.summary()
+    assert "jobs=2" in engine.summary()
+
+
+def test_explicit_backends_match_inline_fingerprints(inline_fingerprints):
+    for backend in ("inline", "process-pool"):
+        engine = Engine(jobs=2, backend=backend)
+        runs = engine.run_specs(SPECS)
+        assert [result_fingerprint(r.result) for r in runs] \
+            == inline_fingerprints, backend
+
+
+def test_remote_backend_matches_inline_fingerprints(worker_pair,
+                                                    inline_fingerprints):
+    _, addresses = worker_pair
+    engine = Engine(backend=RemoteBackend(addresses))
+    runs = engine.run_specs(SPECS)
+    assert [result_fingerprint(r.result) for r in runs] \
+        == inline_fingerprints
+    assert engine.stats.executed == len(SPECS)
+    assert engine.backend_name == "remote"
+
+
+def test_remote_workers_share_their_cache(worker_pair):
+    servers, addresses = worker_pair
+    Engine(backend=RemoteBackend(addresses)).run_specs(SPECS)
+    Engine(backend=RemoteBackend(addresses)).run_specs(SPECS)
+    executed = sum(server.stats["executed"] for server in servers)
+    hits = sum(server.stats["cache_hits"] for server in servers)
+    assert executed == len(SPECS)  # second engine fully served warm
+    assert hits == len(SPECS)
+
+
+def test_remote_run_error_carries_failure_kind(worker_pair):
+    _, addresses = worker_pair
+    client = WorkerClient(addresses[0])
+    try:
+        with pytest.raises(RemoteRunError) as excinfo:
+            client.run_spec(RunSpec(workload="synth",
+                                    workload_params={"bogus_param": 1}))
+        assert excinfo.value.kind == "error"
+    finally:
+        client.close()
+
+
+def test_remote_backend_raises_runfailure_when_no_workers():
+    backend = RemoteBackend(["127.0.0.1:1"])  # nothing listens there
+    engine = Engine(backend=backend)
+    with pytest.raises(RunFailure, match="no live workers"):
+        engine.run_specs([SPECS[0]])
+
+
+def test_remote_ping_and_stats(worker_pair):
+    _, addresses = worker_pair
+    client = WorkerClient(addresses[0])
+    try:
+        pong = client.ping()
+        assert pong["role"] == "repro-sim-worker"
+        assert client.stats()["requests"] >= 0
+    finally:
+        client.close()
+
+
+def test_parse_address():
+    assert parse_address("10.0.0.2:19301") == ("10.0.0.2", 19301)
+    assert parse_address(":19301") == ("127.0.0.1", 19301)
+    assert parse_address("19301") == ("127.0.0.1", 19301)
+    with pytest.raises(ValueError):
+        parse_address("nonsense")
+    with pytest.raises(ValueError):
+        parse_address("host:99999")
+
+
+def test_remote_backend_needs_an_address():
+    with pytest.raises(ValueError, match="at least one worker"):
+        RemoteBackend([])

@@ -1,0 +1,96 @@
+"""Tests for ResultCache operability and the repro-sim cache subcommand."""
+
+import os
+import time
+
+from repro.cli import main
+from repro.runner import Engine, RunSpec
+from repro.runner.cache import ResultCache
+
+
+def _populate(tmp_path, n=2):
+    specs = [RunSpec.benchmark("sctr", kind, n_cores=8, scale=0.05)
+             for kind in ("mcs", "glock")][:n]
+    Engine(cache_dir=str(tmp_path)).run_specs(specs)
+    return specs
+
+
+def test_stats_counts_entries_and_bytes(tmp_path):
+    _populate(tmp_path)
+    stats = ResultCache(tmp_path).stats()
+    assert stats.entries == 2
+    assert stats.total_bytes > 0
+    assert stats.oldest is not None and stats.newest >= stats.oldest
+
+
+def test_stats_reports_stale_tmp_files(tmp_path):
+    _populate(tmp_path)
+    bucket = next(tmp_path.glob("*"))
+    (bucket / "killed-write.tmp").write_bytes(b"partial")
+    stats = ResultCache(tmp_path).stats()
+    assert stats.stale_tmp == 1
+    assert "stale tmp" in stats.describe(tmp_path)
+
+
+def test_verify_reports_and_deletes_corruption(tmp_path):
+    _populate(tmp_path)
+    cache = ResultCache(tmp_path)
+    victim = cache.path_for(next(cache.digests()))
+    victim.write_bytes(b"garbage")
+    ok, corrupt = cache.verify()
+    assert ok == 1
+    assert len(corrupt) == 1 and victim.name in corrupt[0]
+    assert not victim.exists()  # deleted, will re-execute on next use
+    assert cache.verify() == (1, [])
+
+
+def test_gc_by_age_and_tmp_cleanup(tmp_path):
+    _populate(tmp_path)
+    cache = ResultCache(tmp_path)
+    digests = list(cache.digests())
+    old = cache.path_for(digests[0])
+    ancient = time.time() - 10 * 86400
+    os.utime(old, (ancient, ancient))
+    bucket = next(tmp_path.glob("*"))
+    (bucket / "killed-write.tmp").write_bytes(b"partial")
+    removed, tmp_removed = cache.gc(older_than_days=5)
+    assert (removed, tmp_removed) == (1, 1)
+    assert not old.exists()
+    assert len(cache) == 1
+
+
+def test_gc_everything_with_zero_days(tmp_path):
+    _populate(tmp_path)
+    removed, _ = ResultCache(tmp_path).gc(older_than_days=0)
+    assert removed == 2
+    assert len(ResultCache(tmp_path)) == 0
+
+
+def test_cli_cache_stats(tmp_path, capsys):
+    _populate(tmp_path)
+    assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "entries    : 2" in out
+
+
+def test_cli_cache_verify_clean(tmp_path, capsys):
+    _populate(tmp_path)
+    assert main(["cache", "verify", "--cache-dir", str(tmp_path)]) == 0
+    assert "verified 2 entries" in capsys.readouterr().out
+
+
+def test_cli_cache_gc_requires_older_than(tmp_path, capsys):
+    assert main(["cache", "gc", "--cache-dir", str(tmp_path)]) == 2
+    assert main(["cache", "gc", "--cache-dir", str(tmp_path),
+                 "--older-than", "0"]) == 0
+
+
+def test_summary_counts_survive_backend_switch(tmp_path):
+    """Cache hits/executed and backend identity in Engine.summary()."""
+    specs = _populate(tmp_path)
+    warm = Engine(cache_dir=str(tmp_path), backend="inline")
+    warm.run_specs(specs)
+    summary = warm.summary()
+    assert "executed=0" in summary
+    assert "disk_hits=2" in summary
+    assert "backend=inline" in summary

@@ -1,0 +1,171 @@
+"""Tests for the declarative campaign config layer (repro.runner.config)."""
+
+import pytest
+
+from repro.cli import main
+from repro.runner import RunSpec
+from repro.runner.config import (ConfigError, expand_campaign,
+                                 known_benchmarks, load_campaign)
+
+SMOKE = """
+campaign: smoke
+description: quick matrix
+defaults:
+  scale: 0.05
+  cores: [8]
+matrix:
+  - benchmarks: [sctr, mctr]
+    locks: [mcs, glock]
+"""
+
+
+def test_expand_cross_product_order():
+    campaign = expand_campaign(SMOKE)
+    assert campaign.name == "smoke"
+    labels = [(s.workload, s.hc_kind) for s in campaign.specs]
+    # benchmarks outermost, locks inner: deterministic expansion order
+    assert labels == [("sctr", "mcs"), ("sctr", "glock"),
+                      ("mctr", "mcs"), ("mctr", "glock")]
+
+
+def test_expanded_digests_equal_hand_built_specs():
+    campaign = expand_campaign(SMOKE)
+    hand = [RunSpec.benchmark(bench, lock, n_cores=8, scale=0.05)
+            for bench in ("sctr", "mctr") for lock in ("mcs", "glock")]
+    assert campaign.digests() == [spec.digest() for spec in hand]
+
+
+def test_defaults_are_overridable_per_block():
+    campaign = expand_campaign("""
+campaign: x
+defaults: {scale: 0.05, cores: [8]}
+matrix:
+  - benchmark: sctr
+    scale: 0.1
+    cores: [16]
+""")
+    (spec,) = campaign.specs
+    assert spec.scale == 0.1
+    assert spec.machine.n_cores == 16
+
+
+def test_seeds_and_fault_plans_sweep():
+    campaign = expand_campaign("""
+campaign: x
+matrix:
+  - benchmark: raytr
+    lock: glock
+    scale: 0.05
+    seeds: [1, 2]
+    fault_plans:
+      - null
+      - {drop_rate: 0.01, seed: 7}
+""")
+    assert len(campaign.specs) == 4
+    plans = [s.machine.fault_plan for s in campaign.specs]
+    assert plans[0] is None and plans[1] is not None
+    assert plans[1].drop_rate == 0.01
+    # digests all distinct (the duplicate check would have raised)
+    assert len(set(campaign.digests())) == 4
+
+
+def test_machine_and_parametric_workload_params():
+    campaign = expand_campaign("""
+campaign: x
+matrix:
+  - benchmark: synth
+    lock: glock
+    core: 8
+    machine: {glock_levels: 3, glock_arbitration: fifo}
+    workload_params: {iterations_per_thread: 5}
+""")
+    (spec,) = campaign.specs
+    assert spec.machine.glock_levels == 3
+    assert spec.machine.glock_arbitration == "fifo"
+    assert dict(spec.workload_params)["iterations_per_thread"] == 5
+
+
+def test_engine_section_round_trips():
+    campaign = expand_campaign(SMOKE + "engine: {jobs: 4, timeout: 60}\n")
+    assert campaign.engine == {"jobs": 4, "timeout": 60}
+
+
+@pytest.mark.parametrize("yaml_text, needle", [
+    ("campaign: x\nmatrix:\n  - benchmark: sctr\n    lockz: [mcs]\n",
+     "did you mean 'lock'"),
+    ("campaign: x\nmatrix:\n  - benchmarks: [sctrr]\n",
+     "unknown benchmark 'sctrr'"),
+    ("campaign: x\nmatrix:\n  - benchmark: sctr\n    locks: [mcss]\n",
+     "unknown lock 'mcss'"),
+    ("campaign: x\nmatrix:\n  - benchmark: sctr\n    seed: [1, 2]\n",
+     "use 'seeds' for a list"),
+    ("campaign: x\nmatrix:\n  - benchmark: sctr\n    seeds: 3\n",
+     "must be a non-empty list"),
+    ("campaign: x\nmatrix: []\n", "non-empty list"),
+    ("matrix:\n  - benchmark: sctr\n", "'campaign' must name"),
+    ("campaign: x\nmatrix:\n  - benchmark: sctr\n"
+     "    fault_plan: {drop_rate: 7}\n", "bad fault plan"),
+    ("campaign: x\nmatrix:\n  - benchmark: sctr\n"
+     "    machine: {glock_levelz: 2}\n", "glock_levels"),
+    ("campaign: x\nmatrix:\n  - benchmark: sctr\n    cores: [0]\n",
+     "positive integers"),
+    ("campaign: x\nmatrix:\n  - benchmark: mctr\n"
+     "    workload_params: {n: 1}\n", "no workload_params"),
+    ("campaign: x\nmatrix:\n  - benchmark: sctr\nengine: {backend: bogus}\n",
+     "engine.backend"),
+])
+def test_validation_errors_are_single_line(yaml_text, needle):
+    with pytest.raises(ConfigError) as excinfo:
+        expand_campaign(yaml_text, source="t.yaml")
+    message = str(excinfo.value)
+    assert "\n" not in message
+    assert needle in message
+
+
+def test_duplicate_expansion_is_an_error():
+    with pytest.raises(ConfigError) as excinfo:
+        expand_campaign("""
+campaign: x
+matrix:
+  - benchmarks: [sctr]
+    locks: [mcs]
+  - benchmark: sctr
+    lock: mcs
+""")
+    assert "duplicate spec" in str(excinfo.value)
+    assert "matrix[0]" in str(excinfo.value)
+
+
+def test_load_campaign_missing_file_and_bad_yaml(tmp_path):
+    with pytest.raises(ConfigError, match="not found"):
+        load_campaign(str(tmp_path / "nope.yaml"))
+    bad = tmp_path / "bad.yaml"
+    bad.write_text("campaign: [unclosed\n")
+    with pytest.raises(ConfigError, match="not valid YAML"):
+        load_campaign(str(bad))
+
+
+def test_known_benchmarks_covers_registry_and_parametric():
+    names = known_benchmarks()
+    assert "sctr" in names and "qsort" in names and "synth" in names
+
+
+def test_cli_campaign_expand_prints_digests(tmp_path, capsys):
+    path = tmp_path / "c.yaml"
+    path.write_text(SMOKE)
+    code = main(["campaign", "expand", str(path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    campaign = expand_campaign(SMOKE)
+    for digest in campaign.digests():
+        assert digest in out
+    assert "4 specs" in out
+
+
+def test_cli_campaign_expand_rejects_bad_config(tmp_path, capsys):
+    path = tmp_path / "c.yaml"
+    path.write_text("campaign: x\nmatrix:\n  - benchmarks: [nope]\n")
+    code = main(["campaign", "expand", str(path)])
+    out = capsys.readouterr().out
+    assert code == 2
+    assert "unknown benchmark 'nope'" in out

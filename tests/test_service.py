@@ -1,0 +1,142 @@
+"""Tests for the campaign service daemon (repro.runner.service)."""
+
+import threading
+
+import pytest
+
+from repro.runner import Engine
+from repro.runner.publisher import SamplePublisher
+from repro.runner.config import expand_campaign
+from repro.runner.service import (CampaignService, http_get_json,
+                                  http_get_text, http_submit)
+
+SMOKE = """
+campaign: smoke
+defaults: {scale: 0.05, cores: [8]}
+matrix:
+  - benchmarks: [sctr, mctr]
+    locks: [mcs, glock]
+"""
+
+
+@pytest.fixture()
+def service(tmp_path):
+    engine = Engine(cache_dir=str(tmp_path / "cache"))
+    svc = CampaignService(engine, results_dir=str(tmp_path / "results"))
+    svc.start()
+    yield svc
+    svc.shutdown()
+
+
+def _wait_done(svc, job_id, deadline=60.0):
+    job = svc.jobs[job_id]
+    assert job.done_event.wait(deadline), f"{job_id} never finished"
+    return http_get_json(svc.url, f"/jobs/{job_id}")
+
+
+def test_submit_status_results_roundtrip(service):
+    reply = http_submit(service.url, SMOKE)
+    assert reply["specs"] == 4
+    assert len(reply["digests"]) == 4
+    status = _wait_done(service, reply["job"])
+    assert status["status"] == "done"
+    assert status["executed"] == 4
+    body = http_get_text(service.url, f"/jobs/{reply['job']}/results")
+    assert len(body.splitlines()) == 4
+    for digest in reply["digests"]:
+        assert digest in body
+
+
+def test_concurrent_clients_share_the_warm_cache(service):
+    replies = {}
+
+    def client(name):
+        replies[name] = http_submit(service.url, SMOKE)
+
+    threads = [threading.Thread(target=client, args=(name,))
+               for name in ("a", "b")]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    stats = [_wait_done(service, replies[name]["job"]) for name in ("a", "b")]
+    # FIFO executor: the overlap runs exactly once, the rest is warm
+    assert sorted(s["executed"] for s in stats) == [0, 4]
+    warm = next(s for s in stats if s["executed"] == 0)
+    assert warm["cache_hits"] == 4
+    bodies = [http_get_text(service.url, f"/jobs/{r['job']}/results")
+              for r in replies.values()]
+    assert bodies[0] == bodies[1]
+
+
+def test_published_jsonl_matches_inline_backend_run(service, tmp_path):
+    reply = http_submit(service.url, SMOKE)
+    _wait_done(service, reply["job"])
+    served = http_get_text(service.url, f"/jobs/{reply['job']}/results")
+
+    campaign = expand_campaign(SMOKE)
+    path = tmp_path / "inline.jsonl"
+    engine = Engine()
+    publisher = SamplePublisher(path)
+    publisher.expect(campaign.digests())
+    engine.observers.append(publisher)
+    engine.run_specs(campaign.specs)
+    publisher.close()
+    assert path.read_text() == served
+
+
+def test_csv_format_submission(service):
+    reply = http_submit(service.url, SMOKE, fmt="csv")
+    _wait_done(service, reply["job"])
+    body = http_get_text(service.url, f"/jobs/{reply['job']}/results")
+    lines = body.splitlines()
+    assert lines[0].startswith("digest,workload,locks,")
+    assert len(lines) == 5  # header + 4 records
+
+
+def test_invalid_campaign_rejected_400(service):
+    with pytest.raises(RuntimeError, match="unknown benchmark 'nope'"):
+        http_submit(service.url, "campaign: x\nmatrix:\n"
+                                 "  - benchmarks: [nope]\n")
+    with pytest.raises(RuntimeError, match="not valid YAML"):
+        http_submit(service.url, "campaign: [unclosed\n")
+
+
+def test_status_and_health_endpoints(service):
+    assert http_get_text(service.url, "/healthz").strip() == "ok"
+    reply = http_submit(service.url, SMOKE)
+    _wait_done(service, reply["job"])
+    status = http_get_json(service.url, "/status")
+    assert status["backend"] == "inline"
+    assert "[engine]" in status["engine"]
+    assert any(job["job"] == reply["job"] for job in status["jobs"])
+
+
+def test_unknown_endpoints_404(service):
+    import urllib.error
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        http_get_json(service.url, "/jobs/job-9999")
+    assert excinfo.value.code == 404
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        http_get_json(service.url, "/nonsense")
+    assert excinfo.value.code == 404
+
+
+def test_failed_job_reports_error(tmp_path):
+    def explode(spec):
+        raise RuntimeError("boom")
+
+    engine = Engine(execute_fn=explode)
+    svc = CampaignService(engine, results_dir=str(tmp_path / "results"))
+    svc.start()
+    try:
+        reply = http_submit(svc.url, SMOKE)
+        status = _wait_done(svc, reply["job"])
+        assert status["status"] == "failed"
+        assert "boom" in status["error"]
+        # the executor thread survives the failure: later jobs still run
+        again = http_submit(svc.url, SMOKE)
+        status = _wait_done(svc, again["job"])
+        assert status["status"] == "failed"
+    finally:
+        svc.shutdown()

@@ -494,3 +494,57 @@ def test_cli_collect_campaign_smoke(capsys, tmp_path, monkeypatch):
     out = capsys.readouterr().out
     assert code == 0
     assert "executed=0" in out
+
+
+def test_manifest_records_backend_and_cache_counts(tmp_path):
+    """The campaign manifest carries the engine's execution identity."""
+    import json
+
+    engine = Engine(cache_dir=str(tmp_path / "cache"))
+    manifest = tmp_path / "m.json"
+    supervisor = Supervisor(engine, fail_policy="collect",
+                            manifest_path=str(manifest))
+    supervisor.run_campaign([RunSpec.benchmark("sctr", "mcs", n_cores=4,
+                                               scale=0.05)])
+    data = json.loads(manifest.read_text())
+    assert data["campaign"]["backend"] == "inline"
+    assert data["stats"]["executed"] == 1
+    assert data["stats"]["disk_hits"] == 0
+    assert data["stats"]["memo_hits"] == 0
+
+
+def test_supervisor_delegates_to_explicit_inline_backend(tmp_path):
+    """An explicit non-pool backend executes the batch; taxonomy,
+    manifests and fail-policy still apply on top."""
+    from repro.runner.backends import InlineBackend
+
+    calls = []
+
+    class SpyBackend(InlineBackend):
+        def execute(self, todo, engine, *, land=None, fail=None, tick=None):
+            calls.append(len(todo))
+            return super().execute(todo, engine, land=land, fail=fail,
+                                   tick=tick)
+
+    engine = Engine(backend=SpyBackend())
+    supervisor = Supervisor(engine, fail_policy="collect")
+    result = supervisor.run_campaign(
+        [RunSpec.benchmark("sctr", kind, n_cores=4, scale=0.05)
+         for kind in ("mcs", "glock")])
+    assert calls == [2]
+    assert all(outcome.ok for outcome in result.outcomes)
+
+
+def test_supervisor_collects_outcomes_from_delegated_backend(tmp_path):
+    """Failures through a delegated backend still classify per spec."""
+    def explode(spec):
+        raise RuntimeError("boom")
+
+    engine = Engine(backend="inline", execute_fn=explode)
+    supervisor = Supervisor(engine, fail_policy="collect")
+    result = supervisor.run_campaign(
+        [RunSpec.benchmark("sctr", "mcs", n_cores=4, scale=0.05)])
+    (outcome,) = result.outcomes
+    assert not outcome.ok
+    assert outcome.status == "error"
+    assert "boom" in outcome.error
