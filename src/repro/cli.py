@@ -124,6 +124,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--workers", default=None, metavar="H:P,H:P",
                        help="comma-separated repro-sim worker addresses "
                             "(required by --backend remote)")
+        p.add_argument("--lease-timeout", type=float, default=None,
+                       metavar="S",
+                       help="remote backend: max silence (no heartbeat, "
+                            "no result) before a dispatched spec's lease "
+                            "breaks and it is re-dispatched (default: 10)")
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument("name", choices=sorted(EXPERIMENTS))
@@ -201,6 +206,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "or ~/.cache/repro-sim)")
     p.add_argument("--no-cache", action="store_true",
                    help="execute every request, share nothing")
+    p.add_argument("--heartbeat-interval", type=float, default=1.0,
+                   metavar="S",
+                   help="seconds between heartbeat frames while a spec "
+                        "simulates (0 disables; default: 1)")
 
     p = sub.add_parser("serve",
                        help="campaign service daemon (HTTP submit/status/"
@@ -211,6 +220,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--results-dir", default=None, metavar="DIR",
                    help="published sample files (default: "
                         "<cache-dir>/results)")
+    p.add_argument("--journal", default=None, metavar="PATH",
+                   help="write-ahead job journal (default: "
+                        "<cache-dir>/service-journal.jsonl; 'off' "
+                        "disables journaling)")
+    p.add_argument("--resume-journal", action="store_true",
+                   help="replay the journal on startup and re-enqueue "
+                        "jobs that never finished (landed specs are "
+                        "served from the cache, so only the rest "
+                        "re-execute)")
+    p.add_argument("--max-queue", type=int, default=None, metavar="N",
+                   help="bound on queued jobs; a full queue answers "
+                        "429 with Retry-After (default: unbounded)")
     add_engine_flags(p)
 
     p = sub.add_parser("cache", help="inspect or prune the result cache")
@@ -335,7 +356,8 @@ def _backend_from_args(args):
         workers = [w for w in workers.split(",") if w.strip()]
     if workers and name == "auto":
         name = "remote"  # --workers alone is unambiguous
-    return make_backend(name, jobs=args.jobs, workers=workers)
+    return make_backend(name, jobs=args.jobs, workers=workers,
+                        lease_timeout=getattr(args, "lease_timeout", None))
 
 
 def _engine_from_args(args, fallback_cache_dir: Optional[str] = None
@@ -493,7 +515,7 @@ def _cmd_shootout(args) -> int:
 
 _ENGINE_FLAG_DEFAULTS = {"jobs": 1, "timeout": None, "retries": 0,
                          "backend": "auto", "workers": None,
-                         "cache_dir": None}
+                         "cache_dir": None, "lease_timeout": None}
 
 
 def _apply_campaign_engine(args, settings) -> None:
@@ -582,26 +604,31 @@ def _cmd_worker(args) -> int:
     cache_dir = (None if args.no_cache
                  else _resolve_cache_dir(args.cache_dir))
     server = WorkerServer(host=args.host, port=args.port,
-                          cache_dir=cache_dir)
+                          cache_dir=cache_dir,
+                          heartbeat_interval=args.heartbeat_interval)
+
+    def stop(signum, frame):
+        # drain: refuse new specs, let the in-flight one finish and
+        # commit to the shared cache, then exit 0
+        server.begin_drain()
+
+    # handlers go in before the ready line: a supervisor that reacts to
+    # the printed address must never catch us with default dispositions
+    signal.signal(signal.SIGTERM, stop)
+    signal.signal(signal.SIGINT, stop)
     host, port = server.address
     print(f"worker listening on {host}:{port} "
           f"(cache: {cache_dir or 'off'})", flush=True)
-
-    def stop(signum, frame):
-        raise KeyboardInterrupt
-
-    signal.signal(signal.SIGTERM, stop)
-    try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        pass
-    finally:
-        server.shutdown()
+    server.serve_forever()
+    print("worker draining: waiting for the in-flight spec...", flush=True)
+    server.wait_drained()
+    print("worker drained cleanly", flush=True)
     return 0
 
 
 def _cmd_serve(args) -> int:
     import signal
+    import threading
 
     from repro.runner.service import CampaignService
 
@@ -612,25 +639,43 @@ def _cmd_serve(args) -> int:
         return 2
     results_dir = args.results_dir or os.path.join(
         _resolve_cache_dir(args.cache_dir), "results")
+    if args.journal == "off":
+        journal_path = None
+    else:
+        journal_path = args.journal or os.path.join(
+            _resolve_cache_dir(args.cache_dir), "service-journal.jsonl")
+    if args.resume_journal and journal_path is None:
+        print("error: --resume-journal needs a journal (drop --journal off)")
+        return 2
     service = CampaignService(engine, results_dir=results_dir,
-                              host=args.host, port=args.port)
+                              host=args.host, port=args.port,
+                              journal_path=journal_path,
+                              max_queue=args.max_queue)
+    if args.resume_journal:
+        recovered = service.resume_journal()
+        if recovered:
+            print(f"resumed {len(recovered)} unfinished job(s) from "
+                  f"{journal_path}: "
+                  f"{', '.join(j.id for j in recovered)}", flush=True)
+    def stop(signum, frame):
+        # drain: stop admitting (503), finish the running job, leave
+        # queued jobs journaled for --resume-journal, exit 0
+        threading.Thread(target=service.drain, daemon=True).start()
+
+    # handlers go in before the ready line (see _cmd_worker)
+    signal.signal(signal.SIGTERM, stop)
+    signal.signal(signal.SIGINT, stop)
     host, port = service.address
     print(f"campaign service listening on http://{host}:{port} "
           f"(backend: {engine.backend_name}, cache: "
           f"{engine.cache.root if engine.cache else 'off'}, "
-          f"results: {results_dir})", flush=True)
-
-    def stop(signum, frame):
-        raise KeyboardInterrupt
-
-    signal.signal(signal.SIGTERM, stop)
+          f"results: {results_dir}, journal: {journal_path or 'off'})",
+          flush=True)
     try:
         service.serve_forever()
-    except KeyboardInterrupt:
-        pass
     finally:
-        service.shutdown()
         engine.close()
+    print("campaign service drained cleanly", flush=True)
     return 0
 
 

@@ -37,6 +37,7 @@ from repro.runner.config import (Campaign, ConfigError, expand_campaign,
                                  load_campaign, parse_campaign)
 from repro.runner.engine import (BenchmarkRun, Engine, EngineStats,
                                  RunFailure, execute_spec)
+from repro.runner.journal import JobJournal, JournalJob, replay_journal
 from repro.runner.outcome import (FAILURE_STATUSES, RunOutcome,
                                   classify_failure, summarize_outcomes)
 from repro.runner.publisher import SamplePublisher
@@ -48,14 +49,14 @@ __all__ = [
     "BACKEND_NAMES", "BenchmarkRun", "CacheCorruption", "CacheStats",
     "Campaign", "CampaignInterrupted", "CampaignManifest", "CampaignResult",
     "ConfigError", "Engine", "EngineStats", "ExecutionBackend",
-    "FAILURE_STATUSES", "FaultPlan", "InlineBackend", "MachineSpec",
-    "ProcessPoolBackend", "ResultCache", "RunFailure", "RunOutcome",
-    "RunSpec", "SamplePublisher", "Supervisor", "active_engine",
-    "active_supervisor", "canonical_json", "classify_failure",
-    "execute_spec", "expand_campaign", "load_campaign", "make_backend",
-    "parse_campaign", "run_spec", "run_specs", "set_active_engine",
-    "set_active_supervisor", "summarize_outcomes", "use_engine",
-    "use_supervisor",
+    "FAILURE_STATUSES", "FaultPlan", "InlineBackend", "JobJournal",
+    "JournalJob", "MachineSpec", "ProcessPoolBackend", "ResultCache",
+    "RunFailure", "RunOutcome", "RunSpec", "SamplePublisher", "Supervisor",
+    "active_engine", "active_supervisor", "canonical_json",
+    "classify_failure", "execute_spec", "expand_campaign", "load_campaign",
+    "make_backend", "parse_campaign", "replay_journal", "run_spec",
+    "run_specs", "set_active_engine", "set_active_supervisor",
+    "summarize_outcomes", "use_engine", "use_supervisor",
 ]
 
 _active: Optional[Engine] = None

@@ -370,13 +370,16 @@ class ProcessPoolBackend(ExecutionBackend):
 
 
 def make_backend(name: str, *, jobs: Optional[int] = None,
-                 workers=None) -> Optional[ExecutionBackend]:
+                 workers=None,
+                 lease_timeout: Optional[float] = None
+                 ) -> Optional[ExecutionBackend]:
     """Build a backend from its CLI name.
 
     ``"auto"`` returns ``None`` — the engine then picks inline or
     process-pool per batch from its ``jobs`` (the classic behaviour).
     ``"remote"`` requires ``workers``, a list of ``host:port`` worker
-    addresses started with ``repro-sim worker``.
+    addresses started with ``repro-sim worker``; ``lease_timeout``
+    tunes its heartbeat lease window (``None`` keeps the default).
     """
     if name == "auto":
         return None
@@ -390,6 +393,8 @@ def make_backend(name: str, *, jobs: Optional[int] = None,
                 "remote backend needs worker addresses (host:port); start "
                 "them with 'repro-sim worker' and pass --workers")
         from repro.runner.remote import RemoteBackend
+        if lease_timeout is not None:
+            return RemoteBackend(workers, lease_timeout=lease_timeout)
         return RemoteBackend(workers)
     raise ValueError(f"unknown backend {name!r}; choose from "
                      f"{', '.join(BACKEND_NAMES)}")

@@ -118,6 +118,15 @@ class ResultCache:
             raise
         return path
 
+    def missing(self, digests) -> List[str]:
+        """The digests with no cache entry, deduplicated, in order.
+
+        Journal recovery and the chaos harness use this to answer "which
+        specs never landed" without loading (or trusting) the payloads.
+        """
+        return [digest for digest in dict.fromkeys(digests)
+                if not self.path_for(digest).exists()]
+
     def digests(self):
         """Iterate the digests currently stored (campaign resume audits)."""
         if not self.root.exists():

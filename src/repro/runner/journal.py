@@ -1,0 +1,198 @@
+"""Durable write-ahead job journal for the campaign service.
+
+The service daemon appends one JSON line per state transition to a
+journal file before acting on it, so a crash (SIGKILL, OOM, power loss)
+never loses submitted work:
+
+- ``job_submitted`` — a campaign was accepted; the record carries the
+  *full campaign YAML source* so a restarted daemon can re-expand it
+  without the original client.
+- ``job_started`` — the executor picked the job up.
+- ``spec_dispatched`` — the job's pending digests were handed to the
+  execution backend (one record listing them; landed cache hits are not
+  dispatched).
+- ``spec_landed`` / ``spec_failed`` — one record per digest as results
+  arrive.
+- ``job_done`` — terminal, with the job's final status and counters.
+
+Replay (:func:`replay_journal`) folds the log into per-job state and is
+deliberately forgiving: a torn final line (the daemon died mid-write)
+is dropped, unknown events are ignored, and a journal that does not
+exist yet replays to an empty state.  ``repro-sim serve
+--resume-journal`` re-enqueues every job that has no terminal record;
+because results are digest-keyed in the shared cache, the re-run
+re-executes only the specs that never landed — recovery is idempotent
+and duplicates no work.
+
+Each append is flushed and (by default) fsynced: the journal is the
+daemon's source of truth, and a record that was acknowledged to a
+client must survive the daemon.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, IO, List, Optional, Set
+
+__all__ = ["JOURNAL_VERSION", "JobJournal", "JournalJob", "replay_journal"]
+
+#: bump when the record layout changes incompatibly
+JOURNAL_VERSION = 1
+
+#: events with meaning to :func:`replay_journal` (others are ignored)
+TERMINAL_EVENTS = ("job_done",)
+
+
+class JobJournal:
+    """Append-only JSONL journal (one file, one writer).
+
+    Args:
+        path: journal file; parent directories are created on first
+            write.  The file is opened in append mode, so resuming a
+            journal keeps its history.
+        sync: fsync after every record (default).  Turning this off is
+            only safe when losing the tail on a hard crash is
+            acceptable (tests).
+    """
+
+    def __init__(self, path: os.PathLike, sync: bool = True) -> None:
+        self.path = Path(path)
+        self.sync = sync
+        self._fh: Optional[IO[str]] = None
+
+    # ------------------------------------------------------------------ #
+    def record(self, event: str, **fields) -> None:
+        """Durably append one record (``{"event": ..., **fields}``)."""
+        record = {"event": event, "version": JOURNAL_VERSION}
+        record.update(fields)
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+        if self.sync:
+            os.fsync(self._fh.fileno())
+
+    # convenience wrappers (keep field names in one place) ------------- #
+    def job_submitted(self, job_id: str, name: str, source: str,
+                      fmt: str, digests: List[str]) -> None:
+        self.record("job_submitted", job=job_id, campaign=name,
+                    source=source, format=fmt, digests=digests)
+
+    def job_started(self, job_id: str) -> None:
+        self.record("job_started", job=job_id)
+
+    def spec_dispatched(self, job_id: str, digests: List[str]) -> None:
+        self.record("spec_dispatched", job=job_id, digests=digests)
+
+    def spec_landed(self, job_id: str, digest: str) -> None:
+        self.record("spec_landed", job=job_id, digest=digest)
+
+    def spec_failed(self, job_id: str, digest: str, error: str) -> None:
+        self.record("spec_failed", job=job_id, digest=digest, error=error)
+
+    def job_done(self, job_id: str, status: str, executed: int,
+                 cache_hits: int, error: Optional[str] = None) -> None:
+        self.record("job_done", job=job_id, status=status,
+                    executed=executed, cache_hits=cache_hits, error=error)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+@dataclass
+class JournalJob:
+    """One job's folded state after :func:`replay_journal`."""
+
+    id: str
+    campaign: str = ""
+    source: str = ""            # the submitted campaign YAML
+    fmt: str = "jsonl"
+    digests: List[str] = field(default_factory=list)
+    started: bool = False
+    landed: Set[str] = field(default_factory=set)
+    failed: Dict[str, str] = field(default_factory=dict)  # digest -> error
+    #: terminal status from job_done (None = unfinished, needs recovery)
+    status: Optional[str] = None
+    executed: int = 0
+    cache_hits: int = 0
+    error: Optional[str] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.status is not None
+
+    @property
+    def unlanded(self) -> List[str]:
+        """Digests with no ``spec_landed`` record, in submission order."""
+        return [d for d in self.digests if d not in self.landed]
+
+
+def replay_journal(path: os.PathLike) -> Dict[str, JournalJob]:
+    """Fold a journal into per-job state (insertion = submission order).
+
+    Tolerates a missing file (empty state), a torn final line (dropped
+    — the write it recorded never completed), blank lines, and records
+    for jobs whose submission predates the journal's retention (such
+    orphan records are ignored rather than fabricating half-known
+    jobs).  Raises :class:`ValueError` only for a structurally corrupt
+    journal: torn or unparsable lines *before* the final record, where
+    dropping data would silently lose acknowledged work.
+    """
+    path = Path(path)
+    jobs: Dict[str, JournalJob] = {}
+    if not path.exists():
+        return jobs
+    with open(path, encoding="utf-8") as fh:
+        lines = fh.read().split("\n")
+    # a trailing newline yields one empty final element; real torn tails
+    # are whatever was mid-write when the daemon died
+    records = []
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except ValueError as exc:
+            if i >= len(lines) - 2:  # the torn tail; drop it
+                break
+            raise ValueError(
+                f"corrupt journal {path} at line {i + 1}: {exc}") from exc
+    for record in records:
+        event = record.get("event")
+        job_id = record.get("job")
+        if not isinstance(job_id, str):
+            continue
+        if event == "job_submitted":
+            jobs[job_id] = JournalJob(
+                id=job_id,
+                campaign=record.get("campaign", ""),
+                source=record.get("source", ""),
+                fmt=record.get("format", "jsonl"),
+                digests=list(record.get("digests", ())),
+            )
+            continue
+        job = jobs.get(job_id)
+        if job is None:
+            continue  # orphan record from a rotated-away submission
+        if event == "job_started":
+            job.started = True
+        elif event == "spec_landed":
+            digest = record.get("digest")
+            if digest:
+                job.landed.add(digest)
+        elif event == "spec_failed":
+            digest = record.get("digest")
+            if digest:
+                job.failed[digest] = record.get("error", "")
+        elif event == "job_done":
+            job.status = record.get("status", "done")
+            job.executed = record.get("executed", 0)
+            job.cache_hits = record.get("cache_hits", 0)
+            job.error = record.get("error")
+    return jobs

@@ -26,6 +26,7 @@ Usage::
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Dict, IO, List, Optional, Sequence
 
@@ -72,12 +73,15 @@ class SamplePublisher:
     memo hits of duplicate specs cannot double-publish.
     """
 
-    def __init__(self, path, fmt: str = "jsonl") -> None:
+    def __init__(self, path, fmt: str = "jsonl", sync: bool = False) -> None:
         if fmt not in PUBLISH_FORMATS:
             raise ValueError(f"unknown publisher format {fmt!r}; choose "
                              f"from {', '.join(PUBLISH_FORMATS)}")
         self.path = Path(path)
         self.fmt = fmt
+        #: fsync after every record — the campaign service publishes with
+        #: sync=True so a SIGKILLed daemon keeps its published prefix
+        self.sync = sync
         self._order: List[str] = []
         self._expected = set()
         self._ready: Dict[str, Dict[str, object]] = {}
@@ -101,6 +105,13 @@ class SamplePublisher:
             return
         self._ready[digest] = record_for(digest, run)
         self._flush_ready()
+
+    def flush(self) -> None:
+        """Push written records to the OS (and disk when ``sync``)."""
+        if self._fh is not None:
+            self._fh.flush()
+            if self.sync:
+                os.fsync(self._fh.fileno())
 
     @property
     def missing(self) -> List[str]:
@@ -151,4 +162,6 @@ class SamplePublisher:
             self._fh.write(",".join("" if record[f] is None else str(record[f])
                                     for f in _FIELDS) + "\n")
         self._fh.flush()
+        if self.sync:
+            os.fsync(self._fh.fileno())
         self.published += 1

@@ -805,6 +805,11 @@ class Supervisor:
             "min_window": self.min_window,
             "backoffs": len(self.backoff_log),
         }
+        backend = self.engine.backend
+        if backend is not None and hasattr(backend, "health_snapshot"):
+            # remote campaigns checkpoint per-worker breaker state too,
+            # so a resumed run knows which workers were misbehaving
+            self.manifest.data["stats"]["workers"] = backend.health_snapshot()
         self.manifest.flush()
 
     def _on_signal(self, signum, frame) -> None:

@@ -162,6 +162,57 @@ def test_exit_3_quarantined_specs(tmp_path, monkeypatch, capsys):
 
 
 # ---------------------------------------------------------------------- #
+# 0 — graceful drain (worker and serve exit 0 on SIGTERM)
+# ---------------------------------------------------------------------- #
+def _start_daemon(argv, ready_marker):
+    import os
+    import pathlib
+    import subprocess
+    import sys
+    import time
+
+    repo = pathlib.Path(__file__).resolve().parent.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (str(repo / "src") + os.pathsep
+                         + env.get("PYTHONPATH", ""))
+    proc = subprocess.Popen([sys.executable, "-m", "repro.cli", *argv],
+                            cwd=repo, env=env, stdout=subprocess.PIPE,
+                            stderr=subprocess.STDOUT, text=True)
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line and proc.poll() is not None:
+            raise RuntimeError(f"daemon died on startup "
+                               f"(exit {proc.returncode})")
+        if ready_marker in line:
+            return proc
+    proc.kill()
+    raise RuntimeError(f"never saw {ready_marker!r}")
+
+
+@pytest.mark.slow
+def test_exit_0_worker_sigterm_drain():
+    proc = _start_daemon(["worker", "--port", "0", "--no-cache"],
+                         "worker listening")
+    proc.send_signal(signal.SIGTERM)
+    out, _ = proc.communicate(timeout=30)
+    assert proc.returncode == 0
+    assert "drained cleanly" in out
+
+
+@pytest.mark.slow
+def test_exit_0_serve_sigterm_drain(tmp_path):
+    proc = _start_daemon(
+        ["serve", "--port", "0", "--cache-dir", str(tmp_path / "cache"),
+         "--results-dir", str(tmp_path / "results")],
+        "campaign service listening")
+    proc.send_signal(signal.SIGTERM)
+    out, _ = proc.communicate(timeout=30)
+    assert proc.returncode == 0
+    assert "drained cleanly" in out
+
+
+# ---------------------------------------------------------------------- #
 # 130 — interrupted
 # ---------------------------------------------------------------------- #
 def test_exit_130_campaign_interrupted(tmp_path, monkeypatch, capsys):

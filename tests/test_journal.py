@@ -1,0 +1,108 @@
+"""Tests for the durable job journal (repro.runner.journal)."""
+
+import json
+
+import pytest
+
+from repro.runner.journal import (JOURNAL_VERSION, JobJournal, JournalJob,
+                                  replay_journal)
+
+
+def _journal(tmp_path, sync=False):
+    return JobJournal(tmp_path / "journal.jsonl", sync=sync)
+
+
+def test_records_are_json_lines_with_version(tmp_path):
+    journal = _journal(tmp_path)
+    journal.job_submitted("job-0001", "smoke", "campaign: smoke\n",
+                          "jsonl", ["d1", "d2"])
+    journal.close()
+    lines = journal.path.read_text().splitlines()
+    assert len(lines) == 1
+    record = json.loads(lines[0])
+    assert record["event"] == "job_submitted"
+    assert record["version"] == JOURNAL_VERSION
+    assert record["digests"] == ["d1", "d2"]
+    assert record["source"] == "campaign: smoke\n"
+
+
+def test_replay_missing_file_is_empty(tmp_path):
+    assert replay_journal(tmp_path / "nope.jsonl") == {}
+
+
+def test_replay_folds_full_job_lifecycle(tmp_path):
+    journal = _journal(tmp_path)
+    journal.job_submitted("job-0001", "smoke", "yaml", "jsonl",
+                          ["d1", "d2", "d3"])
+    journal.job_started("job-0001")
+    journal.spec_dispatched("job-0001", ["d1", "d2", "d3"])
+    journal.spec_landed("job-0001", "d1")
+    journal.spec_failed("job-0001", "d2", "RuntimeError('boom')")
+    journal.job_done("job-0001", "failed", executed=1, cache_hits=0,
+                     error="boom")
+    journal.close()
+    jobs = replay_journal(journal.path)
+    job = jobs["job-0001"]
+    assert job.started and job.finished
+    assert job.status == "failed"
+    assert job.landed == {"d1"}
+    assert job.failed == {"d2": "RuntimeError('boom')"}
+    assert job.unlanded == ["d2", "d3"]
+    assert job.executed == 1
+    assert job.error == "boom"
+
+
+def test_unfinished_job_has_no_status(tmp_path):
+    journal = _journal(tmp_path)
+    journal.job_submitted("job-0001", "smoke", "yaml", "jsonl", ["d1", "d2"])
+    journal.job_started("job-0001")
+    journal.spec_landed("job-0001", "d1")
+    journal.close()
+    job = replay_journal(journal.path)["job-0001"]
+    assert not job.finished
+    assert job.unlanded == ["d2"]
+
+
+def test_torn_final_line_is_dropped(tmp_path):
+    journal = _journal(tmp_path)
+    journal.job_submitted("job-0001", "smoke", "yaml", "jsonl", ["d1"])
+    journal.close()
+    with open(journal.path, "a", encoding="utf-8") as fh:
+        fh.write('{"event": "spec_landed", "job": "job-0001", "dig')
+    jobs = replay_journal(journal.path)
+    assert jobs["job-0001"].landed == set()  # torn record never happened
+
+
+def test_corrupt_interior_line_raises(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    good = json.dumps({"event": "job_submitted", "job": "job-0001",
+                       "digests": []})
+    path.write_text("garbage not json\n" + good + "\n" + good + "\n")
+    with pytest.raises(ValueError, match="corrupt journal"):
+        replay_journal(path)
+
+
+def test_orphan_records_are_ignored(tmp_path):
+    journal = _journal(tmp_path)
+    journal.spec_landed("job-9999", "d1")  # submission rotated away
+    journal.job_submitted("job-0001", "smoke", "yaml", "jsonl", ["d1"])
+    journal.close()
+    jobs = replay_journal(journal.path)
+    assert list(jobs) == ["job-0001"]
+
+
+def test_append_mode_preserves_history(tmp_path):
+    journal = _journal(tmp_path)
+    journal.job_submitted("job-0001", "a", "yaml", "jsonl", ["d1"])
+    journal.close()
+    journal = _journal(tmp_path)  # a restarted daemon reopens the file
+    journal.job_done("job-0001", "done", executed=1, cache_hits=0)
+    journal.close()
+    job = replay_journal(journal.path)["job-0001"]
+    assert job.finished and job.status == "done"
+
+
+def test_journal_job_defaults():
+    job = JournalJob(id="job-0001", digests=["a", "b"])
+    assert not job.finished
+    assert job.unlanded == ["a", "b"]

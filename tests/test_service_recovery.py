@@ -1,0 +1,163 @@
+"""Daemon crash-recovery test: SIGKILL mid-job, restart with
+--resume-journal, and assert no work is lost or duplicated.
+
+The daemon runs as a real subprocess (SIGKILL must be a hard crash, not
+a Python exception).  The campaign is sized so specs take long enough
+that the kill lands mid-job; the assertions are nevertheless race-free
+because the expected re-execution count is computed from the journal
+the dead daemon left behind.
+"""
+
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.runner import Engine
+from repro.runner.config import expand_campaign
+from repro.runner.journal import replay_journal
+from repro.runner.publisher import SamplePublisher
+from repro.runner.service import http_get_json, http_get_text, http_submit
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+RECOVERY = """
+campaign: recovery
+defaults: {scale: 0.4, cores: [16]}
+matrix:
+  - benchmarks: [sctr, mctr, dbll]
+    locks: [mcs, glock]
+"""
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (str(REPO / "src") + os.pathsep
+                         + env.get("PYTHONPATH", ""))
+    return env
+
+
+def start_daemon(tmp, extra=()):
+    """Boot ``repro-sim serve`` on a free port; returns (proc, url)."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--host", "127.0.0.1", "--port", "0",
+         "--cache-dir", str(tmp / "cache"),
+         "--results-dir", str(tmp / "results"),
+         "--journal", str(tmp / "journal.jsonl"), *extra],
+        cwd=REPO, env=_env(), stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, text=True)
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line and proc.poll() is not None:
+            raise RuntimeError(f"daemon died on startup (exit "
+                               f"{proc.returncode})")
+        if "listening on http://" in line:
+            url = line.split("listening on ")[1].split()[0]
+            return proc, url
+    proc.kill()
+    raise RuntimeError("daemon never printed its address")
+
+
+def wait_done(url, job_id, deadline=120.0):
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        status = http_get_json(url, f"/jobs/{job_id}")
+        if status["status"] in ("done", "failed"):
+            return status
+        time.sleep(0.1)
+    raise RuntimeError(f"{job_id} never finished")
+
+
+@pytest.mark.slow
+def test_sigkill_mid_job_then_resume_journal_loses_nothing(tmp_path):
+    journal_path = tmp_path / "journal.jsonl"
+    daemon, url = start_daemon(tmp_path)
+    try:
+        reply = http_submit(url, RECOVERY)
+        job_id = reply["job"]
+        digests = reply["digests"]
+        # kill the daemon the moment the first result lands (mid-job);
+        # the journal is fsynced, so polling the file is authoritative
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            if (journal_path.exists()
+                    and "spec_landed" in journal_path.read_text()):
+                break
+            time.sleep(0.01)
+        daemon.send_signal(signal.SIGKILL)
+        daemon.wait(timeout=15)
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait(timeout=15)
+
+    # what the dead daemon durably acknowledged
+    crashed = replay_journal(journal_path)[job_id]
+    assert not crashed.finished, "daemon survived long enough to finish"
+    landed_before = len(crashed.landed)
+    assert 0 < landed_before < len(digests), (
+        f"kill landed outside the job ({landed_before}/{len(digests)} "
+        f"specs done); campaign is mis-sized for this test")
+
+    daemon, url = start_daemon(tmp_path, extra=("--resume-journal",))
+    try:
+        status = wait_done(url, job_id)
+        assert status["status"] == "done"
+        assert status["recovered"] is True
+        # idempotent recovery: exactly the never-landed specs re-execute
+        assert status["executed"] == len(digests) - landed_before
+        assert status["cache_hits"] == landed_before
+        served = http_get_text(url, f"/jobs/{job_id}/results")
+    finally:
+        daemon.terminate()
+        daemon.wait(timeout=30)
+
+    # zero lost, zero duplicated: across both daemon lives the journal
+    # holds exactly one spec_landed per digest
+    final = replay_journal(journal_path)[job_id]
+    assert final.finished and final.status == "done"
+    assert final.landed == set(digests)
+    landed_records = [line for line in journal_path.read_text().splitlines()
+                      if '"spec_landed"' in line and job_id in line]
+    assert len(landed_records) == len(digests)
+
+    # byte-identical to an uninterrupted inline run of the same campaign
+    campaign = expand_campaign(RECOVERY)
+    inline_path = tmp_path / "inline.jsonl"
+    publisher = SamplePublisher(inline_path)
+    publisher.expect(campaign.digests())
+    engine = Engine()
+    engine.observers.append(publisher)
+    engine.run_specs(campaign.specs)
+    publisher.close()
+    assert inline_path.read_text() == served
+
+
+@pytest.mark.slow
+def test_resubmission_after_recovery_is_fully_warm(tmp_path):
+    daemon, url = start_daemon(tmp_path)
+    try:
+        reply = http_submit(url, RECOVERY)
+        wait_done(url, reply["job"])
+    finally:
+        daemon.send_signal(signal.SIGKILL)
+        daemon.wait(timeout=15)
+
+    daemon, url = start_daemon(tmp_path, extra=("--resume-journal",))
+    try:
+        # the finished job is restored queryable from the journal alone
+        restored = http_get_json(url, f"/jobs/{reply['job']}")
+        assert restored["status"] == "done"
+        again = http_submit(url, RECOVERY)
+        status = wait_done(url, again["job"])
+        assert status["executed"] == 0          # served from the warm cache
+        assert status["cache_hits"] == len(reply["digests"])
+    finally:
+        daemon.terminate()
+        daemon.wait(timeout=30)
