@@ -107,6 +107,20 @@ def run_workload(name: str, lock: str) -> Tuple[int, int]:
     return machine.sim.events_executed, result.makespan
 
 
+def bench_serving_kvstore() -> Tuple[int, int]:
+    """Open-loop serving path: timed acquires, cr: parking, request log."""
+    from repro.workloads.serving import KVStoreServing
+
+    machine = Machine(CMPConfig.baseline(SMOKE_CORES))
+    workload = KVStoreServing(offered_load=6.0, duration=6_000,
+                              deadline=2_500)
+    instance = workload.instantiate(machine, hc_kind="cr2:tatas",
+                                    other_kind="tatas")
+    result = machine.run(instance.programs)
+    instance.validate(machine)
+    return machine.sim.events_executed, result.makespan
+
+
 def suite(smoke: bool) -> List[Tuple[str, object]]:
     """The ordered bench list: ``(name, zero-arg callable)``."""
     benches: List[Tuple[str, object]] = [
@@ -118,6 +132,7 @@ def suite(smoke: bool) -> List[Tuple[str, object]]:
         for lock in SMOKE_LOCKS:
             benches.append((f"{wl}.{lock}",
                             lambda wl=wl, lock=lock: run_workload(wl, lock)))
+    benches.append(("serving.kvstore.cr2:tatas", bench_serving_kvstore))
     return benches
 
 

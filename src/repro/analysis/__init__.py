@@ -8,6 +8,7 @@ harnesses.
 
 from repro.analysis.contention import LockContention, analyze_contention, benchmark_licr
 from repro.analysis.breakdown import normalized_breakdown
+from repro.analysis.latency import RequestSummary, percentile, summarize_requests
 from repro.analysis.report import format_series, format_table
 
 __all__ = [
@@ -15,6 +16,9 @@ __all__ = [
     "analyze_contention",
     "benchmark_licr",
     "normalized_breakdown",
+    "RequestSummary",
+    "percentile",
+    "summarize_requests",
     "format_series",
     "format_table",
 ]

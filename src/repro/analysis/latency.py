@@ -1,0 +1,113 @@
+"""Per-request latency analysis for the open-loop serving workloads.
+
+Turns the raw ``RunResult.requests`` records — ``(arrival, start, end,
+core, ok, retries)`` tuples appended by :mod:`repro.workloads.serving` —
+into the serving-side metrics the overload study plots: throughput,
+*goodput* (completions that also met their deadline), shed rate, and
+nearest-rank latency percentiles (p50/p99/p999).
+
+Latency is measured **from arrival**, not from when the thread got
+around to the request: open-loop queueing delay is precisely the signal
+that distinguishes a saturated system from a healthy one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["percentile", "RequestSummary", "summarize_requests"]
+
+
+def percentile(sorted_values: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted, non-empty sequence.
+
+    ``p`` is in [0, 100].  Nearest-rank (ceil(p/100 * n)) is exact on the
+    integers the simulator produces — no interpolation artifacts to drag
+    into golden fingerprint tests.
+    """
+    if not sorted_values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0 <= p <= 100:
+        raise ValueError(f"percentile {p} outside [0, 100]")
+    if p == 0:
+        return sorted_values[0]
+    rank = -(-p * len(sorted_values) // 100)  # ceil without float drift
+    return sorted_values[int(rank) - 1]
+
+
+@dataclass
+class RequestSummary:
+    """Serving metrics distilled from one run's request records."""
+
+    offered: int          #: total requests that arrived
+    completed: int        #: requests that finished their critical work
+    shed: int             #: requests abandoned (deadline/backpressure)
+    deadline_met: int     #: completions with end - arrival <= deadline
+    makespan: int         #: cycles the run took (throughput denominator)
+    throughput: float     #: completions per kilocycle
+    goodput: float        #: deadline-met completions per kilocycle
+    shed_rate: float      #: shed / offered
+    mean_latency: float   #: mean completion latency (arrival -> end)
+    p50: Optional[int]    #: latency percentiles; None with no completions
+    p99: Optional[int]
+    p999: Optional[int]
+    retries: int          #: total acquire retries across all requests
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "offered": self.offered,
+            "completed": self.completed,
+            "shed": self.shed,
+            "deadline_met": self.deadline_met,
+            "makespan": self.makespan,
+            "throughput": self.throughput,
+            "goodput": self.goodput,
+            "shed_rate": self.shed_rate,
+            "mean_latency": self.mean_latency,
+            "p50": self.p50,
+            "p99": self.p99,
+            "p999": self.p999,
+            "retries": self.retries,
+        }
+
+
+def summarize_requests(records: Sequence[tuple], makespan: int,
+                       deadline: Optional[int] = None) -> RequestSummary:
+    """Distill request records into a :class:`RequestSummary`.
+
+    Args:
+        records: ``RunResult.requests`` content (may be empty).
+        makespan: the run's makespan in cycles.
+        deadline: the workload's per-request deadline; when None every
+            completion counts toward goodput.
+    """
+    latencies: List[int] = []
+    shed = deadline_met = retries = 0
+    for arrival, _start, end, _core, ok, tries in records:
+        retries += tries
+        if not ok:
+            shed += 1
+            continue
+        latency = end - arrival
+        latencies.append(latency)
+        if deadline is None or latency <= deadline:
+            deadline_met += 1
+    latencies.sort()
+    completed = len(latencies)
+    kilocycles = max(makespan, 1) / 1000.0
+    return RequestSummary(
+        offered=len(records),
+        completed=completed,
+        shed=shed,
+        deadline_met=deadline_met,
+        makespan=makespan,
+        throughput=completed / kilocycles,
+        goodput=deadline_met / kilocycles,
+        shed_rate=shed / len(records) if records else 0.0,
+        mean_latency=sum(latencies) / completed if completed else 0.0,
+        p50=int(percentile(latencies, 50)) if latencies else None,
+        p99=int(percentile(latencies, 99)) if latencies else None,
+        p999=int(percentile(latencies, 99.9)) if latencies else None,
+        retries=retries,
+    )

@@ -62,6 +62,7 @@ EXPERIMENTS = {
     "ablate-coherence": "repro.experiments.ablate_coherence",
     "ablate-faults": "repro.experiments.ablate_faults",
     "ablate_faults": "repro.experiments.ablate_faults",  # CI-friendly alias
+    "ablate-overload": "repro.experiments.ablate_overload",
     "validate": "repro.experiments.validate",
 }
 
@@ -81,9 +82,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--levels", type=int, default=2, choices=(2, 3))
 
     p = sub.add_parser("run", help="run one benchmark once")
-    p.add_argument("--workload", required=True, choices=WORKLOADS)
+    p.add_argument("--workload", choices=WORKLOADS,
+                   help="benchmark to run (required unless --list-locks)")
+    p.add_argument("--list-locks", action="store_true",
+                   help="print the registered lock kinds and exit")
     p.add_argument("--lock", default="mcs",
-                   help="lock kind for the highly-contended locks")
+                   help="lock kind for the highly-contended locks "
+                        "(any kind from --list-locks, or a 'cr:<kind>' / "
+                        "'cr<k>:<kind>' concurrency-restricted wrapper)")
     p.add_argument("--other-lock", default="tatas")
     p.add_argument("--cores", type=int, default=32)
     p.add_argument("--scale", type=float, default=1.0)
@@ -284,6 +290,17 @@ def _cmd_cost(args) -> int:
 
 
 def _cmd_run(args) -> int:
+    if args.list_locks:
+        from repro.locks.registry import LOCK_KINDS
+
+        for kind in LOCK_KINDS:
+            print(kind)
+        print("cr:<kind> / cr<k>:<kind>  (concurrency-restricted wrapper, "
+              "admit <= k; default k=4)")
+        return 0
+    if args.workload is None:
+        print("error: --workload is required (or use --list-locks)")
+        return 2
     if args.profile:
         from repro.sim.profile import profiling
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.mem.l1 import L1Cache
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import SimulationError, Simulator
 from repro.sim.stats import CounterSet, IntervalRecorder
 
 __all__ = ["Core", "ThreadContext", "CATEGORIES", "BUSY", "MEMORY", "LOCK", "BARRIER"]
@@ -151,29 +151,57 @@ class ThreadContext:
     # ------------------------------------------------------------------ #
     # synchronization
     # ------------------------------------------------------------------ #
-    def acquire(self, lock):
-        """Coroutine: acquire ``lock``; elapsed time -> Lock category."""
+    def acquire(self, lock, timeout=None):
+        """Coroutine: acquire ``lock``; elapsed time -> Lock category.
+
+        With ``timeout=None`` (the default) this blocks until the lock is
+        owned and returns True.  With a non-negative ``timeout`` in cycles
+        it gives up once the deadline passes and returns False instead —
+        the load-shedding path of the serving workloads.  Timed acquires
+        require a lock whose class sets ``supports_timed_acquire`` (the
+        spin family and every ``cr:`` wrapper); queue locks like MCS,
+        whose abandoned queue nodes would corrupt the chain, refuse.
+        """
         t0 = self.sim.now
+        if timeout is not None:
+            if timeout < 0:
+                raise ValueError("negative acquire timeout")
+            if not lock.supports_timed_acquire:
+                raise SimulationError(
+                    f"lock {lock.name!r} ({type(lock).__name__}) does not "
+                    f"support timed acquire")
         if self.sim.tracer is not None:
             self.sim.tracer.record(t0, "lock", f"core{self.core_id}",
                                    f"acquire {lock.name} (start)")
         if self.lock_intervals is not None:
             self.lock_intervals.open(lock.uid, self.core_id, t0)
         self._cat_stack.append(LOCK)
+        granted = True
         try:
-            yield from lock.acquire(self)
+            if timeout is None:
+                yield from lock.acquire(self)
+            else:
+                granted = bool((yield from lock.acquire_timed(self,
+                                                              t0 + timeout)))
         finally:
             self._cat_stack.pop()
+        # failed waits still close their interval: the time was spent
+        # waiting on this lock and belongs in the contention analysis
         if self.lock_intervals is not None:
             self.lock_intervals.close(lock.uid, self.core_id, self.sim.now)
         if self.sim.tracer is not None:
+            outcome = "granted" if granted else "timeout"
             self.sim.tracer.record(self.sim.now, "lock",
                                    f"core{self.core_id}",
-                                   f"acquire {lock.name} (granted, "
+                                   f"acquire {lock.name} ({outcome}, "
                                    f"{self.sim.now - t0} cycles)")
         self.core.cycles[LOCK] += self.sim.now - t0
         if self.races is not None:
-            self.races.on_acquire(self.core_id, lock)
+            if granted:
+                self.races.on_acquire(self.core_id, lock)
+            else:
+                self.races.on_acquire_timeout(self.core_id, lock)
+        return granted
 
     def release(self, lock):
         """Coroutine: release ``lock``; elapsed time -> Lock category."""

@@ -1,0 +1,284 @@
+"""Overload study: throughput/goodput/latency vs offered load.
+
+The serving workloads (:mod:`repro.workloads.serving`) are *open-loop*:
+requests arrive at a configured rate whether or not the lock keeps up.
+This harness sweeps that rate over a set of lock kinds and plots the two
+curves the overload-robustness literature cares about:
+
+- **throughput** keeps climbing until the lock saturates, then flattens;
+- **goodput** (completions that also met their deadline) *collapses*
+  past saturation for an unprotected lock — queueing delay grows without
+  bound and every completion arrives too late — while the same lock
+  under concurrency restriction (``cr:<kind>``) sheds excess requests
+  early and holds goodput near its peak.
+
+A per-lock **collapse detector** flags curves whose goodput at the top
+swept load falls below :data:`COLLAPSE_FRACTION` of their peak, and a
+**gate** (``--gate``; the CI overload-smoke job) fails the process if
+any ``cr:``-wrapped lock collapses: for every swept point at >= 2x the
+saturation load (the load of peak goodput), goodput must stay within
+:data:`GATE_FRACTION` of the peak.
+
+Every point runs through the experiment engine (cached by spec digest,
+fanned out across ``--jobs``); the request records ride inside the
+result fingerprint, so the curves are byte-identical across
+inline/pool/remote backends.
+
+Run standalone: ``python -m repro.experiments.ablate_overload``
+CI smoke:       ``python -m repro.experiments.ablate_overload --smoke \\
+                    --sanitize --race-detect --gate --export curves.json``
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.latency import summarize_requests
+from repro.analysis.report import format_table
+from repro.experiments.common import skipped_note
+from repro.runner import MachineSpec, RunSpec, run_specs
+
+__all__ = ["run", "render", "export", "gate_check",
+           "LOADS", "SMOKE_LOADS", "LOCKS", "SMOKE_LOCKS"]
+
+#: machine-wide offered load swept, in requests per kilocycle
+LOADS = (1.0, 2.0, 4.0, 8.0, 16.0)
+SMOKE_LOADS = (1.0, 4.0, 12.0)
+
+#: lock kinds compared: each plain spin/queue lock next to its
+#: concurrency-restricted wrapper
+LOCKS = ("tatas", "cr4:tatas", "mcs", "cr4:mcs")
+SMOKE_LOCKS = ("tatas", "cr2:tatas", "mcs", "cr2:mcs")
+
+DEADLINE = 3_000          #: per-request latency budget, cycles
+DURATION = 24_000         #: arrival window, cycles
+SMOKE_DURATION = 8_000
+
+#: goodput at the top swept load below this fraction of the curve's
+#: peak => the lock collapsed under overload
+COLLAPSE_FRACTION = 0.5
+#: gate tolerance: cr-wrapped locks must hold this fraction of peak
+#: goodput at every point >= 2x their saturation load
+GATE_FRACTION = 0.7
+
+
+def _spec(workload: str, lock: str, n_cores: int, load: float,
+          duration: int, arrival: str, sanitize: bool) -> RunSpec:
+    return RunSpec(
+        workload=workload,
+        hc_kind=lock,
+        # 8x8+ meshes exceed the 7 drops a 2-level G-line row supports
+        machine=MachineSpec.baseline(
+            n_cores, glock_levels=3 if n_cores > 49 else 2),
+        workload_params={
+            "offered_load": load,
+            "duration": duration,
+            "deadline": DEADLINE,
+            "arrival": arrival,
+        },
+        sanitize=sanitize,
+        # liveness net: even a fully backlogged blocking lock drains the
+        # finite arrival window long before this
+        max_cycles=30_000_000,
+    )
+
+
+def run(n_cores: int = 64, smoke: bool = False,
+        loads: Sequence[float] = None,
+        locks: Sequence[str] = None,
+        workload: str = "kvstore",
+        arrival: str = "poisson",
+        sanitize: bool = False) -> Dict:
+    """Sweep offered load x lock kind; return per-lock goodput curves.
+
+    Returns a dict keyed by lock kind; each value holds ``curve`` (one
+    point per load with the full :class:`~repro.analysis.latency.
+    RequestSummary` fields), ``peak_goodput``, ``peak_load`` (the
+    saturation estimate) and the ``collapsed`` flag.  ``meta`` records
+    the sweep parameters and ``skipped`` lists (lock, load) points lost
+    to collect-mode failures.
+    """
+    if loads is None:
+        loads = SMOKE_LOADS if smoke else LOADS
+    if locks is None:
+        locks = SMOKE_LOCKS if smoke else LOCKS
+    duration = SMOKE_DURATION if smoke else DURATION
+    sanitize = sanitize or smoke
+
+    specs: List[RunSpec] = []
+    for lock in locks:
+        for load in loads:
+            specs.append(_spec(workload, lock, n_cores, load, duration,
+                               arrival, sanitize))
+    runs = run_specs(specs)
+
+    out: Dict = {"meta": {
+        "workload": workload, "arrival": arrival, "n_cores": n_cores,
+        "deadline": DEADLINE, "duration": duration, "loads": list(loads),
+    }}
+    skipped: List[str] = []
+    idx = 0
+    for lock in locks:
+        curve: List[Dict] = []
+        for load in loads:
+            b = runs[idx]
+            idx += 1
+            if b is None:
+                skipped.append(f"{lock}@{load:g}")
+                continue
+            records = getattr(b.result, "requests", None) or []
+            summary = summarize_requests(records, b.makespan,
+                                         deadline=DEADLINE)
+            point = {"load": load}
+            point.update(summary.as_dict())
+            curve.append(point)
+        if not curve:
+            continue
+        peak = max(curve, key=lambda p: p["goodput"])
+        out[lock] = {
+            "curve": curve,
+            "peak_goodput": peak["goodput"],
+            "peak_load": peak["load"],
+            "collapsed": (curve[-1]["goodput"]
+                          < COLLAPSE_FRACTION * peak["goodput"]),
+        }
+    out["skipped"] = skipped
+    out["gate"] = gate_check(out)
+    return out
+
+
+def gate_check(results: Dict, fraction: float = GATE_FRACTION) -> Dict:
+    """Collapse-regression gate over the ``cr:``-wrapped curves.
+
+    Every swept point at >= 2x a cr lock's saturation load must hold at
+    least ``fraction`` of that lock's peak goodput.  (Points short of 2x
+    saturation are still climbing or just cresting — only the overload
+    tail is gated.)  With no such point the top swept load is gated
+    instead, so the gate can never pass vacuously.
+    """
+    failures: List[str] = []
+    checked: List[str] = []
+    for lock, data in results.items():
+        if lock in ("meta", "skipped", "gate") or not lock.startswith("cr"):
+            continue
+        checked.append(lock)
+        peak, sat = data["peak_goodput"], data["peak_load"]
+        tail = [p for p in data["curve"] if p["load"] >= 2 * sat]
+        for point in tail or data["curve"][-1:]:
+            if point["goodput"] < fraction * peak:
+                failures.append(
+                    f"{lock}@{point['load']:g}: goodput "
+                    f"{point['goodput']:.2f} < {fraction:g} x peak {peak:.2f}")
+    return {"ok": not failures, "fraction": fraction,
+            "checked": checked, "failures": failures}
+
+
+def render(results: Dict) -> str:
+    rows = []
+    for lock, data in results.items():
+        if lock in ("meta", "skipped", "gate"):
+            continue
+        for point in data["curve"]:
+            rows.append([
+                lock,
+                f"{point['load']:g}",
+                f"{point['throughput']:.2f}",
+                f"{point['goodput']:.2f}",
+                f"{point['shed_rate']:.2f}",
+                point["p50"] if point["p50"] is not None else "n/a",
+                point["p99"] if point["p99"] is not None else "n/a",
+                point["p999"] if point["p999"] is not None else "n/a",
+            ])
+        rows.append([
+            f"{lock} [peak]",
+            f"{data['peak_load']:g}",
+            "", f"{data['peak_goodput']:.2f}",
+            "COLLAPSED" if data["collapsed"] else "holds", "", "", "",
+        ])
+    meta = results.get("meta", {})
+    table = format_table(
+        ["lock", "load/kc", "thrpt/kc", "goodput/kc", "shed",
+         "p50", "p99", "p999"],
+        rows,
+        title=(f"Overload sweep: {meta.get('workload', '?')} x "
+               f"{meta.get('n_cores', '?')} cores, "
+               f"{meta.get('arrival', '?')} arrivals, "
+               f"deadline {meta.get('deadline', '?')} cycles"),
+    ) + skipped_note(results.get("skipped", ()))
+    gate = results.get("gate", {})
+    if gate.get("checked"):
+        verdict = "PASS" if gate["ok"] else "FAIL"
+        table += (f"\ncr gate [{verdict}]: goodput >= "
+                  f"{gate['fraction']:g} x peak past 2x saturation "
+                  f"for {', '.join(gate['checked'])}")
+        for failure in gate.get("failures", ()):
+            table += f"\n  gate violation: {failure}"
+    return table
+
+
+def export(results: Dict, path: str) -> int:
+    """Write the full curve set as JSON (the CI artifact / plot input).
+
+    Returns the number of curve points written.
+    """
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return sum(len(data["curve"]) for lock, data in results.items()
+               if lock not in ("meta", "skipped", "gate"))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="overload sweep: goodput vs offered load per lock kind")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sweep for CI")
+    parser.add_argument("--cores", type=int, default=64)
+    parser.add_argument("--workload", default="kvstore",
+                        choices=("kvstore", "msgqueue", "webserver"))
+    parser.add_argument("--arrival", default="poisson",
+                        choices=("poisson", "bursty"))
+    parser.add_argument("--sanitize", action="store_true",
+                        help="attach the invariant sanitizer to every run")
+    parser.add_argument("--race-detect", action="store_true",
+                        help="run under the data-race detector (in-process)")
+    parser.add_argument("--export", default=None, metavar="PATH",
+                        help="write curve JSON to PATH")
+    parser.add_argument("--gate", action="store_true",
+                        help="exit 1 if a cr: lock fails the collapse gate "
+                             "(or any race is detected)")
+    args = parser.parse_args(argv)
+
+    def sweep() -> Dict:
+        return run(n_cores=args.cores, smoke=args.smoke,
+                   workload=args.workload, arrival=args.arrival,
+                   sanitize=args.sanitize)
+
+    if args.race_detect:
+        from repro.verify.races import race_detection
+        with race_detection() as races:
+            results = sweep()
+        print(render(results))
+        print()
+        print(races.format_report())
+        if races.races:
+            return 1
+    else:
+        results = sweep()
+        print(render(results))
+
+    if args.export:
+        points = export(results, args.export)
+        print(f"wrote {points} curve points to {args.export}")
+    if args.gate and not results["gate"]["ok"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,8 @@ __all__ = ["TatasBackoffLock"]
 class TatasBackoffLock(Lock):
     """test-and-test&set with capped exponential back-off."""
 
+    supports_timed_acquire = True
+
     def __init__(self, mem: MemorySystem, name: str = "",
                  base_delay: int = 8, max_delay: int = 1024) -> None:
         super().__init__(name)
@@ -34,6 +36,20 @@ class TatasBackoffLock(Lock):
             if old == 0:
                 return
             yield from ctx.compute(delay)  # back-off: local, no traffic
+            delay = min(delay * 2, self.max_delay)
+
+    def acquire_timed(self, ctx, deadline):
+        delay = self.base_delay
+        while True:
+            value = yield from ctx.load(self.flag_addr)
+            if value == 0:
+                old = yield from ctx.rmw(self.flag_addr, lambda v: 1)
+                if old == 0:
+                    return True
+            now = ctx.sim.now
+            if now >= deadline:
+                return False
+            yield from ctx.idle(min(delay, deadline - now))
             delay = min(delay * 2, self.max_delay)
 
     def release(self, ctx):

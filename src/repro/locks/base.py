@@ -35,9 +35,26 @@ class Lock(ABC):
         self.uid = next(_uids)
         self.name = name or f"lock{self.uid}"
 
+    #: True when the class implements :meth:`acquire_timed`.  Thread
+    #: programs must check this (``ctx.acquire`` does) before asking for a
+    #: timeout — queue locks whose enqueued nodes cannot be abandoned
+    #: safely leave it False.
+    supports_timed_acquire = False
+
     @abstractmethod
     def acquire(self, ctx):
         """Coroutine: block until this thread owns the lock."""
+
+    def acquire_timed(self, ctx, deadline):
+        """Coroutine: try to own the lock until cycle ``deadline``.
+
+        Returns True once owned; returns False (owning nothing, leaving
+        no residue behind) when ``sim.now`` reaches ``deadline`` first.
+        A deadline already in the past still gets one opportunistic
+        attempt.  Only called when :attr:`supports_timed_acquire`.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support timed acquire")
 
     @abstractmethod
     def release(self, ctx):

@@ -7,6 +7,8 @@ definitions name lock kinds as strings; the machine resolves them here.
 
 from __future__ import annotations
 
+import difflib
+import re
 from typing import Optional
 
 from repro.core.glock import GLockPool
@@ -17,6 +19,7 @@ from repro.locks.base import Lock
 from repro.locks.glock_api import GLockHandle
 from repro.locks.ideal import IdealLock
 from repro.locks.mcs import MCSLock
+from repro.locks.restrict import ConcurrencyRestrictedLock, DEFAULT_CR_ADMIT
 from repro.locks.simple import SimpleLock
 from repro.locks.tatas import TatasLock
 from repro.locks.ticket import TicketLock
@@ -24,12 +27,50 @@ from repro.locks.ticket_prop import TicketPropLock
 from repro.mem.hierarchy import MemorySystem
 from repro.sim.kernel import Simulator
 
-__all__ = ["LOCK_KINDS", "make_lock"]
+__all__ = ["LOCK_KINDS", "make_lock", "is_lock_kind", "validate_lock_kind"]
 
 LOCK_KINDS = (
     "simple", "tatas", "tatas_backoff", "ticket", "ticket_prop", "anderson",
     "clh", "mcs", "ideal", "glock",
 )
+
+#: ``cr:<kind>`` / ``cr<k>:<kind>`` — concurrency-restriction wrapper
+#: around any base kind (see :mod:`repro.locks.restrict`)
+_CR_RE = re.compile(r"^cr(\d*):(.+)$")
+
+
+def is_lock_kind(kind: str) -> bool:
+    """True when ``kind`` names a constructible lock (incl. ``cr:`` forms)."""
+    match = _CR_RE.match(kind)
+    if match is not None:
+        if match.group(1) and int(match.group(1)) < 1:
+            return False
+        return is_lock_kind(match.group(2))
+    return kind in LOCK_KINDS
+
+
+def validate_lock_kind(kind: str) -> None:
+    """Raise ValueError (with a did-you-mean hint) for unknown kinds."""
+    match = _CR_RE.match(kind)
+    if match is not None:
+        if match.group(1) and int(match.group(1)) < 1:
+            raise ValueError(
+                f"cr admission bound must be >= 1 in lock kind {kind!r}")
+        try:
+            validate_lock_kind(match.group(2))
+        except ValueError as exc:
+            raise ValueError(f"in cr-wrapped lock kind {kind!r}: {exc}") from None
+        return
+    if kind in LOCK_KINDS:
+        return
+    message = f"unknown lock kind {kind!r}"
+    close = difflib.get_close_matches(kind, LOCK_KINDS, n=1, cutoff=0.6)
+    if close:
+        message += f"; did you mean {close[0]!r}?"
+    message += (f" (choose from {', '.join(LOCK_KINDS)}; any kind can be "
+                f"wrapped as 'cr:<kind>' or 'cr<k>:<kind>' for concurrency "
+                f"restriction)")
+    raise ValueError(message)
 
 
 def make_lock(
@@ -51,6 +92,15 @@ def make_lock(
         glock_pool: required for ``kind="glock"``.
         name: diagnostic label.
     """
+    match = _CR_RE.match(kind)
+    if match is not None:
+        validate_lock_kind(kind)  # reject bad inner kinds with context
+        admit = int(match.group(1)) if match.group(1) else DEFAULT_CR_ADMIT
+        inner = make_lock(match.group(2), sim=sim, mem=mem,
+                          n_threads=n_threads, glock_pool=glock_pool,
+                          name=f"{name or kind}.inner")
+        return ConcurrencyRestrictedLock(sim, inner, admit=admit,
+                                         counters=mem.counters, name=name)
     if kind == "simple":
         return SimpleLock(mem, name)
     if kind == "tatas":
@@ -75,4 +125,5 @@ def make_lock(
         return GLockHandle(glock_pool.assign(), name, mem=mem,
                            n_threads=n_threads,
                            fallback_kind=glock_pool.fallback_kind)
-    raise ValueError(f"unknown lock kind {kind!r}; choose from {LOCK_KINDS}")
+    validate_lock_kind(kind)  # raises with a did-you-mean suggestion
+    raise ValueError(f"lock kind {kind!r} is registered but unhandled")

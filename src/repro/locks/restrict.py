@@ -1,0 +1,229 @@
+"""Concurrency restriction: admit few, park the rest.
+
+Implements the core idea of *Avoiding Scalability Collapse by Restricting
+Concurrency* (Dice & Kogan, see PAPERS.md): under saturation a lock's
+throughput is maximized by letting only a small *active set* of threads
+contend while the excess waiters are *parked* on a passive list, off the
+coherence fabric entirely.  The wrapper composes with every registered
+lock kind — ``cr:mcs``, ``cr8:tatas``, ``cr:glock`` — because all it does
+is gate entry to the inner lock's ``acquire``:
+
+- a thread already in the active set goes straight to the inner lock;
+- when the active set has a free slot and nobody is parked, the thread
+  claims the slot and proceeds;
+- otherwise it parks on a FIFO passive list (a kernel :class:`Signal`
+  per entry — zero simulated traffic while parked, exactly the point).
+
+Long-term fairness comes from *rotation*: at most once per
+``reactivation_cycles``, a releasing thread gives up its own slot to the
+longest-parked waiter.  Two liveness backstops cover threads that finish
+without releasing again: a release that leaves the inner lock idle hands
+its slot over immediately, and a background reactivation timer reclaims
+slots whose owners stopped acquiring and refills them from the passive
+list.
+
+Timed acquires (``ctx.acquire(lock, timeout=...)``) are supported even
+when the *inner* lock is not timed (e.g. ``cr:mcs``): parking respects
+the deadline via a scheduled timeout wake-up, and once admitted the wait
+on the inner lock is bounded by the small active set.
+
+Park/unpark pairs publish happens-before edges to the race detector
+(:meth:`RaceDetector.on_unpark` / :meth:`on_park_wakeup`) so the
+detector's clocks track the real ordering the handoff creates.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional
+
+from repro.locks.base import Lock
+from repro.sim.kernel import Signal, Simulator
+from repro.sim.stats import CounterSet
+
+__all__ = ["ConcurrencyRestrictedLock", "DEFAULT_CR_ADMIT",
+           "DEFAULT_REACTIVATION_CYCLES"]
+
+#: active-set bound when ``cr:<kind>`` names no explicit ``k``
+DEFAULT_CR_ADMIT = 4
+
+#: default rotation / reactivation-timer period, in cycles — several
+#: critical-section handoffs at baseline latencies, so the active set is
+#: stable in the short term but cycles through all waiters over a run
+DEFAULT_REACTIVATION_CYCLES = 3000
+
+
+class _ParkEntry:
+    """One parked thread: its wake-up signal plus handoff bookkeeping."""
+
+    __slots__ = ("core", "signal", "parked_at", "granted")
+
+    def __init__(self, core: int, signal: Signal, parked_at: int) -> None:
+        self.core = core
+        self.signal = signal
+        self.parked_at = parked_at
+        #: set (before the signal fires) by whoever admits this entry;
+        #: False on wake-up means the park timed out instead
+        self.granted = False
+
+
+class ConcurrencyRestrictedLock(Lock):
+    """Wrap ``inner`` so at most ``admit`` threads contend for it."""
+
+    supports_timed_acquire = True
+
+    def __init__(self, sim: Simulator, inner: Lock, admit: int = DEFAULT_CR_ADMIT,
+                 reactivation_cycles: int = DEFAULT_REACTIVATION_CYCLES,
+                 counters: Optional[CounterSet] = None,
+                 name: str = "") -> None:
+        super().__init__(name or f"cr:{inner.name}")
+        if admit < 1:
+            raise ValueError("cr admission bound must be >= 1")
+        if reactivation_cycles < 1:
+            raise ValueError("reactivation period must be >= 1")
+        self.sim = sim
+        self.inner = inner
+        self.admit = admit
+        self.reactivation_cycles = reactivation_cycles
+        #: core -> cycle of its latest admission or successful acquire;
+        #: membership set of the active threads, LRU-stamped so the timer
+        #: can reclaim slots whose owners went quiet
+        self._active: Dict[int, int] = {}
+        self._passive: Deque[_ParkEntry] = deque()
+        #: admitted threads currently waiting on or holding the inner lock
+        self._inflight = 0
+        self._last_rotation = 0
+        self._last_admission = 0
+        self._timer_running = False
+        counters = counters if counters is not None else CounterSet()
+        self._c_parks = counters.bind("cr.parks")
+        self._c_unparks = counters.bind("cr.unparks")
+        self._c_rotations = counters.bind("cr.rotations")
+        self._c_timer_admits = counters.bind("cr.timer_admits")
+        self._c_park_timeouts = counters.bind("cr.park_timeouts")
+
+    # ------------------------------------------------------------------ #
+    # admission
+    # ------------------------------------------------------------------ #
+    def _admit(self, ctx, deadline):
+        """Coroutine: join the active set; False = deadline hit while parked."""
+        core = ctx.core_id
+        if core in self._active:
+            return True
+        if len(self._active) < self.admit and not self._passive:
+            self._active[core] = self.sim.now
+            self._last_admission = self.sim.now
+            return True
+        entry = _ParkEntry(core, Signal(self.sim, name=f"{self.name}.park{core}"),
+                           self.sim.now)
+        self._passive.append(entry)
+        self._c_parks.add()
+        self._ensure_timer()
+        if deadline is not None:
+            remaining = deadline - self.sim.now
+            if remaining <= 0:
+                self._passive.remove(entry)
+                self._c_park_timeouts.add()
+                return False
+            self.sim.schedule(remaining, entry.signal.fire)
+        yield entry.signal
+        if entry.granted:
+            # whoever granted the slot published the happens-before edge;
+            # join it now that this thread is running again
+            if ctx.races is not None:
+                ctx.races.on_park_wakeup(core, self)
+            return True
+        # the timeout wake-up won: withdraw from the passive list.  (If an
+        # unpark landed in the same cycle, ``granted`` was already set
+        # before our resumption ran and we took the branch above.)
+        self._passive.remove(entry)
+        self._c_park_timeouts.add()
+        return False
+
+    def _unpark(self, entry: _ParkEntry, ctx=None) -> None:
+        """Admit a parked entry (caller already popped it from passive)."""
+        entry.granted = True
+        self._active[entry.core] = self.sim.now
+        self._last_admission = self.sim.now
+        self._c_unparks.add()
+        if ctx is not None and ctx.races is not None:
+            ctx.races.on_unpark(ctx.core_id, entry.core, self)
+        entry.signal.fire()
+
+    def _ensure_timer(self) -> None:
+        if not self._timer_running:
+            self._timer_running = True
+            self.sim.spawn(self._reactivator(), name=f"{self.name}.reactivator")
+
+    def _reactivator(self):
+        """Background liveness backstop: refill slots nobody is vacating.
+
+        Runs forever once the first thread parks; each tick is one event
+        per ``reactivation_cycles``, and ``run_until_processes_finish``
+        simply stops feeding it once the thread programs are done.
+        """
+        period = self.reactivation_cycles
+        while True:
+            yield period
+            if not self._passive:
+                continue
+            now = self.sim.now
+            if now - self._last_admission < period:
+                continue  # admissions are flowing; nothing is stuck
+            # no admission for a full period: the active threads stopped
+            # releasing (likely finished).  Reclaim memberships that made
+            # no recent use of the lock and refill from the passive list.
+            for core in [c for c, t in self._active.items()
+                         if now - t >= period]:
+                del self._active[core]
+            while self._passive and len(self._active) < self.admit:
+                self._unpark(self._passive.popleft())
+                self._c_timer_admits.add()
+
+    # ------------------------------------------------------------------ #
+    # Lock interface
+    # ------------------------------------------------------------------ #
+    def acquire(self, ctx):
+        yield from self._admit(ctx, None)
+        self._inflight += 1
+        yield from self.inner.acquire(ctx)
+        self._active[ctx.core_id] = self.sim.now
+
+    def acquire_timed(self, ctx, deadline):
+        admitted = yield from self._admit(ctx, deadline)
+        if not admitted:
+            return False
+        self._inflight += 1
+        if self.inner.supports_timed_acquire:
+            ok = yield from self.inner.acquire_timed(ctx, deadline)
+            if not ok:
+                self._inflight -= 1
+                return False
+        else:
+            # inner wait is bounded by the small active set even without
+            # a timed path (this is what makes ``cr:mcs`` sheddable)
+            yield from self.inner.acquire(ctx)
+        self._active[ctx.core_id] = self.sim.now
+        return True
+
+    def release(self, ctx):
+        yield from self.inner.release(ctx)
+        self._inflight -= 1
+        if not self._passive:
+            return
+        now = self.sim.now
+        if len(self._active) < self.admit:
+            self._unpark(self._passive.popleft(), ctx)
+        elif now - self._last_rotation >= self.reactivation_cycles:
+            # long-term fairness: at most once per period, trade this
+            # thread's slot to the longest-parked waiter
+            self._active.pop(ctx.core_id, None)
+            self._unpark(self._passive.popleft(), ctx)
+            self._c_rotations.add()
+            self._last_rotation = now
+        elif self._inflight == 0:
+            # the inner lock just went idle: no admitted thread is
+            # waiting, so hand this slot over rather than strand the
+            # passive list until the reactivation timer notices
+            self._active.pop(ctx.core_id, None)
+            self._unpark(self._passive.popleft(), ctx)

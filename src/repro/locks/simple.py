@@ -17,6 +17,14 @@ __all__ = ["SimpleLock"]
 class SimpleLock(Lock):
     """test&set spin lock on one shared flag word."""
 
+    supports_timed_acquire = True
+
+    #: cycles between attempts on the timed path — raw test&set every
+    #: cycle would flood the directory exactly like the blocking path,
+    #: but a shedding waiter is about to give up anyway, so it backs off
+    #: a little between probes
+    TIMED_POLL = 16
+
     def __init__(self, mem: MemorySystem, name: str = "") -> None:
         super().__init__(name)
         self.flag_addr = mem.address_space.alloc_line()  # own line, no false sharing
@@ -26,6 +34,16 @@ class SimpleLock(Lock):
             old = yield from ctx.rmw(self.flag_addr, lambda v: 1)
             if old == 0:
                 return
+
+    def acquire_timed(self, ctx, deadline):
+        while True:
+            old = yield from ctx.rmw(self.flag_addr, lambda v: 1)
+            if old == 0:
+                return True
+            now = ctx.sim.now
+            if now >= deadline:
+                return False
+            yield from ctx.idle(min(self.TIMED_POLL, deadline - now))
 
     def release(self, ctx):
         yield from ctx.store(self.flag_addr, 0)

@@ -16,6 +16,13 @@ __all__ = ["TatasLock"]
 class TatasLock(Lock):
     """test-and-test&set spin lock."""
 
+    supports_timed_acquire = True
+
+    #: deadline-recheck cadence on the timed path; ``spin_until`` blocks
+    #: unboundedly on the coherence signal, so the timed variant polls
+    #: with plain loads (local once the line is Shared) instead
+    TIMED_POLL = 24
+
     def __init__(self, mem: MemorySystem, name: str = "") -> None:
         super().__init__(name)
         self.flag_addr = mem.address_space.alloc_line()
@@ -26,6 +33,18 @@ class TatasLock(Lock):
             old = yield from ctx.rmw(self.flag_addr, lambda v: 1)
             if old == 0:
                 return
+
+    def acquire_timed(self, ctx, deadline):
+        while True:
+            value = yield from ctx.load(self.flag_addr)
+            if value == 0:
+                old = yield from ctx.rmw(self.flag_addr, lambda v: 1)
+                if old == 0:
+                    return True
+            now = ctx.sim.now
+            if now >= deadline:
+                return False
+            yield from ctx.idle(min(self.TIMED_POLL, deadline - now))
 
     def release(self, ctx):
         yield from ctx.store(self.flag_addr, 0)

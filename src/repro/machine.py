@@ -61,6 +61,12 @@ class RunResult:
     #: when the result was produced without interval recording (consumers
     #: must guard — see :func:`repro.analysis.contention.analyze_contention`)
     lock_intervals: Optional[IntervalRecorder] = field(repr=False, default=None)
+    #: per-request records from open-loop serving workloads, in completion
+    #: order: ``(arrival, start, end, core, ok, retries)`` cycles/flags
+    #: (see :mod:`repro.workloads.serving`).  ``None`` for closed-loop
+    #: runs — and for results unpickled from caches predating the field,
+    #: so consumers use ``getattr(result, "requests", None)``
+    requests: Optional[List[tuple]] = field(repr=False, default=None)
 
     @property
     def total_traffic(self) -> int:
@@ -106,6 +112,9 @@ class Machine:
             for i in range(self.config.n_cores)
         ]
         self.lock_intervals = IntervalRecorder()
+        #: created on first request_log() call (serving workloads); stays
+        #: None for closed-loop runs so their RunResults are unchanged
+        self._request_log: Optional[List[tuple]] = None
         self._ran = False
         #: optional repro.verify.invariants.InvariantSanitizer; set by
         #: InvariantSanitizer.attach() (or the --sanitize CLI flag) and
@@ -152,6 +161,19 @@ class Machine:
         if n_threads is None:
             n_threads = self.config.n_cores
         return TreeBarrier(self.mem, n_threads, name)
+
+    def request_log(self) -> List[tuple]:
+        """The machine-wide per-request record list (created on demand).
+
+        Open-loop serving workloads append ``(arrival, start, end, core,
+        ok, retries)`` tuples here; the list lands on
+        :attr:`RunResult.requests` and inside the result fingerprint, so
+        its (deterministic) append order is part of what the determinism
+        suite pins.
+        """
+        if self._request_log is None:
+            self._request_log = []
+        return self._request_log
 
     def context(self, core_id: int) -> ThreadContext:
         """A thread-program context bound to ``core_id``."""
@@ -217,4 +239,5 @@ class Machine:
             traffic=self.mem.traffic.breakdown(),
             byte_hops=self.mem.traffic.byte_hops,
             lock_intervals=self.lock_intervals,
+            requests=self._request_log,
         )

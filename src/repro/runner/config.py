@@ -42,7 +42,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.faults.plan import FaultPlan
-from repro.locks.registry import LOCK_KINDS
+from repro.locks.registry import validate_lock_kind
 from repro.runner.spec import MachineSpec, RunSpec
 from repro.sim.config import CMPConfig
 from repro.workloads.registry import PARAMETRIC_WORKLOADS, WORKLOADS
@@ -238,9 +238,12 @@ def _expand_block(block: Dict, defaults: Dict, where: str) -> List[RunSpec]:
     locks = _axis(block, defaults, "locks", "lock", ["mcs"], where)
     other_lock = _scalar(block, defaults, "other_lock", "tatas")
     for lock in locks + [other_lock]:
-        if lock not in LOCK_KINDS:
-            raise ConfigError(
-                f"{where}: {_suggest(str(lock), LOCK_KINDS, 'lock')}")
+        try:
+            # accepts every registered kind plus cr:/cr<k>: wrappers,
+            # with a did-you-mean hint on typos
+            validate_lock_kind(str(lock))
+        except ValueError as exc:
+            raise ConfigError(f"{where}: {exc}") from None
     cores = _axis(block, defaults, "cores", "core", [32], where)
     scales = _axis(block, defaults, "scales", "scale", [1.0], where)
     seeds = _axis(block, defaults, "seeds", "seed", [0], where)

@@ -99,7 +99,8 @@ def _build_workload(spec: RunSpec):
 def execute_spec(spec: RunSpec) -> BenchmarkRun:
     """Run one spec on a fresh machine (the pool/remote-worker entry point)."""
     machine = Machine.from_spec(spec.machine)
-    if spec.sanitize:
+    if spec.sanitize and machine.sanitizer is None:
+        # an ambient sanitizer (e.g. pytest --sanitize) already covers the run
         from repro.verify.invariants import attach_sanitizer
         attach_sanitizer(machine)
     workload = _build_workload(spec)

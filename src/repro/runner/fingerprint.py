@@ -45,7 +45,7 @@ def result_canonical_dict(result) -> Dict[str, Any]:
         for iv in result.lock_intervals.intervals:
             key = key_map.setdefault(iv.key, len(key_map))
             intervals.append([iv.start, iv.end, iv.owner, key])
-    return {
+    canonical = {
         "config": result.config.to_dict(),
         "makespan": result.makespan,
         "cycles_by_category": dict(sorted(result.cycles_by_category.items())),
@@ -57,6 +57,14 @@ def result_canonical_dict(result) -> Dict[str, Any]:
         "byte_hops": result.byte_hops,
         "lock_intervals": intervals,
     }
+    # open-loop serving runs carry per-request records; the key is emitted
+    # only when present so every pre-existing golden fingerprint (and any
+    # result unpickled from an old cache, which lacks the attribute)
+    # hashes exactly as before
+    requests = getattr(result, "requests", None)
+    if requests is not None:
+        canonical["requests"] = [list(record) for record in requests]
+    return canonical
 
 
 def result_fingerprint(result) -> str:

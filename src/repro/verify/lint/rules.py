@@ -206,6 +206,13 @@ class LeakedLock(Rule):
     the function still holding a lock is reported at the acquire site —
     in this simulator a leaked lock deadlocks every later acquirer.
 
+    Timed acquires — ``ok = yield from ctx.acquire(X, timeout=...)`` —
+    fork the state into held/not-held, and the boolean they bind is
+    correlated with later ``if ok:`` / ``if not ok:`` tests so the
+    idiomatic shedding pattern (release only under ``if ok:``) analyzes
+    cleanly without suppressions.  Reassigning the bound name drops the
+    correlation.
+
     The analysis is intraprocedural and syntactic: helper coroutines that
     acquire on behalf of the caller are out of scope, and a function whose
     branching exceeds 64 simultaneous path states is skipped.
@@ -224,20 +231,39 @@ class LeakedLock(Rule):
 
     # -- helpers --------------------------------------------------------
     @staticmethod
-    def _lock_op(stmt: ast.stmt) -> Optional[Tuple[str, str, ast.stmt]]:
-        """``(op, lock_key, stmt)`` when ``stmt`` is
-        ``[x =] yield from ctx.acquire/release(lock)``."""
+    def _lock_op(stmt: ast.stmt
+                 ) -> Optional[Tuple[str, str, ast.stmt, Optional[str], bool]]:
+        """``(op, lock_key, stmt, bound_var, timed)`` when ``stmt`` is
+        ``[x =] yield from ctx.acquire/release(lock[, timeout=...])``."""
         value = None
+        var = None
         if isinstance(stmt, ast.Expr):
             value = stmt.value
         elif isinstance(stmt, ast.Assign):
             value = stmt.value
+            if (len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)):
+                var = stmt.targets[0].id
         if not isinstance(value, ast.YieldFrom):
             return None
         name = _ctx_call(value.value, COROUTINE_METHODS, receiver="ctx")
         if name is None or not value.value.args:
             return None
-        return name, ast.dump(value.value.args[0]), stmt
+        call = value.value
+        timed = (len(call.args) > 1
+                 or any(kw.arg == "timeout" for kw in call.keywords))
+        return name, ast.dump(call.args[0]), stmt, var, timed
+
+    @staticmethod
+    def _test_var(test: ast.AST) -> Optional[Tuple[str, bool]]:
+        """``(name, positive)`` for an ``if <name>:`` / ``if not <name>:``
+        test; None for anything more complex."""
+        if isinstance(test, ast.Name):
+            return test.id, True
+        if (isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not)
+                and isinstance(test.operand, ast.Name)):
+            return test.operand.id, False
+        return None
 
     def _analyze(self, func: ast.AST) -> None:
         # cheap pre-scan: most functions never touch a lock
@@ -245,6 +271,8 @@ class LeakedLock(Rule):
                    if isinstance(stmt, ast.stmt)):
             return
         self._first_acquire: Dict[str, ast.stmt] = {}
+        #: boolean var name -> lock key it reflects (timed-acquire result)
+        self._cond_vars: Dict[str, str] = {}
         exits: Set[FrozenSet[str]] = set()
         try:
             through = self._flow(func.body, {frozenset()}, exits)
@@ -278,15 +306,37 @@ class LeakedLock(Rule):
               exits: Set[FrozenSet[str]]) -> Set[FrozenSet[str]]:
         op = self._lock_op(stmt)
         if op is not None:
-            name, key, site = op
+            name, key, site, var, timed = op
             if name == "acquire":
                 self._first_acquire.setdefault(key, site)
+                if var is not None:
+                    # untimed acquires always return True, so the binding
+                    # is sound for them too (every state carries the key)
+                    self._cond_vars[var] = key
+                if timed:
+                    # the acquire may have timed out: fork held/not-held
+                    return {s | {key} for s in states} | set(states)
                 return {s | {key} for s in states}
             return {s - {key} for s in states}
+        if isinstance(stmt, ast.Assign):
+            # reassigning a correlated boolean invalidates the correlation
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    self._cond_vars.pop(target.id, None)
         if isinstance(stmt, (ast.Return, ast.Raise)):
             exits |= states
             return set()
         if isinstance(stmt, ast.If):
+            test = self._test_var(stmt.test)
+            key = self._cond_vars.get(test[0]) if test is not None else None
+            if key is not None:
+                held = {s for s in states if key in s}
+                free = states - held
+                body_states, else_states = ((held, free) if test[1]
+                                            else (free, held))
+                taken = self._flow(stmt.body, set(body_states), exits)
+                skipped = self._flow(stmt.orelse, set(else_states), exits)
+                return taken | skipped
             taken = self._flow(stmt.body, set(states), exits)
             skipped = self._flow(stmt.orelse, set(states), exits)
             return taken | skipped

@@ -178,6 +178,10 @@ class RaceDetector:
         self._op_counts = [0] * n
         self._lock_clocks: Dict[int, Dict[int, int]] = {}
         self._lock_names: Dict[int, str] = {}
+        # (lock.uid, parked core) -> unparker's clock snapshot at handoff
+        self._unpark_clocks: Dict[Tuple[int, int], Dict[int, int]] = {}
+        self.timeouts_observed = 0
+        self.unparks_observed = 0
         self._barriers: Dict[int, _BarrierState] = {}
         self._addr: Dict[int, _AddrState] = {}
         self._seen: Set[Tuple] = set()
@@ -264,6 +268,38 @@ class RaceDetector:
         clock = self._clocks[core]
         self._lock_clocks[lock.uid] = dict(clock)
         clock[core] = clock.get(core, 0) + 1
+
+    def on_acquire_timeout(self, core: int, lock) -> None:
+        """A timed ``ctx.acquire(lock, timeout=...)`` gave up on ``core``.
+
+        A failed acquire creates *no* happens-before edge (the thread
+        observed nothing it may rely on) and must leave nothing held —
+        both asserted here so a buggy lock cannot silently corrupt the
+        lockset analysis.
+        """
+        self._lock_names[lock.uid] = lock.name
+        self.timeouts_observed += 1
+        if lock.uid in self._held[core]:  # pragma: no cover - lock bug
+            raise SimulationError(
+                f"core{core} timed out acquiring {lock.name!r} while the "
+                f"detector believed it already held it")
+
+    def on_unpark(self, core: int, target: int, lock) -> None:
+        """``core`` hands a concurrency-restriction slot of ``lock`` to
+        the parked ``target``: snapshot the unparker's clock (the edge
+        source) and advance it, exactly like a release."""
+        clock = self._clocks[core]
+        self._unpark_clocks[(lock.uid, target)] = dict(clock)
+        clock[core] = clock.get(core, 0) + 1
+        self.unparks_observed += 1
+
+    def on_park_wakeup(self, core: int, lock) -> None:
+        """``core`` resumed from a granted park on ``lock``: join the
+        clock its unparker snapshotted.  Timer-driven admissions store no
+        snapshot (no thread is the edge source) and join nothing."""
+        snapshot = self._unpark_clocks.pop((lock.uid, core), None)
+        if snapshot is not None:
+            _join(self._clocks[core], snapshot)
 
     def on_barrier_arrive(self, core: int, barrier) -> None:
         """``core`` is entering ``barrier.wait``."""

@@ -20,6 +20,7 @@ from repro.workloads.microbench import (
 from repro.workloads.ocean import OceanProxy
 from repro.workloads.qsort import ParallelQuicksort
 from repro.workloads.raytrace import RaytraceProxy
+from repro.workloads.serving import SERVING_WORKLOADS
 from repro.workloads.synth import (
     MultiHotLockWorkload,
     RacyCounterWorkload,
@@ -51,6 +52,9 @@ PARAMETRIC_WORKLOADS: Dict[str, Type[Workload]] = {
     "synth": SyntheticLockWorkload,
     "hotlocks": MultiHotLockWorkload,
     "racy": RacyCounterWorkload,
+    # the open-loop serving family (repro.workloads.serving): offered
+    # load, arrival process, deadline etc. come in via workload_params
+    **SERVING_WORKLOADS,
 }
 
 

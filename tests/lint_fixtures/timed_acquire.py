@@ -1,0 +1,62 @@
+"""SIM005 fixtures for the timed-acquire protocol.
+
+``granted = yield from ctx.acquire(lock, timeout=...)`` may or may not
+take the lock; the path-sensitive analysis tracks the bound result
+variable and follows ``if granted:`` / ``if not granted:`` tests, so the
+serving workloads' retry loops lint clean while a wrong-polarity guard
+is still a leak.
+"""
+
+
+def clean_timed_guarded(ctx, lock):
+    granted = yield from ctx.acquire(lock, timeout=100)
+    if granted:
+        yield 1
+        yield from ctx.release(lock)
+
+
+def clean_timed_negative_guard(ctx, lock):
+    granted = yield from ctx.acquire(lock, timeout=100)
+    if not granted:
+        return
+    yield 1
+    yield from ctx.release(lock)
+
+
+def clean_timed_retry_loop(ctx, lock, attempts):
+    granted = False
+    for _ in range(attempts):
+        granted = yield from ctx.acquire(lock, timeout=50)
+        if granted:
+            break
+        yield 1
+    if granted:
+        yield 2
+        yield from ctx.release(lock)
+
+
+def clean_mixed_timed_and_blocking(ctx, lock, timed):
+    # the serving-workload idiom: the blocking arm binds the same result
+    # variable (an untimed acquire always grants), so one guard covers
+    # both paths
+    if timed:
+        granted = yield from ctx.acquire(lock, timeout=80)
+    else:
+        granted = yield from ctx.acquire(lock)
+    if granted:
+        yield 1
+        yield from ctx.release(lock)
+
+
+def leak_timed_guard_wrong_polarity(ctx, lock):
+    granted = yield from ctx.acquire(lock, timeout=100)  # expect: SIM005
+    if not granted:
+        yield 1
+        yield from ctx.release(lock)  # only the failed path "releases"
+
+
+def leak_timed_rebound_variable_loses_correlation(ctx, lock):
+    granted = yield from ctx.acquire(lock, timeout=100)  # expect: SIM005
+    granted = True  # reassignment: the guard below proves nothing now
+    if granted:
+        yield from ctx.release(lock)

@@ -96,7 +96,9 @@ def test_engine_section_round_trips():
     ("campaign: x\nmatrix:\n  - benchmarks: [sctrr]\n",
      "unknown benchmark 'sctrr'"),
     ("campaign: x\nmatrix:\n  - benchmark: sctr\n    locks: [mcss]\n",
-     "unknown lock 'mcss'"),
+     "unknown lock kind 'mcss'; did you mean 'mcs'"),
+    ("campaign: x\nmatrix:\n  - benchmark: sctr\n    locks: [cr2:tataz]\n",
+     "in cr-wrapped lock kind 'cr2:tataz'"),
     ("campaign: x\nmatrix:\n  - benchmark: sctr\n    seed: [1, 2]\n",
      "use 'seeds' for a list"),
     ("campaign: x\nmatrix:\n  - benchmark: sctr\n    seeds: 3\n",

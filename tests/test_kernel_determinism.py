@@ -237,3 +237,51 @@ def test_last_value_retained_with_diagnostics_attached():
     payload = object()
     sig.fire(payload)
     assert sig.last_value is payload
+
+
+# --------------------------------------------------------------------- #
+# serving-workload determinism across execution backends
+# --------------------------------------------------------------------- #
+SERVING_GOLDEN = [e for e in GOLDEN
+                  if e["spec"]["workload"] in ("kvstore", "msgqueue",
+                                               "webserver")]
+
+
+def test_golden_matrix_includes_serving_entries():
+    """The golden file pins all three serving workloads (so the race
+    detector / profiler neutrality tests above exercise the request log,
+    timed acquires and cr: park/unpark paths too)."""
+    assert {e["spec"]["workload"] for e in SERVING_GOLDEN} \
+        == {"kvstore", "msgqueue", "webserver"}
+
+
+def test_serving_fingerprints_identical_across_jobs_and_remote():
+    """Request logs ride inside the result fingerprint; arrival processes
+    are pure functions of the spec — so inline, process-pool and remote
+    execution must return byte-identical serving results."""
+    import threading
+
+    from repro.runner import Engine
+    from repro.runner.remote import RemoteBackend, WorkerServer
+
+    specs = [RunSpec.from_dict(e["spec"]) for e in SERVING_GOLDEN]
+    expected = [e["result_fingerprint"] for e in SERVING_GOLDEN]
+
+    inline = Engine(jobs=1)
+    assert [result_fingerprint(r.result)
+            for r in inline.run_specs(specs)] == expected
+
+    pool = Engine(jobs=2)
+    assert pool.backend_name == "process-pool"
+    assert [result_fingerprint(r.result)
+            for r in pool.run_specs(specs)] == expected
+
+    server = WorkerServer()
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    try:
+        host, port = server.address
+        remote = Engine(backend=RemoteBackend([f"{host}:{port}"]))
+        assert [result_fingerprint(r.result)
+                for r in remote.run_specs(specs)] == expected
+    finally:
+        server.shutdown()

@@ -302,3 +302,107 @@ def test_ambient_collection_attaches_to_new_machines():
     assert races.machines == 1
     assert races.races
     assert "1 machine(s)" in races.format_report()
+
+
+# --------------------------------------------------------------------- #
+# serving workloads, timed acquire, and cr: park/unpark edges
+# --------------------------------------------------------------------- #
+SERVING_KINDS = list(LOCK_KINDS) + [f"cr2:{k}" for k in LOCK_KINDS]
+
+
+def _serving_workloads():
+    from repro.workloads.serving import (KVStoreServing, MessageQueueServing,
+                                         WebServerServing)
+    fast = dict(offered_load=6.0, duration=2_000, deadline=1_500)
+    return {
+        "kvstore": lambda: KVStoreServing(**fast),
+        "msgqueue": lambda: MessageQueueServing(**fast),
+        "webserver": lambda: WebServerServing(**fast),
+    }
+
+
+@pytest.mark.parametrize("kind", SERVING_KINDS)
+@pytest.mark.parametrize("name", sorted(_serving_workloads()))
+def test_serving_workloads_race_free(name, kind):
+    """Every serving workload is clean under every lock kind — including
+    the cr: wrappers, whose park/unpark handoffs only stay clean because
+    they publish happens-before edges."""
+    machine = Machine(CMPConfig.baseline(4),
+                      allow_glock_sharing=kind.endswith("glock"))
+    detector = fresh_detector(machine)
+    instance = _serving_workloads()[name]().instantiate(machine,
+                                                        hc_kind=kind)
+    machine.run(instance.programs)
+    instance.validate(machine)
+    assert not detector.races, detector.format_report()
+
+
+def test_unpark_edges_are_published_and_clean():
+    machine = Machine(CMPConfig.baseline(6))
+    detector = fresh_detector(machine)
+    lock = machine.make_lock("cr1:tatas")
+    shared = machine.mem.address_space.alloc_word()
+
+    def prog(ctx):
+        for _ in range(3):
+            yield from ctx.acquire(lock)
+            value = yield from ctx.load(shared)
+            yield from ctx.store(shared, value + 1)
+            yield from ctx.release(lock)
+
+    machine.run([prog] * 6)
+    assert detector.unparks_observed > 0, \
+        "cr1 with 6 contenders must park and unpark"
+    assert not detector.races, detector.format_report()
+    assert machine.mem.backing.read(shared) == 18
+
+
+def test_failed_timed_acquire_publishes_no_edge():
+    """A timeout must NOT fabricate the release->acquire happens-before
+    edge a successful acquire gets: data touched afterward still races."""
+    machine = Machine(CMPConfig.baseline(2))
+    detector = fresh_detector(machine)
+    lock = machine.make_lock("tatas")
+    shared = machine.mem.address_space.alloc_word()
+
+    def writer(ctx):
+        yield from ctx.acquire(lock)
+        yield from ctx.store(shared, 1)
+        yield from ctx.compute(2_000)
+        yield from ctx.release(lock)
+
+    outcome = []
+
+    def impatient_reader(ctx):
+        yield from ctx.idle(100)
+        granted = yield from ctx.acquire(lock, timeout=150)
+        outcome.append(granted)
+        yield from ctx.load(shared)  # unprotected: a real race
+
+    machine.run([writer, impatient_reader])
+    assert outcome == [False]
+    assert detector.timeouts_observed == 1
+    assert len(detector.races) == 1, detector.format_report()
+    assert detector.races[0].addr == shared
+
+
+def test_timeout_leaves_held_set_clean():
+    """After a failed timed acquire the core holds nothing: a later
+    successful critical section is still treated as properly locked."""
+    machine = Machine(CMPConfig.baseline(2))
+    detector = fresh_detector(machine)
+    lock = machine.make_lock("cr1:simple")
+    shared = machine.mem.address_space.alloc_word()
+
+    def prog(ctx):
+        granted = yield from ctx.acquire(lock, timeout=40)
+        if not granted:
+            granted = yield from ctx.acquire(lock, timeout=100_000)
+        assert granted
+        value = yield from ctx.load(shared)
+        yield from ctx.store(shared, value + 1)
+        yield from ctx.release(lock)
+
+    machine.run([prog, prog])
+    assert not detector.races, detector.format_report()
+    assert machine.mem.backing.read(shared) == 2
