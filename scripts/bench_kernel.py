@@ -11,6 +11,9 @@ Usage::
 
     python scripts/bench_kernel.py                  # full Table III suite
     python scripts/bench_kernel.py --smoke          # CI-sized subset
+    python scripts/bench_kernel.py --backend pure   # force a kernel backend
+    python scripts/bench_kernel.py --compare pure compiled
+    python scripts/bench_kernel.py --scale-sweep    # 256/1024-core sweeps
     python scripts/bench_kernel.py --check benchmarks/baselines/bench_kernel.json
     python scripts/bench_kernel.py --save-baseline  # refresh the committed baseline
 
@@ -18,6 +21,14 @@ Usage::
 total wall-time regressed by more than ``--tolerance`` (default 25%) —
 the CI ``perf-smoke`` job gates on this.  When the baseline file exists
 the report always includes the speedup relative to it.
+
+``--compare B1 B2`` runs the suite once per kernel backend and prints a
+per-bench speedup table, asserting that both backends produced identical
+(events, sim_cycles) fingerprints — the cheap end-to-end determinism
+check.  ``--scale-sweep`` opens the scale regime: SCTR (GLock, 3-level
+G-line tree) and the serving KV-store at 256 and 1024 cores, recording
+events/s and the process peak-RSS high-water after each point (points
+run in ascending core order, so the deltas are attributable).
 """
 
 from __future__ import annotations
@@ -35,6 +46,7 @@ from typing import Dict, List, Optional, Tuple
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.machine import Machine  # noqa: E402
+from repro.sim import kernel  # noqa: E402
 from repro.sim.config import CMPConfig  # noqa: E402
 from repro.sim.kernel import Simulator  # noqa: E402
 from repro.workloads import WORKLOADS, make_workload  # noqa: E402
@@ -53,6 +65,10 @@ SMOKE_LOCKS = ("glock", "mcs")
 
 #: the --smoke subset: kernel microbenches + two paper workloads
 SMOKE_WORKLOADS = ("sctr", "qsort")
+
+#: --scale-sweep core counts (paper-scale workloads on bigger machines);
+#: 2-level G-line trees stop at 7 drops/row, so these use glock_levels=3
+SWEEP_CORES = (256, 1024)
 
 
 # --------------------------------------------------------------------- #
@@ -121,6 +137,59 @@ def bench_serving_kvstore() -> Tuple[int, int]:
     return machine.sim.events_executed, result.makespan
 
 
+def sweep_sctr(cores: int) -> Tuple[int, int]:
+    """Paper-scale SCTR under the hardware lock on a ``cores``-core mesh."""
+    machine = Machine(CMPConfig.baseline(cores), glock_levels=3)
+    workload = make_workload("sctr", scale=1.0)
+    instance = workload.instantiate(machine, hc_kind="glock",
+                                    other_kind="tatas")
+    result = machine.run(instance.programs)
+    instance.validate(machine)
+    return machine.sim.events_executed, result.makespan
+
+
+def sweep_kvstore(cores: int) -> Tuple[int, int]:
+    """The open-loop serving KV-store on a ``cores``-core mesh."""
+    from repro.workloads.serving import KVStoreServing
+
+    machine = Machine(CMPConfig.baseline(cores), glock_levels=3)
+    workload = KVStoreServing(offered_load=6.0, duration=6_000,
+                              deadline=2_500)
+    instance = workload.instantiate(machine, hc_kind="cr2:tatas",
+                                    other_kind="tatas")
+    result = machine.run(instance.programs)
+    instance.validate(machine)
+    return machine.sim.events_executed, result.makespan
+
+
+def run_scale_sweep(repeat: int) -> Dict[str, Dict]:
+    """256/1024-core sweep points: events/s and peak-RSS vs core count."""
+    entries: Dict[str, Dict] = {}
+    for cores in SWEEP_CORES:  # ascending, so RSS high-water attributes
+        for label, fn in (("sctr.glock", sweep_sctr),
+                          ("serving.kvstore.cr2:tatas", sweep_kvstore)):
+            name = f"sweep.{label}.c{cores}"
+            best = None
+            events = cycles = 0
+            for _ in range(repeat):
+                t0 = time.perf_counter()
+                events, cycles = fn(cores)
+                dt = time.perf_counter() - t0
+                best = dt if best is None else min(best, dt)
+            entries[name] = {
+                "cores": cores,
+                "wall_s": round(best, 4),
+                "events": events,
+                "events_per_s": round(events / best),
+                "sim_cycles": cycles,
+                "peak_rss_bytes": peak_rss_bytes(),
+            }
+            print(f"  {name:32s} {best:7.3f}s  {events:9d} events  "
+                  f"{events / best:10.0f} ev/s  "
+                  f"RSS {peak_rss_bytes() // (1 << 20)} MiB")
+    return entries
+
+
 def suite(smoke: bool) -> List[Tuple[str, object]]:
     """The ordered bench list: ``(name, zero-arg callable)``."""
     benches: List[Tuple[str, object]] = [
@@ -178,6 +247,7 @@ def run_suite(smoke: bool, repeat: int) -> Dict:
     return {
         "schema": 1,
         "suite": "smoke" if smoke else "table3",
+        "backend": kernel.active_backend(),
         "git_sha": git_sha(),
         "python": platform.python_version(),
         "repeat": repeat,
@@ -218,6 +288,64 @@ def compare(report: Dict, baseline: Dict) -> Dict:
     }
 
 
+def run_compare(args) -> int:
+    """Run the suite once per backend; speedup table + fingerprint check."""
+    reports: Dict[str, Dict] = {}
+    for name in args.compare:
+        try:
+            concrete = kernel.set_backend(name)
+        except (kernel.BackendUnavailableError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"--- backend {name} ({concrete}) ---")
+        reports[name] = run_suite(args.smoke, max(args.repeat, 1))
+    a, b = args.compare
+    ra, rb = reports[a], reports[b]
+    mismatches = []
+    per_bench: Dict[str, float] = {}
+    print(f"\n  {'bench':26s} {a:>10s} {b:>10s} {'speedup':>9s}")
+    for bench, cur in ra["benches"].items():
+        other = rb["benches"][bench]
+        fp_a = (cur["events"], cur["sim_cycles"])
+        fp_b = (other["events"], other["sim_cycles"])
+        note = ""
+        if fp_a != fp_b:
+            mismatches.append(bench)
+            note = "  FINGERPRINT MISMATCH"
+        speedup = cur["wall_s"] / max(other["wall_s"], 1e-9)
+        per_bench[bench] = round(speedup, 3)
+        print(f"  {bench:26s} {cur['wall_s']:9.3f}s {other['wall_s']:9.3f}s "
+              f"{speedup:8.2f}x{note}")
+    total = ra["total_wall_s"] / max(rb["total_wall_s"], 1e-9)
+    print(f"  {'TOTAL':26s} {ra['total_wall_s']:9.3f}s "
+          f"{rb['total_wall_s']:9.3f}s {total:8.2f}x")
+    report = {
+        "schema": 1,
+        "mode": "compare",
+        "git_sha": git_sha(),
+        "python": platform.python_version(),
+        "reports": reports,
+        "compare": {
+            "backends": list(args.compare),
+            "per_bench_speedup": per_bench,
+            "total_speedup": round(total, 3),
+            "fingerprints_identical": not mismatches,
+        },
+    }
+    out = os.path.abspath(args.out)
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {out}")
+    if mismatches:
+        print(f"FINGERPRINT MISMATCH between backends {a} and {b} on: "
+              f"{', '.join(mismatches)}", file=sys.stderr)
+        return 1
+    print(f"fingerprints identical across {a}/{b} on "
+          f"{len(per_bench)} benches")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
@@ -239,6 +367,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--save-baseline", action="store_true",
                         help="also write the report to --baseline "
                              "(refreshing the committed numbers)")
+    parser.add_argument("--backend", default=None,
+                        choices=("pure", "compiled", "auto"),
+                        help="simulator kernel backend to measure "
+                             "(default: current REPRO_SIM_BACKEND/auto)")
+    parser.add_argument("--compare", nargs=2, metavar=("B1", "B2"),
+                        default=None,
+                        help="run the suite under two backends "
+                             "back-to-back; print a per-bench speedup "
+                             "table and verify fingerprint identity")
+    parser.add_argument("--scale-sweep", action="store_true",
+                        help=f"also run SCTR + serving.kvstore at "
+                             f"{'/'.join(map(str, SWEEP_CORES))} cores "
+                             "(events/s and peak RSS vs core count)")
     parser.add_argument("--race-detect", action="store_true",
                         help="run the suite with the data-race detector "
                              "attached (repro.verify.races) — measures "
@@ -246,8 +387,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "--save-baseline runs")
     args = parser.parse_args(argv)
 
+    if args.backend is not None:
+        try:
+            kernel.set_backend(args.backend)
+        except kernel.BackendUnavailableError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if args.compare is not None:
+        return run_compare(args)
+
     print(f"bench_kernel: {'smoke' if args.smoke else 'full Table III'} "
-          f"suite, repeat={args.repeat}"
+          f"suite, backend={kernel.active_backend()}, repeat={args.repeat}"
           + (", race detector ON" if args.race_detect else ""))
     if args.race_detect:
         from repro.verify.races import race_detection
@@ -266,6 +416,11 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"{races.machines} machine(s)")
     else:
         report = run_suite(args.smoke, max(args.repeat, 1))
+
+    if args.scale_sweep:
+        print(f"scale sweep: {'/'.join(map(str, SWEEP_CORES))} cores "
+              "(glock_levels=3)")
+        report["scale_sweep"] = run_scale_sweep(max(args.repeat, 1))
 
     baseline = load_baseline(args.check or args.baseline)
     if baseline is not None:

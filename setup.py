@@ -1,10 +1,50 @@
-"""Thin setup.py shim.
+"""Setup shim + optional compiled-kernel build.
 
-All metadata lives in pyproject.toml; this file exists so that
-``pip install -e . --no-use-pep517`` works in offline environments that lack
-the ``wheel`` package (PEP 660 editable installs need it).
+All metadata lives in pyproject.toml; this file (a) keeps
+``pip install -e . --no-use-pep517`` working in offline environments that
+lack the ``wheel`` package, and (b) builds the optional C event-kernel
+backend (``repro.sim._ckernel``).  The extension is best-effort: when no
+C compiler/Python headers are available the build warns and continues,
+and ``repro.sim.kernel`` silently falls back to the pure-Python kernel.
+
+Build it in a source checkout with::
+
+    python setup.py build_ext --inplace
 """
 
-from setuptools import setup
+from setuptools import Extension, setup
+from setuptools.command.build_ext import build_ext
 
-setup()
+
+class OptionalBuildExt(build_ext):
+    """Treat every extension as optional: warn instead of failing."""
+
+    def run(self):
+        try:
+            super().run()
+        except Exception as exc:  # toolchain missing entirely
+            self._warn(exc)
+
+    def build_extension(self, ext):
+        try:
+            super().build_extension(ext)
+        except Exception as exc:  # compile/link failure
+            self._warn(exc)
+
+    @staticmethod
+    def _warn(exc):
+        print(f"warning: compiled simulator backend not built ({exc}); "
+              "falling back to the pure-Python kernel")
+
+
+setup(
+    ext_modules=[
+        Extension(
+            "repro.sim._ckernel",
+            sources=["src/repro/sim/_ckernel.c"],
+            extra_compile_args=["-O2"],
+            optional=True,
+        ),
+    ],
+    cmdclass={"build_ext": OptionalBuildExt},
+)

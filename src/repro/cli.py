@@ -5,6 +5,7 @@
     repro-sim config [--cores N]             # print the Table II chip
     repro-sim cost [--cores N] [--levels L]  # Table I for that chip
     repro-sim run --workload sctr --lock glock [--cores N] [--scale S]
+                  [--backend pure|compiled|auto] [--list-backends]
                   [--sanitize]               # runtime invariant checks
                   [--race-detect]            # lockset/vector-clock races
     repro-sim experiment fig08 [--scale S] [--cores N]
@@ -107,6 +108,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="attach the lockset/vector-clock data-race "
                         "detector (repro.verify.races); exits 1 on "
                         "unannotated races, fingerprints are unchanged")
+    p.add_argument("--backend", default=None,
+                   choices=("pure", "compiled", "auto"),
+                   help="simulator kernel backend (default: "
+                        "$REPRO_SIM_BACKEND or auto = compiled when "
+                        "built, else pure); results are bit-identical "
+                        "across backends")
+    p.add_argument("--list-backends", action="store_true",
+                   help="print the available simulator backends (and "
+                        "what 'auto' resolves to here) and exit")
 
     def add_engine_flags(p):
         from repro.runner.backends import BACKEND_NAMES
@@ -290,6 +300,25 @@ def _cmd_cost(args) -> int:
 
 
 def _cmd_run(args) -> int:
+    from repro.sim import kernel
+
+    if args.list_backends:
+        auto = kernel.resolve_backend("auto")
+        available = kernel.available_backends()
+        for name in ("pure", "compiled"):
+            if name in available:
+                mark = "  <- auto" if name == auto else ""
+                print(f"{name}{mark}")
+            else:
+                print(f"{name}  (not built; python setup.py build_ext "
+                      "--inplace)")
+        return 0
+    if args.backend is not None:
+        try:
+            kernel.set_backend(args.backend)
+        except kernel.BackendUnavailableError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     if args.list_locks:
         from repro.locks.registry import LOCK_KINDS
 

@@ -21,7 +21,8 @@ __all__ = ["GLine"]
 class GLine:
     """A dedicated 1-bit wire from one controller to another."""
 
-    __slots__ = ("sim", "latency", "counters", "name", "signals_sent", "port")
+    __slots__ = ("sim", "latency", "counters", "name", "signals_sent", "port",
+                 "_c_signals")
 
     def __init__(self, sim: Simulator, counters: CounterSet,
                  latency: int = 1, name: str = "", port: Any = None) -> None:
@@ -34,11 +35,14 @@ class GLine:
         self.signals_sent = 0
         #: fault-injection port (``repro.faults``); None on healthy wire
         self.port = port
+        # bound counter: transmit runs once per G-line signal, the hottest
+        # operation of the whole lock-network layer
+        self._c_signals = counters.bind("gline.signals")
 
     def transmit(self, receiver: Callable[..., None], *args: Any) -> None:
         """Send a 1-bit signal: ``receiver(*args)`` runs ``latency`` cycles on."""
         self.signals_sent += 1
-        self.counters.add("gline.signals")
+        self._c_signals.value += 1
         if self.sim.tracer is not None:
             self.sim.tracer.record(self.sim.now, "gline", self.name,
                                    f"signal (arrives cycle {self.sim.now + self.latency})")

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.mem.l1 import L1Cache
+from repro.mem.l1 import MISS, L1Cache
 from repro.sim.kernel import SimulationError, Simulator
 from repro.sim.stats import CounterSet, IntervalRecorder
 
@@ -69,6 +69,16 @@ class ThreadContext:
         #: accesses and synchronization; passed in by Machine.context()
         self.races = races
         self._cat_stack: List[str] = []
+        # hot-path shortcuts into the L1: load/store/rmw run the plain
+        # try_hit fast path and yield the hit latency themselves, so a
+        # cache hit costs no extra generator frame at all; only misses
+        # enter the L1's transaction coroutine
+        l1 = core.l1
+        self._l1_try_hit = l1.try_hit
+        self._l1_miss = l1._miss
+        self._l1_hit_latency = l1.hit_latency
+        self._l1_mask = l1._line_mask
+        self._l1_c_rmw = l1._c_rmw
 
     @property
     def core_id(self) -> int:
@@ -110,7 +120,12 @@ class ThreadContext:
     def load(self, addr: int):
         """Coroutine: read a word through the L1; returns its value."""
         t0 = self.sim.now
-        value = yield from self.core.l1.load(addr)
+        line = addr & self._l1_mask
+        value = self._l1_try_hit(line, False, addr, None, None)
+        if value is MISS:
+            value = yield from self._l1_miss(line, False, addr, None, None)
+        else:
+            yield self._l1_hit_latency
         self.core.instructions += 1
         self._attribute(MEMORY, self.sim.now - t0)
         # workload-level accesses only: loads issued inside a lock/barrier
@@ -122,7 +137,11 @@ class ThreadContext:
     def store(self, addr: int, value: int):
         """Coroutine: write a word through the L1."""
         t0 = self.sim.now
-        yield from self.core.l1.store(addr, value)
+        line = addr & self._l1_mask
+        if self._l1_try_hit(line, True, addr, value, None) is MISS:
+            yield from self._l1_miss(line, True, addr, value, None)
+        else:
+            yield self._l1_hit_latency
         self.core.instructions += 1
         self._attribute(MEMORY, self.sim.now - t0)
         if self.races is not None and not self._cat_stack:
@@ -131,7 +150,13 @@ class ThreadContext:
     def rmw(self, addr: int, fn):
         """Coroutine: atomic read-modify-write; returns the old value."""
         t0 = self.sim.now
-        old = yield from self.core.l1.rmw(addr, fn)
+        line = addr & self._l1_mask
+        old = self._l1_try_hit(line, True, addr, None, fn)
+        if old is MISS:
+            old = yield from self._l1_miss(line, True, addr, None, fn)
+        else:
+            yield self._l1_hit_latency
+        self._l1_c_rmw.value += 1
         self.core.instructions += 1
         self._attribute(MEMORY, self.sim.now - t0)
         if self.races is not None and not self._cat_stack:

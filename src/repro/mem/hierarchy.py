@@ -47,14 +47,17 @@ class MemorySystem:
             for i in range(config.n_cores)
         ]
         for tile in range(config.n_cores):
-            self.mesh.register(tile, self._make_dispatcher(tile))
+            dispatch, route = self._make_dispatcher(tile)
+            self.mesh.register(tile, dispatch, route=route)
 
     def _make_dispatcher(self, tile: int):
-        # kind -> bound handler, resolved once per tile: routing a message
-        # is then a single dict probe instead of two frozenset membership
-        # tests on the hot delivery path
-        route = {kind: self.l2s[tile].handle for kind in P.HOME_BOUND_KINDS}
-        route.update({kind: self.l1s[tile].handle for kind in P.L1_BOUND_KINDS})
+        # kind -> bound per-kind handler, resolved once per tile: routing
+        # a message is then a single dict probe straight into the specific
+        # protocol action, with no kind-test chain.  The table is also
+        # handed to the mesh so the compiled core can deliver without
+        # this Python frame.
+        route = dict(self.l2s[tile].route_table())
+        route.update(self.l1s[tile].route_table())
 
         def dispatch(msg: Message) -> None:
             handler = route.get(msg.kind)
@@ -62,7 +65,7 @@ class MemorySystem:
                 raise RuntimeError(f"tile {tile}: unroutable message {msg!r}")
             handler(msg)
 
-        return dispatch
+        return dispatch, route
 
     # ------------------------------------------------------------------ #
     # initialization helpers

@@ -26,19 +26,27 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional
 
 from repro.mem import protocol as P
-from repro.mem.address import home_of, line_of
+from repro.mem.address import WORD_BYTES, home_of, line_of
 from repro.mem.backing import BackingStore
-from repro.mem.cache import TagArray
+from repro.mem import cache
 from repro.noc.messages import Message
 from repro.noc.topology import Mesh
 from repro.sim.config import CMPConfig
-from repro.sim.kernel import Signal, Simulator
+from repro.sim.kernel import Signal, Simulator, compiled_impl
 from repro.sim.stats import CounterSet
 
 __all__ = ["L1Cache"]
 
 # MESI states kept in the tag array
 M, E, S = "M", "E", "S"
+
+# fill reply kind -> resulting MESI state (module constant: _install runs
+# once per miss and must not rebuild this map each time)
+_FILL_STATE = {P.DATA: S, P.DATA_E: E, P.DATA_M: M}
+
+#: sentinel returned by :meth:`L1Cache.try_hit` when the access needs a
+#: directory transaction (distinct from every real word value, None included)
+MISS = object()
 
 
 class L1Cache:
@@ -59,8 +67,19 @@ class L1Cache:
         self.mesh = mesh
         self.backing = backing
         self.counters = counters
-        self.tags = TagArray(config.l1)
+        # cache.TagArray rather than a direct import: the binding follows
+        # the active kernel backend (see repro.mem.cache._bind_backend)
+        self.tags = cache.TagArray(config.l1)
         self.hit_latency = config.l1.latency
+        # hot-path constants, resolved once (line_of/home_of inlined in
+        # the access path: these run once or more per memory access)
+        self._line_mask = ~(config.line_bytes - 1)
+        self._line_bytes = config.line_bytes
+        self._n_tiles = config.n_cores
+        self._noc = config.noc
+        # fused make_msg+send entry point, resolved once (bound C method
+        # when the compiled mesh core is active)
+        self._send_proto = mesh.send_proto
         # the line of the outstanding transaction, if any; its reply is
         # always delivered through the (reused) _fill_sig because in-order
         # cores have exactly one op in flight
@@ -74,22 +93,31 @@ class L1Cache:
         self._c_misses = counters.bind("l1.misses")
         self._c_rmw = counters.bind("l1.rmw")
         self._c_spin_cycles = counters.bind("l1.spin_cycles")
+        # compiled fast path: when both the tag array and the simulator
+        # come from the compiled backend, the whole try_hit body (tag
+        # probe, E->M upgrade, LRU touch, backing-store word op, access
+        # counter) runs as one C call; the instance attribute shadows
+        # the method for every caller that binds self.try_hit
+        impl = compiled_impl()
+        if (impl is not None and type(sim) is impl.Simulator
+                and type(self.tags) is impl.TagArray):
+            self.try_hit = impl.L1Hit(
+                self.tags, backing._words, self._c_accesses,
+                MISS, M, E, WORD_BYTES).try_hit
 
     # ------------------------------------------------------------------ #
     # public coroutine API (driven by the core with `yield from`)
     # ------------------------------------------------------------------ #
     def load(self, addr: int):
         """Coroutine: read one word; returns its value."""
-        line = line_of(addr, self.config.line_bytes)
-        value = yield from self._access(line, want_m=False,
-                                        apply=lambda: self.backing.read(addr))
+        value = yield from self._access(addr & self._line_mask, False,
+                                        addr, None, None)
         return value
 
     def store(self, addr: int, value: int):
         """Coroutine: write one word."""
-        line = line_of(addr, self.config.line_bytes)
-        yield from self._access(line, want_m=True,
-                                apply=lambda: self.backing.write(addr, value))
+        yield from self._access(addr & self._line_mask, True,
+                                addr, value, None)
 
     def rmw(self, addr: int, fn: Callable[[int], int]):
         """Coroutine: atomic read-modify-write; returns the *old* value.
@@ -98,9 +126,8 @@ class L1Cache:
         ``test&set`` (``fn=lambda v: 1``), ``fetch&increment``, ``swap``
         and — by comparing the returned old value — ``compare&swap``.
         """
-        line = line_of(addr, self.config.line_bytes)
-        old = yield from self._access(line, want_m=True,
-                                      apply=lambda: self.backing.apply(addr, fn))
+        old = yield from self._access(addr & self._line_mask, True,
+                                      addr, None, fn)
         self._c_rmw.value += 1
         return old
 
@@ -110,11 +137,15 @@ class L1Cache:
         Event-driven equivalent of a test-and-test&set spin loop (see module
         docstring).
         """
+        line = addr & self._line_mask
         while True:
-            value = yield from self.load(addr)
+            value = self.try_hit(line, False, addr, None, None)
+            if value is MISS:
+                value = yield from self._miss(line, False, addr, None, None)
+            else:
+                yield self.hit_latency
             if predicate(value):
                 return value
-            line = line_of(addr, self.config.line_bytes)
             if self.tags.lookup(line) is None:
                 # invalidated between the load and now -> re-read immediately
                 continue
@@ -131,17 +162,48 @@ class L1Cache:
     # ------------------------------------------------------------------ #
     # core access path
     # ------------------------------------------------------------------ #
-    def _access(self, line: int, want_m: bool, apply: Callable[[], object]):
-        state = self.tags.lookup(line)
-        if state is not None and (not want_m or state in (M, E)):
-            if want_m and state == E:
-                self.tags.set_state(line, M)  # silent E->M upgrade
-            self.tags.touch(line)
-            result = apply()
-            self._c_accesses.value += 1
+    def try_hit(self, line: int, want_m: bool, addr: int,
+                value: Optional[int], fn: Optional[Callable[[int], int]]):
+        """Plain-function hit path: apply the op and return its result.
+
+        Returns :data:`MISS` when the line lacks sufficient permission and
+        a directory transaction (:meth:`_miss`) is needed.  Callers on the
+        hit path still owe the L1 hit latency (``yield hit_latency``) —
+        keeping this a non-coroutine saves a generator frame on the single
+        hottest call of the whole simulator.
+
+        The memory operation is encoded positionally instead of as an
+        ``apply`` closure — allocating a lambda per access dominated the
+        hit path: fn -> rmw, else want_m -> store, else load.
+        """
+        tags = self.tags
+        state = tags.lookup(line)
+        if state is None or (want_m and state != M and state != E):
+            return MISS
+        if want_m and state == E:
+            tags.set_state(line, M)  # silent E->M upgrade
+        tags.touch(line)
+        if fn is not None:
+            result = self.backing.apply(addr, fn)
+        elif want_m:
+            result = self.backing.write(addr, value)
+        else:
+            result = self.backing.read(addr)
+        self._c_accesses.value += 1
+        return result
+
+    def _access(self, line: int, want_m: bool, addr: int,
+                value: Optional[int], fn: Optional[Callable[[int], int]]):
+        result = self.try_hit(line, want_m, addr, value, fn)
+        if result is not MISS:
             yield self.hit_latency
             return result
+        return (yield from self._miss(line, want_m, addr, value, fn))
+
+    def _miss(self, line: int, want_m: bool, addr: int,
+              value: Optional[int], fn: Optional[Callable[[int], int]]):
         # miss (or S->M upgrade): one transaction through the directory
+        state = self.tags.lookup(line)
         self._c_misses.value += 1
         if self._pending is not None:
             raise RuntimeError(
@@ -149,53 +211,34 @@ class L1Cache:
                 f"line {line:#x} (cores are in-order)"
             )
         self._pending = line
-        home = home_of(line, self.config.line_bytes, self.config.n_cores)
+        home = (line // self._line_bytes) % self._n_tiles
         if not want_m:
             kind = P.GETS
         elif state is not None:
             kind = P.UPGRADE  # we still hold S; a dataless grant suffices
         else:
             kind = P.GETM
-        self.mesh.send(P.make_msg(self.config.noc, self.core_id, home, kind, line))
+        self._send_proto(self._noc, self.core_id, home, kind, line)
         yield self._fill_sig  # fires once handle() has installed the line
         # the line was installed synchronously in handle() at delivery time,
         # so same-cycle recalls/invalidations observe a consistent tag state
-        result = apply()
+        if fn is not None:
+            result = self.backing.apply(addr, fn)
+        elif want_m:
+            result = self.backing.write(addr, value)
+        else:
+            result = self.backing.read(addr)
         self._c_accesses.value += 1
         yield self.hit_latency
         return result
-
-    def _install(self, line: int, reply_kind: str,
-                 msg: Optional[Message] = None) -> None:
-        if reply_kind == P.GRANT_M:
-            # upgrade: the line must still be resident in S
-            self.tags.set_state(line, M)
-            self.tags.touch(line)
-            return
-        if reply_kind == P.DATA_C2C:
-            new_state = M if msg.payload["extra"]["grant"] == "M" else S
-        else:
-            new_state = {P.DATA: S, P.DATA_E: E, P.DATA_M: M}[reply_kind]
-        if self.tags.lookup(line) is not None:
-            # S->M where the directory chose to send full data
-            self.tags.set_state(line, new_state)
-            self.tags.touch(line)
-            return
-        victim = self.tags.insert(line, new_state)
-        if victim is not None:
-            self._evict(*victim)
 
     def _evict(self, line: int, state: object) -> None:
         home = home_of(line, self.config.line_bytes, self.config.n_cores)
         if state == M:
             self.counters.add("l1.writebacks")
-            self.mesh.send(
-                P.make_msg(self.config.noc, self.core_id, home, P.WB_DATA, line)
-            )
+            self._send_proto(self._noc, self.core_id, home, P.WB_DATA, line)
         elif state == E:
-            self.mesh.send(
-                P.make_msg(self.config.noc, self.core_id, home, P.EVICT_CLEAN, line)
-            )
+            self._send_proto(self._noc, self.core_id, home, P.EVICT_CLEAN, line)
         # S evictions are silent
         self._wake_watchers(line)
 
@@ -203,47 +246,91 @@ class L1Cache:
     # incoming protocol messages (mesh callback)
     # ------------------------------------------------------------------ #
     def handle(self, msg: Message) -> None:
-        """Process a message routed to this L1 by the tile dispatcher."""
-        line = msg.payload["line"]
-        if msg.kind in (P.DATA, P.DATA_E, P.DATA_M, P.GRANT_M, P.DATA_C2C):
-            if self._pending != line:
-                raise RuntimeError(
-                    f"L1 {self.core_id}: fill for {line:#x} but "
-                    f"pending {self._pending!r}"
-                )
-            self._pending = None
-            self._install(line, msg.kind, msg)
-            if msg.kind == P.DATA_C2C:
-                # tell the home the transfer landed so it can unblock the line
-                home = home_of(line, self.config.line_bytes, self.config.n_cores)
-                self.mesh.send(
-                    P.make_msg(self.config.noc, self.core_id, home,
-                               P.UNBLOCK, line)
-                )
-            self._fill_sig.fire(msg)
-        elif msg.kind == P.INV:
-            self.tags.invalidate(line)
-            self._wake_watchers(line)
-            home = home_of(line, self.config.line_bytes, self.config.n_cores)
-            self.mesh.send(
-                P.make_msg(self.config.noc, self.core_id, home, P.INV_ACK, line)
-            )
-        elif msg.kind in (P.FWD_GETS, P.FWD_GETM):
-            self._handle_forward(msg, line)
+        """Process a message routed to this L1 by the tile dispatcher.
+
+        Kept as the catch-all entry point for tests and direct callers;
+        the tile route table delivers straight to the per-kind handlers
+        below, so no kind chain runs on the hot delivery path.
+        """
+        kind = msg.kind
+        if kind in (P.DATA, P.DATA_E, P.DATA_M, P.GRANT_M, P.DATA_C2C):
+            self._on_fill(msg)
+        elif kind == P.INV:
+            self._on_inv(msg)
+        elif kind in (P.FWD_GETS, P.FWD_GETM):
+            self._handle_forward(msg)
         else:  # pragma: no cover - dispatcher guarantees the kind set
             raise RuntimeError(f"L1 {self.core_id}: unexpected {msg.kind}")
 
-    def _handle_forward(self, msg: Message, line: int) -> None:
+    def route_table(self) -> Dict[str, Callable[[Message], None]]:
+        """Kind -> handler map for the tile dispatcher (one probe per msg)."""
+        table = {kind: self._on_fill
+                 for kind in (P.DATA, P.DATA_E, P.DATA_M, P.GRANT_M,
+                              P.DATA_C2C)}
+        table[P.INV] = self._on_inv
+        table[P.FWD_GETS] = self._handle_forward
+        table[P.FWD_GETM] = self._handle_forward
+        return table
+
+    def _on_fill(self, msg: Message) -> None:
+        """Data grant / upgrade grant / cache-to-cache fill delivery.
+
+        The line-install logic is folded in (rather than a helper call):
+        this handler runs once per L1 miss.
+        """
+        line = msg.payload["line"]
+        if self._pending != line:
+            raise RuntimeError(
+                f"L1 {self.core_id}: fill for {line:#x} but "
+                f"pending {self._pending!r}"
+            )
+        self._pending = None
+        kind = msg.kind
+        tags = self.tags
+        if kind == P.GRANT_M:
+            # upgrade: the line must still be resident in S
+            tags.set_state(line, M)
+            tags.touch(line)
+            self._fill_sig.fire(msg)
+            return
+        if kind == P.DATA_C2C:
+            new_state = M if msg.payload["extra"]["grant"] == "M" else S
+        else:
+            new_state = _FILL_STATE[kind]
+        if tags.lookup(line) is not None:
+            # S->M where the directory chose to send full data
+            tags.set_state(line, new_state)
+            tags.touch(line)
+        else:
+            victim = tags.insert(line, new_state)
+            if victim is not None:
+                self._evict(*victim)
+        if kind == P.DATA_C2C:
+            # tell the home the transfer landed so it can unblock the line
+            home = (line // self._line_bytes) % self._n_tiles
+            self._send_proto(self._noc, self.core_id, home, P.UNBLOCK, line)
+        self._fill_sig.fire(msg)
+
+    def _on_inv(self, msg: Message) -> None:
+        """Directory invalidation: drop the line and ack the home."""
+        line = msg.payload["line"]
+        self.tags.invalidate(line)
+        self._wake_watchers(line)
+        home = (line // self._line_bytes) % self._n_tiles
+        self._send_proto(self._noc, self.core_id, home, P.INV_ACK, line)
+
+    def _handle_forward(self, msg: Message) -> None:
         """Serve a forwarded request with a direct cache-to-cache transfer."""
+        line = msg.payload["line"]
         requester = msg.payload["extra"]["requester"]
         state = self.tags.lookup(line)
-        home = home_of(line, self.config.line_bytes, self.config.n_cores)
-        noc = self.config.noc
+        home = (line // self._line_bytes) % self._n_tiles
+        noc = self._noc
         if state is None:
             # already evicted; the eviction notice is ahead of this ack and
             # the home will serve the requester from its own copy
-            self.mesh.send(P.make_msg(noc, self.core_id, home, P.RECALL_ACK,
-                                      line, {"present": False}))
+            self._send_proto(noc, self.core_id, home, P.RECALL_ACK,
+                             line, {"present": False})
             return
         dirty = state == M
         if msg.kind == P.FWD_GETS:
@@ -254,13 +341,13 @@ class L1Cache:
             self._wake_watchers(line)
             grant = "M"
         self.counters.add("l1.c2c_transfers")
-        self.mesh.send(P.make_msg(noc, self.core_id, requester, P.DATA_C2C,
-                                  line, {"grant": grant}))
+        self._send_proto(noc, self.core_id, requester, P.DATA_C2C,
+                         line, {"grant": grant})
         # notify the home (with data if we were dirty, so its L2 copy is
         # marked stale/dirty for writeback accounting)
         kind = P.RECALL_DATA if dirty and grant == "S" else P.RECALL_ACK
-        self.mesh.send(P.make_msg(noc, self.core_id, home, kind,
-                                  line, {"present": True}))
+        self._send_proto(noc, self.core_id, home, kind,
+                         line, {"present": True})
 
     def _wake_watchers(self, line: int) -> None:
         watch = self._watches.get(line)

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, Optional, Set
 
 from repro.mem import protocol as P
-from repro.mem.cache import TagArray
+from repro.mem import cache
 from repro.noc.messages import Message
 from repro.noc.topology import Mesh
 from repro.sim.config import CMPConfig
@@ -37,7 +37,7 @@ DIR_LATENCY = 4
 CLEAN, DIRTY = "clean", "dirty"
 
 
-@dataclass
+@dataclass(slots=True)
 class DirEntry:
     """Directory state for one line homed at this slice."""
 
@@ -72,8 +72,16 @@ class L2DirectorySlice:
         self.tile_id = tile_id
         self.mesh = mesh
         self.counters = counters
-        self.tags = TagArray(config.l2)
+        self.tags = cache.TagArray(config.l2)
         self._dir: Dict[int, DirEntry] = {}
+        self._noc = config.noc
+        # fused make_msg+send entry point, resolved once (bound C method
+        # when the compiled mesh core is active)
+        self._send_proto = mesh.send_proto
+        # hot counters, resolved once (bumped on every home transaction)
+        self._c_accesses = counters.bind("l2.accesses")
+        self._c_data_accesses = counters.bind("l2.data_accesses")
+        self._c_forwards = counters.bind("l2.forwards")
 
     def _entry(self, line: int) -> DirEntry:
         entry = self._dir.get(line)
@@ -82,54 +90,97 @@ class L2DirectorySlice:
         return entry
 
     def _send(self, dst: int, kind: str, line: int, extra: object = None) -> None:
-        self.mesh.send(P.make_msg(self.config.noc, self.tile_id, dst, kind,
-                                  line, extra))
+        self._send_proto(self._noc, self.tile_id, dst, kind, line, extra)
 
     # ------------------------------------------------------------------ #
     # incoming messages (tile dispatcher callback)
     # ------------------------------------------------------------------ #
     def handle(self, msg: Message) -> None:
-        """Process a home-bound protocol message."""
-        line = msg.payload["line"]
+        """Process a home-bound protocol message.
+
+        Catch-all entry point for tests and direct callers; the tile route
+        table delivers straight to the per-kind handlers below.
+        """
         kind = msg.kind
         if kind in (P.GETS, P.GETM, P.UPGRADE):
-            entry = self._entry(line)
-            if entry.busy:
-                entry.queue.append(msg)
-            else:
-                self._start(line, msg)
+            self._on_request(msg)
         elif kind == P.INV_ACK:
-            entry = self._entry(line)
-            entry.pending_acks -= 1
-            if entry.pending_acks == 0 and entry.ack_wait is not None:
-                sig, entry.ack_wait = entry.ack_wait, None
-                sig.fire()
+            self._on_inv_ack(msg)
         elif kind == P.UNBLOCK:
-            entry = self._entry(line)
-            if entry.unblock_wait is not None:
-                sig, entry.unblock_wait = entry.unblock_wait, None
-                sig.fire()
-            else:
-                entry.unblock_pending = True
+            self._on_unblock(msg)
         elif kind in (P.WB_DATA, P.EVICT_CLEAN):
-            self._owner_notice(line, msg)
+            self._on_owner_notice(msg)
         elif kind in (P.RECALL_DATA, P.RECALL_ACK):
-            entry = self._entry(line)
-            if entry.owner_wait is not None:
-                sig, entry.owner_wait = entry.owner_wait, None
-                sig.fire(msg)
-            # else: stale ack from an owner whose eviction notice already
-            # completed the recall -- drop (must be an absent-ack)
-            elif not (kind == P.RECALL_ACK and not msg.payload["extra"]["present"]):
-                raise RuntimeError(
-                    f"home {self.tile_id}: unexpected {kind} for {line:#x}"
-                )
+            self._on_recall(msg)
         else:  # pragma: no cover - dispatcher guarantees the kind set
             raise RuntimeError(f"home {self.tile_id}: unexpected {kind}")
 
-    def _owner_notice(self, line: int, msg: Message) -> None:
+    def route_table(self) -> Dict[str, object]:
+        """Kind -> handler map for the tile dispatcher (one probe per msg)."""
+        table = {kind: self._on_request
+                 for kind in (P.GETS, P.GETM, P.UPGRADE)}
+        table[P.INV_ACK] = self._on_inv_ack
+        table[P.UNBLOCK] = self._on_unblock
+        table[P.WB_DATA] = self._on_owner_notice
+        table[P.EVICT_CLEAN] = self._on_owner_notice
+        table[P.RECALL_DATA] = self._on_recall
+        table[P.RECALL_ACK] = self._on_recall
+        return table
+
+    def _on_request(self, msg: Message) -> None:
+        """GetS / GetM / Upgrade: start or queue a transaction."""
+        line = msg.payload["line"]
+        # the ``self._entry`` probe is inlined in every per-kind handler:
+        # these run once per delivered home-bound message
+        entry = self._dir.get(line)
+        if entry is None:
+            entry = self._dir[line] = DirEntry()
+        if entry.busy:
+            entry.queue.append(msg)
+        else:
+            self._start(line, entry, msg)
+
+    def _on_inv_ack(self, msg: Message) -> None:
+        entry = self._dir.get(msg.payload["line"])
+        if entry is None:
+            entry = self._dir[msg.payload["line"]] = DirEntry()
+        entry.pending_acks -= 1
+        if entry.pending_acks == 0 and entry.ack_wait is not None:
+            sig, entry.ack_wait = entry.ack_wait, None
+            sig.fire()
+
+    def _on_unblock(self, msg: Message) -> None:
+        entry = self._dir.get(msg.payload["line"])
+        if entry is None:
+            entry = self._dir[msg.payload["line"]] = DirEntry()
+        if entry.unblock_wait is not None:
+            sig, entry.unblock_wait = entry.unblock_wait, None
+            sig.fire()
+        else:
+            entry.unblock_pending = True
+
+    def _on_recall(self, msg: Message) -> None:
+        line = msg.payload["line"]
+        entry = self._dir.get(line)
+        if entry is None:
+            entry = self._dir[line] = DirEntry()
+        if entry.owner_wait is not None:
+            sig, entry.owner_wait = entry.owner_wait, None
+            sig.fire(msg)
+        # else: stale ack from an owner whose eviction notice already
+        # completed the recall -- drop (must be an absent-ack)
+        elif not (msg.kind == P.RECALL_ACK
+                  and not msg.payload["extra"]["present"]):
+            raise RuntimeError(
+                f"home {self.tile_id}: unexpected {msg.kind} for {line:#x}"
+            )
+
+    def _on_owner_notice(self, msg: Message) -> None:
         """WBData / EvictClean from the current owner."""
-        entry = self._entry(line)
+        line = msg.payload["line"]
+        entry = self._dir.get(line)
+        if entry is None:
+            entry = self._dir[line] = DirEntry()
         if msg.kind == P.WB_DATA and self.tags.lookup(line) is not None:
             self.tags.set_state(line, DIRTY)
         if entry.owner == msg.src:
@@ -141,24 +192,22 @@ class L2DirectorySlice:
     # ------------------------------------------------------------------ #
     # transaction engine
     # ------------------------------------------------------------------ #
-    def _start(self, line: int, msg: Message) -> None:
-        entry = self._entry(line)
+    def _start(self, line: int, entry: DirEntry, msg: Message) -> None:
         entry.busy = True
         if msg.kind == P.GETS:
-            gen = self._do_gets(line, msg.src)
+            gen = self._do_gets(line, entry, msg.src)
         else:
-            gen = self._do_getm(line, msg.src, is_upgrade=msg.kind == P.UPGRADE)
+            gen = self._do_getm(line, entry, msg.src,
+                                is_upgrade=msg.kind == P.UPGRADE)
         self.sim.spawn(gen, name=f"home{self.tile_id}-{msg.kind}-{line:#x}")
 
-    def _finish(self, line: int) -> None:
-        entry = self._entry(line)
+    def _finish(self, line: int, entry: DirEntry) -> None:
         entry.busy = False
         if entry.queue:
-            self._start(line, entry.queue.popleft())
+            self._start(line, entry, entry.queue.popleft())
 
-    def _do_gets(self, line: int, requester: int):
-        entry = self._entry(line)
-        self.counters.add("l2.accesses")
+    def _do_gets(self, line: int, entry: DirEntry, requester: int):
+        self._c_accesses.value += 1
         if entry.owner == requester:
             raise RuntimeError(
                 f"home {self.tile_id}: GetS from current owner {requester}"
@@ -171,7 +220,7 @@ class L2DirectorySlice:
                 # stayed a sharer; wait for the requester's unblock
                 entry.sharers.add(requester)
                 yield from self._await_unblock(line, entry)
-                self._finish(line)
+                self._finish(line, entry)
                 return
         yield from self._l2_data(line)
         if (entry.owner is None and not entry.sharers
@@ -181,11 +230,11 @@ class L2DirectorySlice:
         else:
             entry.sharers.add(requester)
             self._send(requester, P.DATA, line)
-        self._finish(line)
+        self._finish(line, entry)
 
-    def _do_getm(self, line: int, requester: int, is_upgrade: bool = False):
-        entry = self._entry(line)
-        self.counters.add("l2.accesses")
+    def _do_getm(self, line: int, entry: DirEntry, requester: int,
+                 is_upgrade: bool = False):
+        self._c_accesses.value += 1
         if entry.owner == requester:
             raise RuntimeError(
                 f"home {self.tile_id}: GetM from current owner {requester}"
@@ -196,13 +245,14 @@ class L2DirectorySlice:
             if served:
                 entry.owner = requester
                 yield from self._await_unblock(line, entry)
-                self._finish(line)
+                self._finish(line, entry)
                 return
         # a plain GetM from a listed sharer means that sharer evicted its S
         # copy silently -- the dataless GrantM is only safe for an Upgrade
         # whose copy is still valid (still listed => never invalidated since)
-        was_sharer = is_upgrade and requester in entry.sharers
-        to_invalidate = entry.sharers - {requester}
+        sharers = entry.sharers
+        was_sharer = is_upgrade and requester in sharers
+        to_invalidate = (sharers - {requester}) if sharers else ()
         if to_invalidate:
             self.counters.add("l2.invalidations", len(to_invalidate))
             entry.pending_acks = len(to_invalidate)
@@ -218,7 +268,7 @@ class L2DirectorySlice:
             yield from self._l2_data(line)
             self._send(requester, P.DATA_M, line)
         entry.owner = requester
-        self._finish(line)
+        self._finish(line, entry)
 
     def _forward(self, line: int, entry: DirEntry, requester: int,
                  fwd_kind: str):
@@ -233,7 +283,7 @@ class L2DirectorySlice:
         entry.owner_wait = self.sim.signal(f"fwd-{line:#x}")
         self._send(owner, fwd_kind, line, {"requester": requester})
         resp: Message = yield entry.owner_wait
-        self.counters.add("l2.forwards")
+        self._c_forwards.value += 1
         if resp.kind in (P.WB_DATA, P.RECALL_DATA):
             if self.tags.lookup(line) is not None:
                 self.tags.set_state(line, DIRTY)
@@ -258,7 +308,7 @@ class L2DirectorySlice:
         """Access the L2 data array, fetching from memory on a miss."""
         if self.tags.lookup(line) is not None:
             self.tags.touch(line)
-            self.counters.add("l2.data_accesses")
+            self._c_data_accesses.value += 1
             yield self.config.l2.latency
             return
         # L2 miss -> memory

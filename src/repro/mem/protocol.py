@@ -109,3 +109,27 @@ def make_msg(noc: NoCConfig, src: int, dst: int, kind: str, line: int,
         size_bytes=size,
         payload={"line": line, "extra": payload},
     )
+
+
+# --------------------------------------------------------------------- #
+# compiled backend
+# --------------------------------------------------------------------- #
+_PURE_MAKE_MSG = make_msg
+
+
+def _bind_backend(backend: str) -> None:
+    # hand the kind tables to the C module (it never imports this package
+    # itself, to keep extension import free of cycles) and rebind the
+    # module-level ``make_msg`` every L1/L2 call site goes through
+    global make_msg
+    impl = _kernel.compiled_impl()
+    if backend == "compiled" and impl is not None:
+        impl.configure_protocol(_CATEGORY, _CARRIES_DATA)
+        make_msg = impl.make_msg
+    else:
+        make_msg = _PURE_MAKE_MSG
+
+
+from repro.sim import kernel as _kernel  # noqa: E402
+
+_kernel.on_backend_change(_bind_backend)

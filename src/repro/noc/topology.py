@@ -18,12 +18,13 @@ NoC traffic.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.mem import protocol as _protocol
 from repro.noc.messages import Message
 from repro.noc.traffic import TrafficMeter
 from repro.sim.config import CMPConfig
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import Simulator, compiled_impl
 
 __all__ = ["Link", "Mesh"]
 
@@ -72,6 +73,24 @@ class Mesh:
         self._ser_cache: Dict[int, int] = {}
         self._router_latency = config.noc.router_latency
         self._build_links()
+        # Compiled fast path: when the simulator is the compiled backend,
+        # routing, link reservation and traffic accounting all run inside
+        # the C MeshCore and ``send`` is rebound to it wholesale.  The
+        # Link objects above stay authoritative for route() geometry; the
+        # core's link state is read back through the shared index formula
+        # (see link_bytes).
+        self._core = None
+        impl = compiled_impl()
+        if impl is not None and type(sim) is impl.Simulator:
+            traffic = self.traffic
+            self._core = impl.MeshCore(
+                sim, config.mesh_width, config.mesh_height,
+                config.noc.router_latency, config.noc.link_width_bytes,
+                traffic._per_cat, traffic._byte_hops,
+                traffic._link_traversals)
+            self.send = self._core.send
+            self.send_proto = self._core.send_proto
+            traffic._core = self._core
 
     def _build_links(self) -> None:
         w, h = self.config.mesh_width, self.config.mesh_height
@@ -85,11 +104,20 @@ class Mesh:
     # ------------------------------------------------------------------ #
     # endpoint registration
     # ------------------------------------------------------------------ #
-    def register(self, tile: int, handler: Callable[[Message], None]) -> None:
-        """Attach the message handler for ``tile`` (one per tile)."""
+    def register(self, tile: int, handler: Callable[[Message], None],
+                 route: Optional[Dict[str, Callable[[Message], None]]] = None,
+                 ) -> None:
+        """Attach the message handler for ``tile`` (one per tile).
+
+        ``route`` optionally exposes the handler's internal kind->callback
+        table; the compiled mesh core uses it to deliver straight to the
+        per-kind callback, skipping the Python dispatcher frame.
+        """
         if tile in self._handlers:
             raise ValueError(f"tile {tile} already has a handler")
         self._handlers[tile] = handler
+        if self._core is not None:
+            self._core.register(tile, handler if route is None else route)
 
     # ------------------------------------------------------------------ #
     # routing
@@ -149,9 +177,31 @@ class Mesh:
         sim.schedule_at(t, handler, msg)
         return t
 
+    def send_proto(self, noc, src: int, dst: int, kind: str, line: int,
+                   extra: object = None) -> int:
+        """Build a protocol message and inject it (fused make_msg + send).
+
+        The memory controllers issue every transaction hop through this
+        entry point; the compiled mesh core folds both steps into one C
+        call (the instance attribute is rebound in ``__init__``).
+        """
+        return self.send(_protocol.make_msg(noc, src, dst, kind, line, extra))
+
     @property
     def link_bytes(self) -> Dict[Tuple[Tuple[int, int], Tuple[int, int]], int]:
         """Bytes carried per directional link (hotspot analysis view)."""
+        if self._core is not None:
+            carried = self._core.carried_list()
+            w, h = self.config.mesh_width, self.config.mesh_height
+            wh = w * h
+            direction = {(1, 0): 0, (-1, 0): 1, (0, 1): 2, (0, -1): 3}
+            out: Dict[Tuple[Tuple[int, int], Tuple[int, int]], int] = {}
+            for (u, v) in self._links:
+                d = direction[(v[0] - u[0], v[1] - u[1])]
+                c = carried[d * wh + u[1] * w + u[0]]
+                if c:
+                    out[(u, v)] = c
+            return out
         return {key: link.carried_bytes
                 for key, link in self._links.items() if link.carried_bytes}
 

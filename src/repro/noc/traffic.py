@@ -31,6 +31,13 @@ class TrafficMeter:
         }
         self._byte_hops = self.counters.bind("noc.byte_hops")
         self._link_traversals = self.counters.bind("noc.link_traversals")
+        #: compiled mesh core accumulating traffic in C (attached by
+        #: Mesh.__init__); its sums are folded in before every read
+        self._core = None
+
+    def _sync(self) -> None:
+        if self._core is not None:
+            self._core.flush_traffic()
 
     def record(self, msg: Message, hops: int) -> None:
         """Account one delivered message that crossed ``hops`` links."""
@@ -46,6 +53,7 @@ class TrafficMeter:
     # ------------------------------------------------------------------ #
     def switch_bytes(self, category: MsgCategory | None = None) -> int:
         """Total switch-bytes, optionally restricted to one category."""
+        self._sync()
         if category is None:
             return self.counters.total("noc.switch_bytes.")
         return self.counters[f"noc.switch_bytes.{category.value}"]
@@ -57,9 +65,11 @@ class TrafficMeter:
     @property
     def byte_hops(self) -> int:
         """Bytes x link-hops (input to the link energy model)."""
+        self._sync()
         return self.counters["noc.byte_hops"]
 
     @property
     def total_messages(self) -> int:
         """Total delivered message count."""
+        self._sync()
         return self.counters.total("noc.msgs.")

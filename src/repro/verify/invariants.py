@@ -32,7 +32,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.sim.kernel import Process, SimulationError, Simulator
+from repro.sim.kernel import (PROCESS_TYPES, Process, SimulationError,
+                              Simulator)
 
 __all__ = ["InvariantSanitizer", "InvariantViolation", "attach_sanitizer"]
 
@@ -153,8 +154,11 @@ class InvariantSanitizer:
             orphans: List[str] = []
             for sig in sim.live_signals():
                 for fn in sig._waiters:
-                    owner = getattr(fn, "__self__", None)
-                    if isinstance(owner, Process) and not owner.finished:
+                    # pure-backend waiters are bound ``Process._step``
+                    # methods; compiled-backend waiters are the Process
+                    # objects themselves
+                    owner = getattr(fn, "__self__", fn)
+                    if isinstance(owner, PROCESS_TYPES) and not owner.finished:
                         orphans.append(
                             f"{owner.name} on {sig.name or '<unnamed>'}")
             if orphans:

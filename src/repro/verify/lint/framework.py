@@ -60,7 +60,8 @@ class LintContext:
         self.path = path
         self.normalized = path.replace("\\", "/")
         #: the one file allowed to mutate kernel-owned attributes
-        self.is_kernel = self.normalized.endswith("sim/kernel.py")
+        self.is_kernel = (self.normalized.endswith("sim/kernel.py")
+                          or self.normalized.endswith("sim/_kernel_pure.py"))
         #: workload modules get the shared-state rules (SIM007)
         self.is_workload = "workloads" in self.normalized.split("/")
         self.source = source
